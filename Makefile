@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test vet fmt bench race fuzz experiments examples cover
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseRule -fuzztime=30s ./internal/rule/
+
+cover:
+	$(GO) test -cover ./internal/... ./cmd/...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/embench -exp all -scale 0.02
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/products_debugging
+	$(GO) run ./examples/ordering
+	$(GO) run ./examples/restaurants_blocking
+	$(GO) run ./examples/session_resume
+	$(GO) run ./examples/triage

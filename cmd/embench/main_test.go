@@ -1,0 +1,80 @@
+package main
+
+import "testing"
+
+func TestRuleCounts(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{3, []int{3}},
+		{10, []int{5, 10}},
+		{55, []int{5, 10, 20, 40, 55}},
+		{255, []int{5, 10, 20, 40, 80, 120, 160, 200, 240, 255}},
+		{240, []int{5, 10, 20, 40, 80, 120, 160, 200, 240}},
+	}
+	for _, c := range cases {
+		got := ruleCounts(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("ruleCounts(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ruleCounts(%d) = %v, want %v", c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestDomainByName(t *testing.T) {
+	for _, name := range []string{"products", "restaurants", "books", "breakfast", "movies", "videogames"} {
+		d, err := domainByName(name)
+		if err != nil || d.Name() != name {
+			t.Errorf("domainByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := domainByName("nope"); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("bogus", "products", 0.01, 0, 1, 1, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("fig3a", "nope", 0.01, 0, 1, 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a dataset")
+	}
+	if err := run("table3", "products", 0.01, 0, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMemoryQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mines rules")
+	}
+	if err := run("memory", "books", 0.02, 5, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig4AndReplayQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mines rules")
+	}
+	if err := run("fig4", "books", 0.02, 5, 1, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("replay", "books", 0.02, 8, 1, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rulematch/internal/table"
+)
+
+func TestRunWritesTaskDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "task")
+	if err := run("books", 0.02, 5, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"tableA.csv", "tableB.csv", "rules.dsl", "gold.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	// Tables re-read cleanly.
+	a, err := table.ReadCSVFile(filepath.Join(dir, "tableA.csv"), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Error("empty table A")
+	}
+	// Rules file parses and has the requested count.
+	data, err := os.ReadFile(filepath.Join(dir, "rules.dsl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty rules file")
+	}
+}
+
+func TestRunSampleMode(t *testing.T) {
+	if err := run("movies", 0.02, 5, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("nope", 0.02, 5, t.TempDir(), false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("books", 0.02, 5, "", false); err == nil {
+		t.Error("missing -out accepted")
+	}
+}

@@ -1,0 +1,221 @@
+// Command emmatch runs rule-based entity matching end to end from
+// files: two CSV tables, a DSL rule file, a blocking attribute — and
+// writes the matched pairs as CSV. It is the batch (non-interactive)
+// entry point; use emdebug for the interactive loop.
+//
+// Usage:
+//
+//	emmatch -a tableA.csv -b tableB.csv -rules rules.dsl -block category -out matches.csv
+//	emmatch -a a.csv -b b.csv -rules r.dsl -block zip -order alg6 -parallel 4 -stats
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rulematch/internal/bitmap"
+	"rulematch/internal/block"
+	"rulematch/internal/core"
+	"rulematch/internal/costmodel"
+	"rulematch/internal/estimate"
+	"rulematch/internal/order"
+	"rulematch/internal/quality"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+type options struct {
+	tableA, tableB string
+	rulesFile      string
+	blockAttr      string
+	blockTokens    string // token-overlap blocking attribute (alternative)
+	goldFile       string
+	outFile        string
+	ordering       string
+	sampleFrac     float64
+	parallel       int
+	valueCache     bool
+	profiles       bool
+	stats          bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.tableA, "a", "", "table A CSV (first column = id)")
+	flag.StringVar(&o.tableB, "b", "", "table B CSV (first column = id)")
+	flag.StringVar(&o.rulesFile, "rules", "", "matching rules in DSL form")
+	flag.StringVar(&o.blockAttr, "block", "", "attribute-equivalence blocking attribute")
+	flag.StringVar(&o.blockTokens, "blocktokens", "", "token-overlap blocking attribute (alternative to -block)")
+	flag.StringVar(&o.goldFile, "gold", "", "optional gold labels CSV (idA,idB header) for quality metrics")
+	flag.StringVar(&o.outFile, "out", "-", "output CSV of matched id pairs ('-' = stdout)")
+	flag.StringVar(&o.ordering, "order", "alg6", "rule ordering: none|random|theorem1|alg5|alg6|conditional")
+	flag.Float64Var(&o.sampleFrac, "sample", estimate.DefaultFraction, "estimation sample fraction for ordering")
+	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines (>1 disables state materialization)")
+	flag.BoolVar(&o.valueCache, "valuecache", false, "enable the attribute-value-level cache")
+	flag.BoolVar(&o.profiles, "profiles", true, "precompute per-record token profiles for set-based similarities")
+	flag.BoolVar(&o.stats, "stats", false, "print work counters to stderr")
+	flag.Parse()
+	if err := run(o, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "emmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, diag io.Writer) error {
+	if o.tableA == "" || o.tableB == "" || o.rulesFile == "" {
+		return fmt.Errorf("-a, -b and -rules are required")
+	}
+	if (o.blockAttr == "") == (o.blockTokens == "") {
+		return fmt.Errorf("exactly one of -block or -blocktokens is required")
+	}
+	a, err := table.ReadCSVFile(o.tableA, "A")
+	if err != nil {
+		return fmt.Errorf("read table A: %w", err)
+	}
+	b, err := table.ReadCSVFile(o.tableB, "B")
+	if err != nil {
+		return fmt.Errorf("read table B: %w", err)
+	}
+	src, err := os.ReadFile(o.rulesFile)
+	if err != nil {
+		return err
+	}
+	f, err := rule.ParseFunction(string(src))
+	if err != nil {
+		return fmt.Errorf("parse rules: %w", err)
+	}
+
+	var blocker block.Blocker
+	if o.blockAttr != "" {
+		blocker = block.AttrEquivalence{Attr: o.blockAttr}
+	} else {
+		blocker = block.TokenOverlap{Attr: o.blockTokens, MinShared: 1, MaxTokenFreq: b.Len() / 10}
+	}
+	start := time.Now()
+	pairs, err := blocker.Pairs(a, b)
+	if err != nil {
+		return err
+	}
+	blockTime := time.Since(start)
+
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		return err
+	}
+	if o.profiles {
+		c.EnableProfileCache()
+	}
+
+	start = time.Now()
+	if o.ordering != "none" {
+		est := estimate.New(c, pairs, o.sampleFrac, 1)
+		model := costmodel.New(c, est)
+		switch o.ordering {
+		case "random":
+			order.Shuffle(c, 1)
+		case "theorem1":
+			order.PredicatesLemma3(c, model)
+			order.RulesTheorem1(c, model)
+		case "alg5":
+			order.GreedyCost(c, model)
+		case "alg6":
+			order.GreedyReduction(c, model)
+		case "conditional":
+			order.GreedyConditional(c, model)
+		default:
+			return fmt.Errorf("unknown ordering %q", o.ordering)
+		}
+	}
+	orderTime := time.Since(start)
+
+	m := core.NewMatcher(c, pairs)
+	m.CheckCacheFirst = true
+	m.ValueCache = o.valueCache
+	start = time.Now()
+	var matched *bitmap.Bits
+	if o.parallel > 1 {
+		matched = m.MatchParallel(o.parallel)
+	} else {
+		matched = m.Match().Matched
+	}
+	matchTime := time.Since(start)
+
+	out := os.Stdout
+	if o.outFile != "-" {
+		file, err := os.Create(o.outFile)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		out = file
+	}
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"idA", "idB"}); err != nil {
+		return err
+	}
+	count := 0
+	for pi, p := range pairs {
+		if !matched.Get(pi) {
+			continue
+		}
+		count++
+		if err := w.Write([]string{a.Records[p.A].ID, b.Records[p.B].ID}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+
+	if o.stats {
+		fmt.Fprintf(diag, "blocking: %d candidate pairs in %v (%s)\n", len(pairs), blockTime.Round(time.Millisecond), blocker.Name())
+		fmt.Fprintf(diag, "ordering (%s): %v\n", o.ordering, orderTime.Round(time.Millisecond))
+		fmt.Fprintf(diag, "matching: %d matches in %v\n", count, matchTime.Round(time.Millisecond))
+		fmt.Fprintf(diag, "work: %d feature computes, %d memo hits, %d value-cache hits, %d predicate evals\n",
+			m.Stats.FeatureComputes, m.Stats.MemoHits, m.Stats.ValueCacheHits, m.Stats.PredEvals)
+	}
+	if o.goldFile != "" {
+		gold, err := readGold(o.goldFile, a, b)
+		if err != nil {
+			return err
+		}
+		rep := quality.Evaluate(pairs, matched, gold, nil)
+		fmt.Fprintf(diag, "quality vs %s: precision %.3f, recall %.3f, F1 %.3f (TP %d, FP %d, FN %d)\n",
+			o.goldFile, rep.Precision(), rep.Recall(), rep.F1(),
+			rep.TruePositives, rep.FalsePositives, rep.FalseNegatives)
+	}
+	return nil
+}
+
+// readGold parses a gold labels CSV ("idA,idB" header) into pair keys
+// over record indices.
+func readGold(path string, a, b *table.Table) (map[uint64]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	gold := make(map[uint64]bool)
+	for i, row := range rows {
+		if i == 0 || len(row) != 2 {
+			continue
+		}
+		ai, okA := a.RecordByID(row[0])
+		bi, okB := b.RecordByID(row[1])
+		if !okA || !okB {
+			return nil, fmt.Errorf("gold line %d references unknown record (%s, %s)", i+1, row[0], row[1])
+		}
+		gold[table.Pair{A: int32(ai), B: int32(bi)}.PairKey()] = true
+	}
+	return gold, nil
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rulematch/internal/table"
+)
+
+// writeInputs creates CSV tables and a rules file in a temp dir.
+func writeInputs(t *testing.T) (dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	a := table.MustNew("A", []string{"cat", "name"})
+	b := table.MustNew("B", []string{"cat", "name"})
+	a.Append("a0", "c1", "matthew richardson")
+	a.Append("a1", "c1", "john smith")
+	a.Append("a2", "c2", "maria garcia")
+	b.Append("b0", "c1", "matt richardson")
+	b.Append("b1", "c1", "unrelated person")
+	b.Append("b2", "c2", "mary garcia")
+	if err := a.WriteCSVFile(filepath.Join(dir, "a.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSVFile(filepath.Join(dir, "b.csv")); err != nil {
+		t.Fatal(err)
+	}
+	rules := "rule r1: jaro_winkler(name, name) >= 0.85\n"
+	if err := os.WriteFile(filepath.Join(dir, "rules.dsl"), []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := writeInputs(t)
+	outPath := filepath.Join(dir, "matches.csv")
+	var diag strings.Builder
+	err := run(options{
+		tableA:     filepath.Join(dir, "a.csv"),
+		tableB:     filepath.Join(dir, "b.csv"),
+		rulesFile:  filepath.Join(dir, "rules.dsl"),
+		blockAttr:  "cat",
+		outFile:    outPath,
+		ordering:   "alg6",
+		sampleFrac: 0.5,
+		parallel:   1,
+		stats:      true,
+	}, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "a0,b0") {
+		t.Errorf("expected match a0,b0 missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a2,b2") {
+		t.Errorf("expected match a2,b2 missing:\n%s", out)
+	}
+	if strings.Contains(out, "a1,b1") {
+		t.Errorf("unexpected match a1,b1:\n%s", out)
+	}
+	if !strings.Contains(diag.String(), "feature computes") {
+		t.Errorf("stats not printed:\n%s", diag.String())
+	}
+}
+
+func TestRunOrderingsAndParallelAgree(t *testing.T) {
+	dir := writeInputs(t)
+	var outputs []string
+	for _, cfg := range []options{
+		{ordering: "none", parallel: 1},
+		{ordering: "random", parallel: 1},
+		{ordering: "theorem1", parallel: 1},
+		{ordering: "alg5", parallel: 1},
+		{ordering: "alg6", parallel: 2, valueCache: true},
+	} {
+		cfg.tableA = filepath.Join(dir, "a.csv")
+		cfg.tableB = filepath.Join(dir, "b.csv")
+		cfg.rulesFile = filepath.Join(dir, "rules.dsl")
+		cfg.blockAttr = "cat"
+		cfg.outFile = filepath.Join(dir, "out_"+cfg.ordering+".csv")
+		cfg.sampleFrac = 0.5
+		var diag strings.Builder
+		if err := run(cfg, &diag); err != nil {
+			t.Fatalf("%s: %v", cfg.ordering, err)
+		}
+		data, err := os.ReadFile(cfg.outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, string(data))
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Errorf("config %d output differs:\n%s\nvs\n%s", i, outputs[i], outputs[0])
+		}
+	}
+}
+
+func TestRunTokenBlocking(t *testing.T) {
+	dir := writeInputs(t)
+	outPath := filepath.Join(dir, "m.csv")
+	var diag strings.Builder
+	err := run(options{
+		tableA:      filepath.Join(dir, "a.csv"),
+		tableB:      filepath.Join(dir, "b.csv"),
+		rulesFile:   filepath.Join(dir, "rules.dsl"),
+		blockTokens: "name",
+		outFile:     outPath,
+		ordering:    "none",
+		parallel:    1,
+	}, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(outPath)
+	if !strings.Contains(string(data), "a0,b0") {
+		t.Errorf("token blocking lost the richardson match:\n%s", data)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dir := writeInputs(t)
+	base := options{
+		tableA:    filepath.Join(dir, "a.csv"),
+		tableB:    filepath.Join(dir, "b.csv"),
+		rulesFile: filepath.Join(dir, "rules.dsl"),
+		outFile:   filepath.Join(dir, "o.csv"),
+		ordering:  "alg6",
+		parallel:  1,
+	}
+	var diag strings.Builder
+	cases := []func(o options) options{
+		func(o options) options { o.tableA = ""; return o },
+		func(o options) options { o.blockAttr = ""; o.blockTokens = ""; return o },
+		func(o options) options { o.blockAttr = "cat"; o.blockTokens = "name"; return o },
+		func(o options) options { o.blockAttr = "nope"; return o },
+		func(o options) options { o.blockAttr = "cat"; o.ordering = "zorder"; return o },
+		func(o options) options { o.blockAttr = "cat"; o.rulesFile = dir + "/missing.dsl"; return o },
+	}
+	for i, mutate := range cases {
+		if err := run(mutate(base), &diag); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestRunGoldQuality(t *testing.T) {
+	dir := writeInputs(t)
+	gold := "idA,idB\na0,b0\na2,b2\n"
+	goldPath := filepath.Join(dir, "gold.csv")
+	if err := os.WriteFile(goldPath, []byte(gold), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var diag strings.Builder
+	err := run(options{
+		tableA:    filepath.Join(dir, "a.csv"),
+		tableB:    filepath.Join(dir, "b.csv"),
+		rulesFile: filepath.Join(dir, "rules.dsl"),
+		blockAttr: "cat",
+		goldFile:  goldPath,
+		outFile:   filepath.Join(dir, "m.csv"),
+		ordering:  "conditional",
+		parallel:  1,
+	}, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "precision 1.000") {
+		t.Errorf("quality line missing or wrong:\n%s", diag.String())
+	}
+	// Bad gold file: unknown record.
+	if err := os.WriteFile(goldPath, []byte("idA,idB\nzz,b0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{
+		tableA:    filepath.Join(dir, "a.csv"),
+		tableB:    filepath.Join(dir, "b.csv"),
+		rulesFile: filepath.Join(dir, "rules.dsl"),
+		blockAttr: "cat",
+		goldFile:  goldPath,
+		outFile:   filepath.Join(dir, "m.csv"),
+		ordering:  "none",
+		parallel:  1,
+	}, &diag)
+	if err == nil {
+		t.Error("bad gold file accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package rulematch is an interactive debugger and optimizing engine
+// for rule-based entity matching — a from-scratch Go reproduction of
+// "Towards Interactive Debugging of Rule-based Entity Matching"
+// (Panahi, Wu, Doan, Naughton; EDBT 2017).
+//
+// The implementation lives under internal/: see internal/core for the
+// matching engine (early exit + dynamic memoing), internal/incremental
+// for the Section 6 incremental algorithms, internal/order and
+// internal/costmodel for the Section 5 ordering optimization, and
+// DESIGN.md for the full system inventory. The cmd/ tree provides the
+// emdebug (interactive), emmatch (batch), embench (experiments) and
+// emgen (dataset generator) tools.
+package rulematch

@@ -1,0 +1,77 @@
+// Ordering: shows how the Section 5 optimizers cut matching time. Mines
+// a realistic rule pool for the movies dataset, then matches a moderate
+// rule set under random ordering, Theorem 1, Algorithm 5 and
+// Algorithm 6, reporting runtime, feature computations, and the cost
+// model's predictions. The effect is largest at small-to-moderate rule
+// counts; once most features are forced anyway, ordering matters less
+// (paper §7.3).
+//
+//	go run ./examples/ordering
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rulematch/internal/bench"
+	"rulematch/internal/core"
+	"rulematch/internal/costmodel"
+	"rulematch/internal/datagen"
+	"rulematch/internal/estimate"
+	"rulematch/internal/order"
+)
+
+func main() {
+	task, err := bench.PrepareTask(datagen.Movies(), 0.1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const numRules = 10
+	fmt.Printf("movies task: %d candidate pairs, using %d of %d mined rules\n\n",
+		len(task.Pairs()), numRules, len(task.Rules))
+
+	type strategy struct {
+		name  string
+		apply func(c *core.Compiled, m *costmodel.Model)
+	}
+	strategies := []strategy{
+		{"random", func(c *core.Compiled, m *costmodel.Model) { order.Shuffle(c, 1) }},
+		{"theorem 1 (independence)", func(c *core.Compiled, m *costmodel.Model) {
+			order.PredicatesLemma3(c, m)
+			order.RulesTheorem1(c, m)
+		}},
+		{"algorithm 5 (greedy cost)", order.GreedyCost},
+		{"algorithm 6 (greedy reduction)", order.GreedyReduction},
+		{"conditional greedy (§5.4.2)", order.GreedyConditional},
+	}
+
+	fmt.Printf("%-32s %10s %10s %16s %12s\n", "ordering", "order ms", "match ms", "feature computes", "model ms")
+	for _, s := range strategies {
+		c, err := task.CompileSubset(numRules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Estimate costs and selectivities on a small sample (§5.5).
+		est := estimate.New(c, task.Pairs(), 0.05, 7)
+		model := costmodel.New(c, est)
+		t0 := time.Now()
+		s.apply(c, model)
+		orderTime := time.Since(t0)
+		predicted := model.CostDM() * float64(len(task.Pairs())) * 1000 // ms
+
+		m := core.NewMatcher(c, task.Pairs())
+		m.CheckCacheFirst = true
+		t0 = time.Now()
+		m.Match()
+		matchTime := time.Since(t0)
+		fmt.Printf("%-32s %10.2f %10.2f %16d %12.2f\n",
+			s.name,
+			float64(orderTime.Microseconds())/1000,
+			float64(matchTime.Microseconds())/1000,
+			m.Stats.FeatureComputes,
+			predicted)
+	}
+	fmt.Println("\nthe optimized orderings front-load selective, cheap, memo-warming")
+	fmt.Println("predicates and rules, reducing expected cost per pair (Section 5).")
+}

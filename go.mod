@@ -1,0 +1,3 @@
+module rulematch
+
+go 1.22

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"rulematch/internal/datagen"
+	"rulematch/internal/rule"
+)
+
+// tinyTask prepares a small products task shared across tests.
+func tinyTask(t testing.TB, targetRules int) *Task {
+	t.Helper()
+	task, err := PrepareTask(datagen.Products(), 0.015, targetRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestPrepareTaskMinesTargetRules(t *testing.T) {
+	task := tinyTask(t, 40)
+	if len(task.Rules) != 40 {
+		t.Fatalf("mined %d rules, want 40", len(task.Rules))
+	}
+	// Every rule canonicalizes cleanly and names are unique.
+	names := map[string]bool{}
+	for _, r := range task.Rules {
+		if _, err := rule.Canonicalize(r); err != nil {
+			t.Errorf("rule %s: %v", r.Name, err)
+		}
+		if names[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		names[r.Name] = true
+		if len(r.Preds) == 0 {
+			t.Errorf("rule %s empty", r.Name)
+		}
+	}
+}
+
+func TestPrepareTaskDeterministic(t *testing.T) {
+	t1 := tinyTask(t, 20)
+	t2 := tinyTask(t, 20)
+	for i := range t1.Rules {
+		if t1.Rules[i].String() != t2.Rules[i].String() {
+			t.Fatal("rule mining not deterministic")
+		}
+	}
+}
+
+func TestMinedRulesHaveSignal(t *testing.T) {
+	// The full mined rule set should separate gold matches from
+	// non-matches far better than chance on the candidate pairs.
+	task := tinyTask(t, 60)
+	c, err := task.CompileSubset(len(task.Rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Quality(task, c)
+	// Trivial all-match baseline: precision = gold fraction.
+	goldFrac := float64(len(task.DS.Gold)) / float64(len(task.Pairs()))
+	trivialF1 := 2 * goldFrac / (goldFrac + 1)
+	if rep.F1() < 4*trivialF1 || rep.Recall() < 0.7 {
+		t.Errorf("mined rules F1 = %.3f (P=%.3f R=%.3f), want >= 4x trivial %.3f and recall >= 0.7",
+			rep.F1(), rep.Precision(), rep.Recall(), trivialF1)
+	}
+}
+
+func TestCompileRandomSubsetDraws(t *testing.T) {
+	task := tinyTask(t, 30)
+	c1, err := task.CompileRandomSubset(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := task.CompileRandomSubset(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Rules) != 10 || len(c2.Rules) != 10 {
+		t.Fatalf("subset sizes %d, %d", len(c1.Rules), len(c2.Rules))
+	}
+	same := true
+	for i := range c1.Rules {
+		if c1.Rules[i].Name != c2.Rules[i].Name {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds drew identical subsets")
+	}
+	// Oversized subset clamps.
+	c3, err := task.CompileRandomSubset(999, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c3.Rules) != 30 {
+		t.Errorf("clamped subset = %d", len(c3.Rules))
+	}
+}
+
+func TestTable2SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 spans all six domains")
+	}
+	tbl, err := Table2(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var sb strings.Builder
+	tbl.Print(&sb)
+	for _, name := range []string{"products", "restaurants", "books", "breakfast", "movies", "videogames"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("missing dataset %s", name)
+		}
+	}
+}
+
+func TestTable3Ordering(t *testing.T) {
+	tbl, err := Table3(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 13 {
+		t.Fatalf("rows = %d, want 13 feature configs", len(tbl.Rows))
+	}
+	// Rows are sorted by measured cost ascending. Wall-clock noise under
+	// parallel test load can swap neighbors, so assert band membership
+	// rather than exact ranks: exact_match near the cheap end,
+	// soft_tf_idf(title,title) near the expensive end.
+	pos := map[string]int{}
+	for i, r := range tbl.Rows {
+		pos[r[0]+"/"+r[1]+"/"+r[2]] = i
+	}
+	if p := pos["exact_match/modelno/modelno"]; p > 4 {
+		t.Errorf("exact_match ranked %d, want near cheapest", p)
+	}
+	if p := pos["soft_tf_idf/title/title"]; p < len(tbl.Rows)-3 {
+		t.Errorf("soft_tf_idf(title,title) ranked %d of %d, want near most expensive", p, len(tbl.Rows))
+	}
+}
+
+func TestFig3AShape(t *testing.T) {
+	task := tinyTask(t, 60)
+	_, results, err := Fig3A(task, Fig3AConfig{RuleCounts: []int{10, 40}, Draws: 1, MaxRudimentary: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("points = %d", len(results))
+	}
+	// Cap respected: R skipped at 40 rules.
+	if results[1].Rudimentary != 0 {
+		t.Error("rudimentary ran past its cap")
+	}
+	if results[0].Rudimentary == 0 {
+		t.Error("rudimentary skipped under its cap")
+	}
+	// Dynamic memoing beats the unmemoized early exit at 40 rules.
+	if results[1].DynamicMemo >= results[1].EarlyExit {
+		t.Errorf("DM %v not faster than EE %v at 40 rules", results[1].DynamicMemo, results[1].EarlyExit)
+	}
+}
+
+func TestFig3COrderingBeatsRandom(t *testing.T) {
+	task := tinyTask(t, 60)
+	_, results, err := Fig3C(task, []int{40}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	// Allow slack: at tiny scale the orderings should at least not be
+	// dramatically worse than random (the paper's win shows at scale).
+	if r.Alg6 > r.Random*3/2 {
+		t.Errorf("Alg6 %v much slower than random %v", r.Alg6, r.Random)
+	}
+}
+
+func TestFig5AModelInRange(t *testing.T) {
+	task := tinyTask(t, 60)
+	_, results, err := Fig5A(task, []int{30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.EstRandom <= 0 || r.ActualRandom <= 0 {
+		t.Fatalf("degenerate point %+v", r)
+	}
+	// The model should land within an order of magnitude of reality.
+	ratio := float64(r.EstRandom) / float64(r.ActualRandom)
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("model/actual ratio = %.2f", ratio)
+	}
+}
+
+func TestFig5BMonotone(t *testing.T) {
+	task := tinyTask(t, 30)
+	_, results, err := Fig5B(task, []float64{0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Pairs <= results[0].Pairs {
+		t.Fatal("pair counts not increasing")
+	}
+	if results[1].Runtime <= results[0].Runtime {
+		t.Errorf("runtime did not grow with pairs: %v then %v", results[0].Runtime, results[1].Runtime)
+	}
+}
+
+func TestFig5CIncrementalWins(t *testing.T) {
+	task := tinyTask(t, 30)
+	_, results, err := Fig5C(task, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 30 {
+		t.Fatalf("points = %d", len(results))
+	}
+	// Beyond the cold start, the fully incremental variant should win
+	// on average.
+	var incSum, preSum int64
+	for _, r := range results[1:] {
+		incSum += int64(r.Incremental)
+		preSum += int64(r.Precompute)
+	}
+	if incSum >= preSum {
+		t.Errorf("incremental total %d not below precompute total %d", incSum, preSum)
+	}
+}
+
+func TestFig6AllChangeTypes(t *testing.T) {
+	task := tinyTask(t, 25)
+	tbl, results, err := Fig6(task, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("change types = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Trials != 10 {
+			t.Errorf("%s: %d trials", r.Change, r.Trials)
+		}
+		if r.Avg <= 0 {
+			t.Errorf("%s: zero average", r.Change)
+		}
+	}
+	tbl.Print(io.Discard)
+}
+
+func TestMemoryReport(t *testing.T) {
+	task := tinyTask(t, 20)
+	tbl, err := MemoryReport(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	task := tinyTask(t, 25)
+	if _, err := AblationMemoLayout(task); err != nil {
+		t.Errorf("memo layout: %v", err)
+	}
+	if _, err := AblationCheckCacheFirst(task); err != nil {
+		t.Errorf("check cache first: %v", err)
+	}
+	if _, err := AblationSampleSize(task, []float64{0.05, 0.2}); err != nil {
+		t.Errorf("sample size: %v", err)
+	}
+	if _, err := AblationPredicateOrder(task); err != nil {
+		t.Errorf("predicate order: %v", err)
+	}
+	if _, err := AblationAlphaVariants(task, []int{10}); err != nil {
+		t.Errorf("alpha variants: %v", err)
+	}
+	if _, err := AblationValueCache(task); err != nil {
+		t.Errorf("value cache: %v", err)
+	}
+	if _, err := AblationParallel(task); err != nil {
+		t.Errorf("parallel: %v", err)
+	}
+	if _, err := AblationAdaptive(task); err != nil {
+		t.Errorf("adaptive: %v", err)
+	}
+	if _, err := AblationProfileCache(task); err != nil {
+		t.Errorf("profile cache: %v", err)
+	}
+}
+
+func TestReplaySession(t *testing.T) {
+	task := tinyTask(t, 30)
+	tbl, res, err := Replay(task, 10, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) != 20 {
+		t.Fatalf("ops = %d", len(res.Ops))
+	}
+	if res.Incremental <= 0 || res.FullRerun <= 0 || res.ColdRerun <= 0 {
+		t.Fatalf("degenerate totals %+v", res)
+	}
+	// The whole point: the incremental session is cheaper than both
+	// re-run regimes.
+	if res.Incremental >= res.FullRerun {
+		t.Errorf("incremental %v not < full rerun %v", res.Incremental, res.FullRerun)
+	}
+	if res.Incremental >= res.ColdRerun {
+		t.Errorf("incremental %v not < cold rerun %v", res.Incremental, res.ColdRerun)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}

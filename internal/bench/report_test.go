@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTablePrint(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"col1", "col2"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer-value", "2")
+	var sb strings.Builder
+	tbl.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "col1", "longer-value", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: header and rows of differing widths print cleanly.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Errorf("too few lines:\n%s", out)
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{time.Duration(0), "0.000"},
+		{500 * time.Microsecond, "0.500"},
+		{2500 * time.Microsecond, "2.50"},
+		{150 * time.Millisecond, "150"},
+		{2 * time.Second, "2000"},
+	}
+	for _, c := range cases {
+		if got := ms(c.d); got != c.want {
+			t.Errorf("ms(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+	if msOrDash(0) != "-" {
+		t.Error("zero duration not dashed")
+	}
+	if msOrDash(time.Second) == "-" {
+		t.Error("nonzero duration dashed")
+	}
+}
+
+func TestSampleFracFor(t *testing.T) {
+	// Large pair sets use the paper's 1%.
+	if got := sampleFracFor(1_000_000); got != 0.01 {
+		t.Errorf("frac for 1M pairs = %v", got)
+	}
+	// Small sets are floored to ~200 sample pairs.
+	got := sampleFracFor(1000)
+	if got*1000 < 199 {
+		t.Errorf("frac for 1k pairs = %v (only %v sample pairs)", got, got*1000)
+	}
+	// Never above 1.
+	if got := sampleFracFor(50); got > 1 {
+		t.Errorf("frac for 50 pairs = %v", got)
+	}
+}

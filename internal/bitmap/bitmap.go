@@ -1,0 +1,136 @@
+// Package bitmap provides a compact fixed-size bitset used to materialize
+// per-rule match sets and per-predicate false sets for incremental matching
+// (paper Section 6.1).
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bits is a fixed-length bitset. The zero value is an empty bitset of
+// length 0; use New to create one with capacity.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitset holding n bits, all clear.
+func New(n int) *Bits {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative size %d", n))
+	}
+	return &Bits{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits the set holds.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bits) Set(i int) {
+	b.check(i)
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (b *Bits) Clear(i int) {
+	b.check(i)
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (b *Bits) Get(i int) bool {
+	b.check(i)
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears all bits.
+func (b *Bits) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bits) Clone() *Bits {
+	c := &Bits{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Or sets b = b | other. The two sets must have equal length.
+func (b *Bits) Or(other *Bits) {
+	b.checkLen(other)
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// AndNot sets b = b &^ other. The two sets must have equal length.
+func (b *Bits) AndNot(other *Bits) {
+	b.checkLen(other)
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+// Equal reports whether two bitsets have identical length and contents.
+func (b *Bits) Equal(other *Bits) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if other.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false, iteration stops.
+func (b *Bits) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the positions of all set bits in ascending order.
+func (b *Bits) Indices() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Bytes returns the approximate in-memory size of the bitset in bytes.
+func (b *Bits) Bytes() int64 { return int64(len(b.words)) * 8 }
+
+func (b *Bits) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+func (b *Bits) checkLen(other *Bits) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitmap: length mismatch %d vs %d", b.n, other.n))
+	}
+}

@@ -1,0 +1,231 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(200)
+	if b.Count() != 0 {
+		t.Fatalf("fresh count = %d", b.Count())
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	want := 67 // ceil(200/3)
+	if got := b.Count(); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	b.Set(0) // idempotent
+	if got := b.Count(); got != want {
+		t.Errorf("count after re-set = %d, want %d", got, want)
+	}
+}
+
+func TestLenZero(t *testing.T) {
+	b := New(0)
+	if b.Len() != 0 || b.Count() != 0 {
+		t.Errorf("zero-length bitmap misbehaves: len=%d count=%d", b.Len(), b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			b.Get(i)
+		}()
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestForEachAndIndices(t *testing.T) {
+	b := New(300)
+	want := []int{0, 5, 63, 64, 128, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("indices = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	b.ForEach(func(int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("ForEach early stop visited %d, want 3", n)
+	}
+}
+
+func TestOrAndNot(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	a.Or(b)
+	for _, i := range []int{1, 50, 99} {
+		if !a.Get(i) {
+			t.Errorf("after Or, bit %d clear", i)
+		}
+	}
+	a.AndNot(b)
+	if !a.Get(1) || a.Get(50) || a.Get(99) {
+		t.Errorf("AndNot wrong: %v", a.Indices())
+	}
+}
+
+func TestCloneEqualReset(t *testing.T) {
+	a := New(77)
+	a.Set(3)
+	a.Set(76)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(10)
+	if a.Equal(c) {
+		t.Fatal("clone aliases original")
+	}
+	if a.Get(10) {
+		t.Fatal("mutating clone changed original")
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Errorf("count after reset = %d", a.Count())
+	}
+	if a.Equal(New(78)) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestMismatchedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Or with mismatched lengths did not panic")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+// Property: a bitmap agrees with a map[int]bool reference under a random
+// operation sequence.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		b := New(n)
+		ref := make(map[int]bool)
+		for _, op := range opsRaw {
+			i := rng.Intn(n)
+			switch op % 3 {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Clear(i)
+				delete(ref, i)
+			case 2:
+				if b.Get(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for _, i := range b.Indices() {
+			if !ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(64).Bytes(); got != 8 {
+		t.Errorf("Bytes(64 bits) = %d, want 8", got)
+	}
+	if got := New(65).Bytes(); got != 16 {
+		t.Errorf("Bytes(65 bits) = %d, want 16", got)
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	b := New(1000)
+	for i := 0; i < 1000; i += 7 {
+		b.Set(i)
+	}
+	data, err := b.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Bits
+	if err := got.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(b) {
+		t.Error("gob round trip lost bits")
+	}
+	// Zero-length bitmap round-trips too.
+	empty := New(0)
+	data, err = empty.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 Bits
+	if err := got2.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != 0 {
+		t.Errorf("empty round trip len = %d", got2.Len())
+	}
+	if err := got2.GobDecode([]byte{1, 2}); err == nil {
+		t.Error("truncated gob accepted")
+	}
+}

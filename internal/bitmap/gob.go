@@ -1,0 +1,39 @@
+package bitmap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// GobEncode implements gob.GobEncoder so bitsets can be persisted
+// inside session snapshots.
+func (b *Bits) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, int64(b.n)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, b.words); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (b *Bits) GobDecode(data []byte) error {
+	buf := bytes.NewReader(data)
+	var n int64
+	if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("bitmap: corrupt gob length %d", n)
+	}
+	words := make([]uint64, (n+63)/64)
+	if err := binary.Read(buf, binary.LittleEndian, words); err != nil {
+		return err
+	}
+	b.n = int(n)
+	b.words = words
+	return nil
+}

@@ -1,0 +1,263 @@
+// Package block implements the blocking step that precedes matching
+// (paper Section 3): it prunes the m×n cross product of two tables down
+// to a set of candidate pairs using cheap, conservative heuristics —
+// attribute equivalence and token overlap.
+package block
+
+import (
+	"fmt"
+	"sort"
+
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// Blocker produces candidate pairs from two tables.
+type Blocker interface {
+	// Name identifies the blocking strategy.
+	Name() string
+	// Pairs returns candidate pairs, sorted by (A,B) and de-duplicated.
+	Pairs(a, b *table.Table) ([]table.Pair, error)
+}
+
+// AttrEquivalence blocks on exact equality of one attribute (e.g. the
+// product category): only records agreeing on the attribute become
+// candidates. Records with an empty attribute value pair with nothing.
+type AttrEquivalence struct {
+	Attr string
+}
+
+// Name implements Blocker.
+func (e AttrEquivalence) Name() string { return "attr_equivalence(" + e.Attr + ")" }
+
+// Pairs implements Blocker.
+func (e AttrEquivalence) Pairs(a, b *table.Table) ([]table.Pair, error) {
+	colA, ok := a.AttrIndex(e.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", a.Name, e.Attr)
+	}
+	colB, ok := b.AttrIndex(e.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, e.Attr)
+	}
+	buckets := make(map[string][]int32)
+	for i := range b.Records {
+		v := b.Value(i, colB)
+		if v == "" {
+			continue
+		}
+		buckets[v] = append(buckets[v], int32(i))
+	}
+	var pairs []table.Pair
+	for i := range a.Records {
+		v := a.Value(i, colA)
+		if v == "" {
+			continue
+		}
+		for _, j := range buckets[v] {
+			pairs = append(pairs, table.Pair{A: int32(i), B: j})
+		}
+	}
+	return Normalize(pairs), nil
+}
+
+// TokenOverlap blocks on shared tokens of one attribute: a pair is a
+// candidate if the two values share at least MinShared tokens (after
+// dropping tokens more frequent than MaxTokenFreq on the B side, which
+// prevents stop words from exploding the candidate set).
+type TokenOverlap struct {
+	Attr         string
+	MinShared    int // minimum shared tokens; 0 means 1
+	MaxTokenFreq int // drop tokens occurring in more B records; 0 means no limit
+	Tok          sim.Tokenizer
+}
+
+// Name implements Blocker.
+func (t TokenOverlap) Name() string { return "token_overlap(" + t.Attr + ")" }
+
+// Pairs implements Blocker.
+func (t TokenOverlap) Pairs(a, b *table.Table) ([]table.Pair, error) {
+	colA, ok := a.AttrIndex(t.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", a.Name, t.Attr)
+	}
+	colB, ok := b.AttrIndex(t.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, t.Attr)
+	}
+	tok := t.Tok
+	if tok == nil {
+		tok = sim.Whitespace{}
+	}
+	minShared := t.MinShared
+	if minShared <= 0 {
+		minShared = 1
+	}
+	// Inverted index over B tokens.
+	index := make(map[string][]int32)
+	for j := range b.Records {
+		seen := make(map[string]struct{})
+		for _, w := range tok.Tokens(b.Value(j, colB)) {
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			index[w] = append(index[w], int32(j))
+		}
+	}
+	if t.MaxTokenFreq > 0 {
+		for w, posting := range index {
+			if len(posting) > t.MaxTokenFreq {
+				delete(index, w)
+			}
+		}
+	}
+	var pairs []table.Pair
+	shared := make(map[int32]int)
+	for i := range a.Records {
+		clear(shared)
+		seen := make(map[string]struct{})
+		for _, w := range tok.Tokens(a.Value(i, colA)) {
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			for _, j := range index[w] {
+				shared[j]++
+			}
+		}
+		for j, n := range shared {
+			if n >= minShared {
+				pairs = append(pairs, table.Pair{A: int32(i), B: j})
+			}
+		}
+	}
+	return Normalize(pairs), nil
+}
+
+// SortedNeighborhood blocks with the classic sorted-neighborhood
+// method: records of both tables are merged, sorted by the value of
+// Attr, and a window of size Window slides over the sorted list; every
+// A/B record pair inside a window becomes a candidate.
+type SortedNeighborhood struct {
+	Attr string
+	// Window is the sliding window size over the merged sorted list;
+	// 0 means 5.
+	Window int
+}
+
+// Name implements Blocker.
+func (s SortedNeighborhood) Name() string {
+	return fmt.Sprintf("sorted_neighborhood(%s,w=%d)", s.Attr, s.windowSize())
+}
+
+func (s SortedNeighborhood) windowSize() int {
+	if s.Window <= 0 {
+		return 5
+	}
+	return s.Window
+}
+
+// Pairs implements Blocker.
+func (s SortedNeighborhood) Pairs(a, b *table.Table) ([]table.Pair, error) {
+	colA, ok := a.AttrIndex(s.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", a.Name, s.Attr)
+	}
+	colB, ok := b.AttrIndex(s.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, s.Attr)
+	}
+	type entry struct {
+		key   string
+		idx   int32
+		fromA bool
+	}
+	merged := make([]entry, 0, a.Len()+b.Len())
+	for i := range a.Records {
+		merged = append(merged, entry{key: a.Value(i, colA), idx: int32(i), fromA: true})
+	}
+	for j := range b.Records {
+		merged = append(merged, entry{key: b.Value(j, colB), idx: int32(j)})
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	w := s.windowSize()
+	var pairs []table.Pair
+	for i := range merged {
+		hi := i + w
+		if hi > len(merged) {
+			hi = len(merged)
+		}
+		for j := i + 1; j < hi; j++ {
+			x, y := merged[i], merged[j]
+			switch {
+			case x.fromA && !y.fromA:
+				pairs = append(pairs, table.Pair{A: x.idx, B: y.idx})
+			case !x.fromA && y.fromA:
+				pairs = append(pairs, table.Pair{A: y.idx, B: x.idx})
+			}
+		}
+	}
+	return Normalize(pairs), nil
+}
+
+// Union combines the candidate sets of several blockers.
+type Union []Blocker
+
+// Name implements Blocker.
+func (u Union) Name() string {
+	s := "union("
+	for i, b := range u {
+		if i > 0 {
+			s += ","
+		}
+		s += b.Name()
+	}
+	return s + ")"
+}
+
+// Pairs implements Blocker.
+func (u Union) Pairs(a, b *table.Table) ([]table.Pair, error) {
+	var all []table.Pair
+	for _, blk := range u {
+		p, err := blk.Pairs(a, b)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, p...)
+	}
+	return Normalize(all), nil
+}
+
+// Normalize sorts pairs by (A,B) and removes duplicates in place.
+func Normalize(pairs []table.Pair) []table.Pair {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	out := pairs[:0]
+	for i, p := range pairs {
+		if i > 0 && p == pairs[i-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Recall returns the fraction of gold matching pairs retained by the
+// candidate set — the blocking quality metric.
+func Recall(pairs []table.Pair, gold map[uint64]bool) float64 {
+	if len(gold) == 0 {
+		return 1
+	}
+	kept := 0
+	for _, p := range pairs {
+		if gold[p.PairKey()] {
+			kept++
+		}
+	}
+	return float64(kept) / float64(len(gold))
+}

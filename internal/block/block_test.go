@@ -1,0 +1,222 @@
+package block
+
+import (
+	"fmt"
+	"testing"
+
+	"rulematch/internal/table"
+)
+
+func twoTables(t *testing.T) (*table.Table, *table.Table) {
+	t.Helper()
+	a := table.MustNew("A", []string{"category", "title"})
+	b := table.MustNew("B", []string{"category", "title"})
+	rowsA := [][]string{
+		{"laptops", "sony vaio 13"},
+		{"laptops", "dell xps 15"},
+		{"cameras", "canon eos r5"},
+		{"", "mystery item"},
+	}
+	rowsB := [][]string{
+		{"laptops", "sony vaio laptop"},
+		{"cameras", "canon eos camera"},
+		{"cameras", "nikon z6"},
+		{"printers", "hp laserjet"},
+		{"", "another mystery"},
+	}
+	for i, r := range rowsA {
+		a.Append(fmt.Sprintf("a%d", i), r...)
+	}
+	for i, r := range rowsB {
+		b.Append(fmt.Sprintf("b%d", i), r...)
+	}
+	return a, b
+}
+
+func TestAttrEquivalence(t *testing.T) {
+	a, b := twoTables(t)
+	pairs, err := AttrEquivalence{Attr: "category"}.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// laptops: a0,a1 × b0 = 2; cameras: a2 × b1,b2 = 2. Empty keys drop.
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	want := []table.Pair{{A: 0, B: 0}, {A: 1, B: 0}, {A: 2, B: 1}, {A: 2, B: 2}}
+	for i, p := range want {
+		if pairs[i] != p {
+			t.Errorf("pairs[%d] = %v, want %v", i, pairs[i], p)
+		}
+	}
+}
+
+func TestAttrEquivalenceUnknownAttr(t *testing.T) {
+	a, b := twoTables(t)
+	if _, err := (AttrEquivalence{Attr: "zip"}).Pairs(a, b); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestTokenOverlap(t *testing.T) {
+	a, b := twoTables(t)
+	pairs, err := TokenOverlap{Attr: "title", MinShared: 2}.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared >= 2 tokens: (sony vaio 13, sony vaio laptop) and
+	// (canon eos r5, canon eos camera).
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0] != (table.Pair{A: 0, B: 0}) || pairs[1] != (table.Pair{A: 2, B: 1}) {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestTokenOverlapMinSharedOne(t *testing.T) {
+	a, b := twoTables(t)
+	pairs, err := TokenOverlap{Attr: "title"}.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared token suffices: mystery items now pair too.
+	found := false
+	for _, p := range pairs {
+		if p == (table.Pair{A: 3, B: 4}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mystery pair missing from %v", pairs)
+	}
+}
+
+func TestTokenOverlapMaxTokenFreq(t *testing.T) {
+	a := table.MustNew("A", []string{"t"})
+	b := table.MustNew("B", []string{"t"})
+	a.Append("a0", "the unique")
+	for i := 0; i < 10; i++ {
+		b.Append(fmt.Sprintf("b%d", i), "the common")
+	}
+	b.Append("b10", "unique thing")
+	pairs, err := TokenOverlap{Attr: "t", MaxTokenFreq: 5}.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the" posting (10 records) is dropped; only "unique" joins.
+	if len(pairs) != 1 || pairs[0] != (table.Pair{A: 0, B: 10}) {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := twoTables(t)
+	u := Union{AttrEquivalence{Attr: "category"}, TokenOverlap{Attr: "title", MinShared: 2}}
+	pairs, err := u.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AttrEquivalence gives 4, TokenOverlap gives 2, both overlap fully
+	// with the equivalence set here.
+	if len(pairs) != 4 {
+		t.Errorf("union pairs = %v", pairs)
+	}
+	if u.Name() == "" {
+		t.Error("empty union name")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	in := []table.Pair{{A: 2, B: 1}, {A: 1, B: 5}, {A: 2, B: 1}, {A: 1, B: 2}}
+	out := Normalize(in)
+	if len(out) != 3 {
+		t.Fatalf("normalized = %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		prev, cur := out[i-1], out[i]
+		if prev.A > cur.A || (prev.A == cur.A && prev.B >= cur.B) {
+			t.Errorf("not sorted/deduped: %v", out)
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	pairs := []table.Pair{{A: 0, B: 0}, {A: 1, B: 1}}
+	gold := map[uint64]bool{
+		(table.Pair{A: 0, B: 0}).PairKey(): true,
+		(table.Pair{A: 5, B: 5}).PairKey(): true,
+	}
+	if got := Recall(pairs, gold); got != 0.5 {
+		t.Errorf("recall = %v, want 0.5", got)
+	}
+	if got := Recall(pairs, nil); got != 1 {
+		t.Errorf("recall with no gold = %v, want 1", got)
+	}
+}
+
+func TestSortedNeighborhood(t *testing.T) {
+	a := table.MustNew("A", []string{"name"})
+	b := table.MustNew("B", []string{"name"})
+	// Sorted merge: alice(A), alicia(B), bob(A), bobby(B), zed(B).
+	a.Append("a0", "alice")
+	a.Append("a1", "bob")
+	b.Append("b0", "alicia")
+	b.Append("b1", "bobby")
+	b.Append("b2", "zed")
+	pairs, err := SortedNeighborhood{Attr: "name", Window: 2}.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 2: adjacent sorted entries only.
+	want := []table.Pair{{A: 0, B: 0}, {A: 1, B: 0}, {A: 1, B: 1}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Errorf("pairs[%d] = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+	// Wider window reaches zed from bobby.
+	pairs, err = SortedNeighborhood{Attr: "name", Window: 3}.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pairs {
+		if p == (table.Pair{A: 1, B: 2}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("window 3 missing (a1,b2): %v", pairs)
+	}
+	if _, err := (SortedNeighborhood{Attr: "nope"}).Pairs(a, b); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if got := (SortedNeighborhood{Attr: "name"}).Name(); got != "sorted_neighborhood(name,w=5)" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestSortedNeighborhoodNoSameTablePairs(t *testing.T) {
+	a := table.MustNew("A", []string{"k"})
+	b := table.MustNew("B", []string{"k"})
+	for i := 0; i < 10; i++ {
+		a.Append(fmt.Sprintf("a%d", i), fmt.Sprintf("key%02d", i))
+		b.Append(fmt.Sprintf("b%d", i), fmt.Sprintf("key%02d", i))
+	}
+	pairs, err := SortedNeighborhood{Attr: "k", Window: 4}.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if int(p.A) >= a.Len() || int(p.B) >= b.Len() {
+			t.Fatalf("pair %v out of table ranges", p)
+		}
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no pairs from interleaved keys")
+	}
+}

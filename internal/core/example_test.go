@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rulematch/internal/core"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+func ExampleMatcher_Match() {
+	a := table.MustNew("A", []string{"name"})
+	b := table.MustNew("B", []string{"name"})
+	a.Append("a1", "Matthew Richardson")
+	b.Append("b1", "Matt Richardson")
+	b.Append("b2", "Someone Else")
+
+	f, _ := rule.ParseFunction("rule r1: jaro_winkler(name, name) >= 0.9")
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		panic(err)
+	}
+	pairs := []table.Pair{{A: 0, B: 0}, {A: 0, B: 1}}
+	m := core.NewMatcher(c, pairs) // early exit + dynamic memoing
+	st := m.Match()
+	for pi, p := range pairs {
+		fmt.Printf("%s ~ %s: %v\n", a.Records[p.A].ID, b.Records[p.B].ID, st.Matched.Get(pi))
+	}
+	fmt.Println("feature computations:", m.Stats.FeatureComputes)
+	// Output:
+	// a1 ~ b1: true
+	// a1 ~ b2: false
+	// feature computations: 2
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"rulematch/internal/bitmap"
+)
+
+// Memo stores computed feature values per (feature, pair). It is the
+// "dynamic memoing" store of Algorithm 4 and the precomputed store of
+// Algorithm 2; the incremental matcher keeps it alive across runs.
+type Memo interface {
+	// Get returns the memoized value of feature fi for pair pi.
+	Get(fi, pi int) (float64, bool)
+	// Put stores the value of feature fi for pair pi.
+	Put(fi, pi int, v float64)
+	// Has reports whether the value is present without reading it.
+	Has(fi, pi int) bool
+	// Bytes returns the approximate memory footprint.
+	Bytes() int64
+	// Entries returns the number of stored values.
+	Entries() int64
+}
+
+// ArrayMemo is the paper's dense two-dimensional array layout (§7.4):
+// one float64 row per feature, lazily allocated, plus a presence bitmap.
+// Lookups are O(1) with no hashing; memory is numFeatures × numPairs
+// once a feature row is touched.
+type ArrayMemo struct {
+	numPairs int
+	vals     [][]float64
+	present  []*bitmap.Bits
+	entries  int64
+}
+
+// NewArrayMemo creates an array memo for numPairs candidate pairs.
+func NewArrayMemo(numPairs int) *ArrayMemo {
+	return &ArrayMemo{numPairs: numPairs}
+}
+
+func (m *ArrayMemo) grow(fi int) {
+	for len(m.vals) <= fi {
+		m.vals = append(m.vals, nil)
+		m.present = append(m.present, nil)
+	}
+	if m.vals[fi] == nil {
+		m.vals[fi] = make([]float64, m.numPairs)
+		m.present[fi] = bitmap.New(m.numPairs)
+	}
+}
+
+// Get implements Memo.
+func (m *ArrayMemo) Get(fi, pi int) (float64, bool) {
+	if fi >= len(m.vals) || m.vals[fi] == nil || !m.present[fi].Get(pi) {
+		return 0, false
+	}
+	return m.vals[fi][pi], true
+}
+
+// Has implements Memo.
+func (m *ArrayMemo) Has(fi, pi int) bool {
+	return fi < len(m.vals) && m.vals[fi] != nil && m.present[fi].Get(pi)
+}
+
+// Put implements Memo.
+func (m *ArrayMemo) Put(fi, pi int, v float64) {
+	m.grow(fi)
+	if !m.present[fi].Get(pi) {
+		m.entries++
+		m.present[fi].Set(pi)
+	}
+	m.vals[fi][pi] = v
+}
+
+// Bytes implements Memo.
+func (m *ArrayMemo) Bytes() int64 {
+	var b int64
+	for fi := range m.vals {
+		if m.vals[fi] != nil {
+			b += int64(len(m.vals[fi]))*8 + m.present[fi].Bytes()
+		}
+	}
+	return b
+}
+
+// Entries implements Memo.
+func (m *ArrayMemo) Entries() int64 { return m.entries }
+
+// HashMemo stores values in a hash map keyed by (feature, pair). It uses
+// memory proportional to the number of *computed* values — the
+// alternative §7.4 suggests when the dense array does not fit — at the
+// price of costlier lookups.
+type HashMemo struct {
+	m map[uint64]float64
+}
+
+// NewHashMemo creates an empty hash memo.
+func NewHashMemo() *HashMemo {
+	return &HashMemo{m: make(map[uint64]float64)}
+}
+
+func hashKey(fi, pi int) uint64 { return uint64(uint32(fi))<<32 | uint64(uint32(pi)) }
+
+// Get implements Memo.
+func (m *HashMemo) Get(fi, pi int) (float64, bool) {
+	v, ok := m.m[hashKey(fi, pi)]
+	return v, ok
+}
+
+// Has implements Memo.
+func (m *HashMemo) Has(fi, pi int) bool {
+	_, ok := m.m[hashKey(fi, pi)]
+	return ok
+}
+
+// Put implements Memo.
+func (m *HashMemo) Put(fi, pi int, v float64) { m.m[hashKey(fi, pi)] = v }
+
+// Bytes implements Memo. Map overhead is approximated at 2x payload.
+func (m *HashMemo) Bytes() int64 { return int64(len(m.m)) * (8 + 8) * 2 }
+
+// Entries implements Memo.
+func (m *HashMemo) Entries() int64 { return int64(len(m.m)) }

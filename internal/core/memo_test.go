@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testMemoBasics(t *testing.T, m Memo) {
+	t.Helper()
+	if _, ok := m.Get(0, 0); ok {
+		t.Error("fresh memo has a value")
+	}
+	m.Put(2, 7, 0.25)
+	if v, ok := m.Get(2, 7); !ok || v != 0.25 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if !m.Has(2, 7) || m.Has(2, 8) || m.Has(3, 7) {
+		t.Error("Has wrong")
+	}
+	if m.Entries() != 1 {
+		t.Errorf("entries = %d", m.Entries())
+	}
+	m.Put(2, 7, 0.5) // overwrite does not double count
+	if m.Entries() != 1 {
+		t.Errorf("entries after overwrite = %d", m.Entries())
+	}
+	if v, _ := m.Get(2, 7); v != 0.5 {
+		t.Errorf("overwritten value = %v", v)
+	}
+	// Zero values are distinguishable from absence.
+	m.Put(0, 0, 0)
+	if v, ok := m.Get(0, 0); !ok || v != 0 {
+		t.Error("stored zero not found")
+	}
+	if m.Bytes() <= 0 {
+		t.Error("Bytes not positive after puts")
+	}
+}
+
+func TestArrayMemo(t *testing.T) { testMemoBasics(t, NewArrayMemo(16)) }
+func TestHashMemo(t *testing.T)  { testMemoBasics(t, NewHashMemo()) }
+
+func TestArrayMemoLazyRows(t *testing.T) {
+	m := NewArrayMemo(1000)
+	if m.Bytes() != 0 {
+		t.Error("fresh array memo claims memory")
+	}
+	m.Put(5, 0, 1)
+	one := m.Bytes()
+	m.Put(5, 999, 1)
+	if m.Bytes() != one {
+		t.Error("second put in same row grew memory")
+	}
+	m.Put(6, 0, 1)
+	if m.Bytes() != 2*one {
+		t.Errorf("two rows = %d bytes, want %d", m.Bytes(), 2*one)
+	}
+}
+
+// Property: both memo implementations agree with a reference map.
+func TestQuickMemosAgree(t *testing.T) {
+	prop := func(seed int64, ops []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		am := NewArrayMemo(64)
+		hm := NewHashMemo()
+		ref := make(map[[2]int]float64)
+		for _, op := range ops {
+			fi, pi := rng.Intn(8), rng.Intn(64)
+			if op%2 == 0 {
+				v := rng.Float64()
+				am.Put(fi, pi, v)
+				hm.Put(fi, pi, v)
+				ref[[2]int{fi, pi}] = v
+			} else {
+				want, wantOK := ref[[2]int{fi, pi}]
+				av, aok := am.Get(fi, pi)
+				hv, hok := hm.Get(fi, pi)
+				if aok != wantOK || hok != wantOK {
+					return false
+				}
+				if wantOK && (av != want || hv != want) {
+					return false
+				}
+			}
+		}
+		return am.Entries() == int64(len(ref)) && hm.Entries() == int64(len(ref))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

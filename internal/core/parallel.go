@@ -1,0 +1,71 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"rulematch/internal/bitmap"
+)
+
+// MatchParallel evaluates the function over the pairs with early exit
+// and dynamic memoing across `workers` goroutines (0 = GOMAXPROCS).
+// Because the memo is keyed per (feature, pair), sharding the pair set
+// loses no memo hits; each worker owns a private memo over its shard.
+// The result is equivalent to Match but returns only the match marks —
+// incremental sessions need the single-threaded Match, whose
+// materialized state assumes one evaluation order.
+//
+// The Compiled function must not be mutated during the call. The
+// matcher's Stats are incremented by the aggregate work of all workers;
+// its own Memo is not consulted or filled.
+func (m *Matcher) MatchParallel(workers int) *bitmap.Bits {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(m.Pairs)
+	if workers > n {
+		workers = n
+	}
+	matched := bitmap.New(n)
+	if n == 0 {
+		return matched
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := &Matcher{
+				C:               m.C,
+				Pairs:           m.Pairs[lo:hi],
+				Memo:            NewArrayMemo(hi - lo),
+				CheckCacheFirst: m.CheckCacheFirst,
+				ValueCache:      m.ValueCache,
+			}
+			bits := make([]bool, hi-lo)
+			for pi := range local.Pairs {
+				bits[pi] = local.EvalPair(pi, nil)
+			}
+			mu.Lock()
+			for pi, ok := range bits {
+				if ok {
+					matched.Set(lo + pi)
+				}
+			}
+			m.Stats.Add(local.Stats)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return matched
+}

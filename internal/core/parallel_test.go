@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+func TestMatchParallelAgreesWithSerial(t *testing.T) {
+	c, pairs := mustCompile(t, testFunc)
+	serial := NewMatcher(c, pairs)
+	want := serial.Match()
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		m := NewMatcher(c, pairs)
+		got := m.MatchParallel(workers)
+		for pi := range pairs {
+			if got.Get(pi) != want.Matched.Get(pi) {
+				t.Fatalf("workers=%d pair %d: parallel=%v serial=%v",
+					workers, pi, got.Get(pi), want.Matched.Get(pi))
+			}
+		}
+		if m.Stats.PairEvals != int64(len(pairs)) {
+			t.Errorf("workers=%d: %d pair evals, want %d", workers, m.Stats.PairEvals, len(pairs))
+		}
+	}
+}
+
+func TestMatchParallelEmptyAndZeroWorkers(t *testing.T) {
+	c, pairs := mustCompile(t, testFunc)
+	m := &Matcher{C: c, Pairs: nil}
+	if got := m.MatchParallel(4); got.Count() != 0 {
+		t.Errorf("empty pairs matched %d", got.Count())
+	}
+	m2 := NewMatcher(c, pairs)
+	got := m2.MatchParallel(0) // 0 = GOMAXPROCS
+	want := (&Matcher{C: c, Pairs: pairs}).MatchRudimentary()
+	for pi := range pairs {
+		if got.Get(pi) != want.Get(pi) {
+			t.Fatalf("default-workers parallel disagrees at pair %d", pi)
+		}
+	}
+}
+
+// dupFixture builds tables where attribute values repeat across
+// records, so distinct pairs present identical value combinations.
+func dupFixture(t *testing.T) (*Compiled, []table.Pair) {
+	t.Helper()
+	a := table.MustNew("A", []string{"name", "city"})
+	b := table.MustNew("B", []string{"name", "city"})
+	for i, row := range [][]string{
+		{"ann lee", "madison"}, {"bo kim", "madison"}, {"cy wu", "chicago"},
+	} {
+		a.Append(fmt.Sprintf("a%d", i), row...)
+	}
+	for i, row := range [][]string{
+		{"ann lee", "madison"}, {"ann leigh", "madison"},
+		{"bo kim", "chicago"}, {"dee jones", "chicago"},
+	} {
+		b.Append(fmt.Sprintf("b%d", i), row...)
+	}
+	f, err := rule.ParseFunction(`
+rule r1: jaro_winkler(name, name) >= 0.9 and exact_match(city, city) >= 1
+rule r2: trigram(city, city) >= 0.4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []table.Pair
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			pairs = append(pairs, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	return c, pairs
+}
+
+func TestValueCacheAgreesAndSavesWork(t *testing.T) {
+	// Duplicate attribute values across pairs: the value cache should
+	// collapse their similarity computations.
+	c, pairs := dupFixture(t)
+	base := NewMatcher(c, pairs)
+	want := base.Match()
+
+	vc := NewMatcher(c, pairs)
+	vc.ValueCache = true
+	got := vc.Match()
+	for pi := range pairs {
+		if got.Matched.Get(pi) != want.Matched.Get(pi) {
+			t.Fatalf("value cache changed outcome at pair %d", pi)
+		}
+	}
+	if vc.Stats.ValueCacheHits == 0 {
+		t.Error("no value-cache hits despite repeated attribute values")
+	}
+	if vc.Stats.FeatureComputes >= base.Stats.FeatureComputes {
+		t.Errorf("value cache computed %d features, plain memo %d",
+			vc.Stats.FeatureComputes, base.Stats.FeatureComputes)
+	}
+	// Total resolutions must balance: computes + value hits with cache
+	// equal computes without it.
+	if vc.Stats.FeatureComputes+vc.Stats.ValueCacheHits != base.Stats.FeatureComputes {
+		t.Errorf("compute accounting off: %d + %d != %d",
+			vc.Stats.FeatureComputes, vc.Stats.ValueCacheHits, base.Stats.FeatureComputes)
+	}
+}
+
+func TestValueCacheWithPrecompute(t *testing.T) {
+	c, pairs := dupFixture(t)
+	m := NewMatcher(c, pairs)
+	m.ValueCache = true
+	var feats []int
+	for fi := range c.Features {
+		feats = append(feats, fi)
+	}
+	m.Precompute(feats)
+	if m.Stats.ValueCacheHits == 0 {
+		t.Error("precompute ignored the value cache")
+	}
+	want := (&Matcher{C: c, Pairs: pairs}).MatchRudimentary()
+	st := m.Match()
+	for pi := range pairs {
+		if st.Matched.Get(pi) != want.Get(pi) {
+			t.Fatalf("precompute+value-cache disagrees at pair %d", pi)
+		}
+	}
+}
+
+func TestProfileCacheAgreesAndHelps(t *testing.T) {
+	c, pairs := mustCompile(t, testFunc)
+	want := (&Matcher{C: c, Pairs: pairs}).MatchRudimentary()
+	if c.ProfileCacheEnabled() {
+		t.Fatal("cache on before enabling")
+	}
+	c.EnableProfileCache()
+	c.EnableProfileCache() // idempotent
+	if !c.ProfileCacheEnabled() || c.ProfileEntries() == 0 {
+		t.Fatal("profile cache not built")
+	}
+	m := NewMatcher(c, pairs)
+	st := m.Match()
+	for pi := range pairs {
+		if st.Matched.Get(pi) != want.Get(pi) {
+			t.Fatalf("profile cache changed outcome at pair %d", pi)
+		}
+	}
+	// Features bound after enabling get profiled too.
+	fi, err := c.BindFeature(rule.Feature{Sim: "jaccard_3gram", AttrA: "name", AttrB: "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.ProfileEntries()
+	if before == 0 {
+		t.Fatal("no entries")
+	}
+	_ = fi
+	// Parallel matching over the shared read-only cache.
+	mp := NewMatcher(c, pairs)
+	got := mp.MatchParallel(4)
+	for pi := range pairs {
+		if got.Get(pi) != want.Get(pi) {
+			t.Fatalf("parallel+profiles disagrees at pair %d", pi)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"rulematch/internal/sim"
+)
+
+// Profile caching: similarity functions implementing sim.Profiler can
+// precompute per-record profiles (token sets, count vectors, TF-IDF
+// weights). A record participates in many candidate pairs, so caching
+// its profile amortizes tokenization and vector construction across all
+// of them. Profiles are built eagerly when the cache is enabled (and
+// for features bound afterwards), so matching — including MatchParallel
+// — only reads them.
+
+// featureProfiles holds the cached per-record profiles of one bound
+// feature: [0] indexes table A records, [1] table B records. nil when
+// the feature's similarity does not implement sim.Profiler.
+type featureProfiles struct {
+	fn   sim.Profiler
+	side [2][]any
+}
+
+// EnableProfileCache precomputes per-record profiles for every bound
+// feature whose similarity supports it. Features bound later (e.g. by
+// incremental edits) are profiled at bind time. Idempotent.
+func (c *Compiled) EnableProfileCache() {
+	if c.profilesOn {
+		return
+	}
+	c.profilesOn = true
+	for fi := range c.Features {
+		c.buildProfiles(fi)
+	}
+}
+
+// ProfileCacheEnabled reports whether profile caching is on.
+func (c *Compiled) ProfileCacheEnabled() bool { return c.profilesOn }
+
+// buildProfiles computes the profiles of feature fi for every record of
+// both tables, if its similarity supports profiling.
+func (c *Compiled) buildProfiles(fi int) {
+	for len(c.profiles) <= fi {
+		c.profiles = append(c.profiles, nil)
+	}
+	f := &c.Features[fi]
+	pr, ok := f.Fn.(sim.Profiler)
+	if !ok {
+		return
+	}
+	fp := &featureProfiles{fn: pr}
+	fp.side[0] = make([]any, c.A.Len())
+	for i := range c.A.Records {
+		fp.side[0][i] = pr.Profile(c.A.Value(i, f.ColA))
+	}
+	fp.side[1] = make([]any, c.B.Len())
+	for j := range c.B.Records {
+		fp.side[1][j] = pr.Profile(c.B.Value(j, f.ColB))
+	}
+	c.profiles[fi] = fp
+}
+
+// ProfileMemoryBytes roughly estimates the profile cache footprint by
+// entry count (profiles are heterogeneous; this reports entries, not
+// bytes — callers wanting bytes should measure with runtime stats).
+func (c *Compiled) ProfileEntries() int {
+	n := 0
+	for _, fp := range c.profiles {
+		if fp != nil {
+			n += len(fp.side[0]) + len(fp.side[1])
+		}
+	}
+	return n
+}

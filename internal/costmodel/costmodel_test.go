@@ -1,0 +1,210 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rulematch/internal/core"
+	"rulematch/internal/estimate"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// compileSrc compiles a function over a trivial two-attribute fixture;
+// tests drive the model with injected estimates, not measured ones.
+func compileSrc(t *testing.T, src string) *core.Compiled {
+	t.Helper()
+	a := table.MustNew("A", []string{"x", "y"})
+	b := table.MustNew("B", []string{"x", "y"})
+	a.Append("a0", "foo", "bar")
+	b.Append("b0", "foo", "baz")
+	f, err := rule.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// est builds deterministic estimates: f1 = jaro(x,x) passes >=0.5 on
+// half the sample, f2 = levenshtein(y,y) likewise but independently.
+func est(delta float64) *estimate.Estimates {
+	return estimate.FromValues(map[string][]float64{
+		"jaro(x,x)":        {1, 1, 0, 0},
+		"levenshtein(y,y)": {1, 0, 1, 0},
+	}, map[string]float64{
+		"jaro(x,x)":        10,
+		"levenshtein(y,y)": 6,
+	}, delta)
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestCostRudimentary(t *testing.T) {
+	c := compileSrc(t, "rule r1: jaro(x, x) >= 0.5 and levenshtein(y, y) >= 0.5\nrule r2: jaro(x, x) >= 0.9")
+	m := New(c, est(1))
+	// r1: 10+6, r2: 10.
+	approx(t, "C1", m.CostRudimentary(), 26)
+}
+
+func TestCostPrecompute(t *testing.T) {
+	c := compileSrc(t, "rule r1: jaro(x, x) >= 0.5 and levenshtein(y, y) >= 0.5\nrule r2: jaro(x, x) >= 0.9")
+	m := New(c, est(1))
+	// Both features once (16) plus 3 predicate lookups (3).
+	approx(t, "C2", m.CostPrecompute([]int{0, 1}), 19)
+}
+
+func TestCostEarlyExitSingleRule(t *testing.T) {
+	c := compileSrc(t, "rule r1: jaro(x, x) >= 0.5 and levenshtein(y, y) >= 0.5")
+	m := New(c, est(1))
+	// cost(p1) + sel(p1)*cost(p2) = 10 + 0.5*6.
+	approx(t, "C3", m.CostEarlyExit(), 13)
+	// Single rule, no repeats: memoing changes nothing.
+	approx(t, "C4", m.CostDM(), 13)
+}
+
+func TestCostSharedFeatureMemoing(t *testing.T) {
+	c := compileSrc(t, `rule r1: jaro(x, x) >= 0.5
+rule r2: jaro(x, x) >= 0.1 and levenshtein(y, y) >= 0.5`)
+	m := New(c, est(1))
+	// Early exit without memo:
+	//   r1: 10. reach(r2) = P(r1 false) = 0.5.
+	//   r2: jaro again (10) + sel(jaro>=0.1 | sample)=0.5... prefix over
+	//   the shared sample: jaro>=0.1 passes rows {0,1}, so sel=0.5.
+	approx(t, "C3", m.CostEarlyExit(), 10+0.5*(10+0.5*6))
+	// With memoing, after r1 jaro is always cached (sel(prev)=1):
+	//   r2 pays δ=1 for jaro, then 0.5*6 for levenshtein.
+	approx(t, "C4", m.CostDM(), 10+0.5*(1+0.5*6))
+	if m.CostDM() >= m.CostEarlyExit() {
+		t.Error("memoing did not reduce expected cost on shared features")
+	}
+}
+
+func TestRuleSelAndReach(t *testing.T) {
+	c := compileSrc(t, `rule r1: jaro(x, x) >= 0.5 and levenshtein(y, y) >= 0.5
+rule r2: levenshtein(y, y) >= 0.5`)
+	m := New(c, est(1))
+	// Sample rows passing r1: row 0 only -> 0.25.
+	approx(t, "sel(r1)", m.RuleSel(&c.Rules[0]), 0.25)
+	approx(t, "sel(r2)", m.RuleSel(&c.Rules[1]), 0.5)
+	// reach(r2) = P(r1 false) = 0.75 (empirical, not independence).
+	approx(t, "reach(r2)", m.ruleReach(1), 0.75)
+}
+
+func TestAlphaRecursionVariants(t *testing.T) {
+	c := compileSrc(t, `rule r1: levenshtein(y, y) >= 0.5
+rule r2: jaro(x, x) >= 0.5`)
+	// Reach-aware: alpha(jaro) after two rules = P(r1 false) = 0.5.
+	m := New(c, est(1))
+	alpha := m.Alpha(2)
+	fi := c.FeatureIndex("jaro(x,x)")
+	approx(t, "alpha reach-aware", alpha[fi], 0.5)
+	// Paper recursion conditions on execution: alpha = 1.
+	mp := New(c, est(1))
+	mp.PaperAlpha = true
+	approx(t, "alpha paper", mp.Alpha(2)[fi], 1)
+	// Feature of r1 was computed unconditionally.
+	approx(t, "alpha first rule", alpha[c.FeatureIndex("levenshtein(y,y)")], 1)
+}
+
+func TestAlphaWithinRulePosition(t *testing.T) {
+	// jaro appears after levenshtein in the same rule: it is only
+	// computed when levenshtein passes (sel 0.5).
+	c := compileSrc(t, "rule r1: levenshtein(y, y) >= 0.5 and jaro(x, x) >= 0.5")
+	m := New(c, est(1))
+	alpha := m.Alpha(1)
+	approx(t, "alpha gated feature", alpha[c.FeatureIndex("jaro(x,x)")], 0.5)
+}
+
+func TestContribution(t *testing.T) {
+	c := compileSrc(t, `rule r1: jaro(x, x) >= 0.5
+rule r2: jaro(x, x) >= 0.1 and levenshtein(y, y) >= 0.5
+rule r3: levenshtein(y, y) >= 0.9`)
+	m := New(c, est(1))
+	alpha := make([]float64, len(c.Features))
+	// Executing r1 caches jaro with probability 1. r2 references jaro
+	// at prefix position 0 (sel(prev)=1). Saved = 1 * 1 * (10-1) = 9.
+	got := m.Contribution(&c.Rules[1], &c.Rules[0], alpha)
+	approx(t, "contribution(r2, r1)", got, 9)
+	// r3 shares no feature with r1: zero contribution.
+	approx(t, "contribution(r3, r1)", m.Contribution(&c.Rules[2], &c.Rules[0], alpha), 0)
+	// Reduction over both others.
+	red := m.Reduction(&c.Rules[0], []*core.CompiledRule{&c.Rules[0], &c.Rules[1], &c.Rules[2]}, alpha)
+	approx(t, "reduction(r1)", red, 9)
+}
+
+func TestContributionShrinksWithExistingCache(t *testing.T) {
+	c := compileSrc(t, `rule r1: jaro(x, x) >= 0.5
+rule r2: jaro(x, x) >= 0.1`)
+	m := New(c, est(1))
+	empty := make([]float64, len(c.Features))
+	half := make([]float64, len(c.Features))
+	half[c.FeatureIndex("jaro(x,x)")] = 0.5
+	c1 := m.Contribution(&c.Rules[1], &c.Rules[0], empty)
+	c2 := m.Contribution(&c.Rules[1], &c.Rules[0], half)
+	if c2 >= c1 {
+		t.Errorf("contribution with warmer cache %v not < %v", c2, c1)
+	}
+}
+
+// The model's expected feature-compute count (unit costs, zero δ)
+// tracks the engine's actual count when the estimation sample is the
+// full pair set and rules use disjoint, independent features.
+func TestModelPredictsComputeCounts(t *testing.T) {
+	a := table.MustNew("A", []string{"x", "y"})
+	b := table.MustNew("B", []string{"x", "y"})
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i := 0; i < len(words); i++ {
+		a.Append(fmt.Sprintf("a%d", i), words[i], words[(i+1)%len(words)])
+		b.Append(fmt.Sprintf("b%d", i), words[(i+2)%len(words)], words[i])
+	}
+	var pairs []table.Pair
+	for i := 0; i < len(words); i++ {
+		for j := 0; j < len(words); j++ {
+			pairs = append(pairs, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	f, err := rule.ParseFunction(`rule r1: jaro(x, x) >= 0.6
+rule r2: levenshtein(y, y) >= 0.4 and jaro(x, x) >= 0.3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-population "sample": values for every pair, unit costs.
+	vals := make(map[string][]float64)
+	costs := make(map[string]float64)
+	for fi := range c.Features {
+		key := c.Features[fi].Key
+		v := make([]float64, len(pairs))
+		for pi, p := range pairs {
+			v[pi] = c.ComputeFeature(fi, p)
+		}
+		vals[key] = v
+		costs[key] = 1
+	}
+	m := New(c, estimate.FromValues(vals, costs, 0))
+	predicted := m.CostDM() * float64(len(pairs))
+
+	eng := core.NewMatcher(c, pairs)
+	eng.Match()
+	actual := float64(eng.Stats.FeatureComputes)
+	if actual == 0 {
+		t.Fatal("engine computed nothing")
+	}
+	if rel := math.Abs(predicted-actual) / actual; rel > 0.2 {
+		t.Errorf("predicted %v computes, engine did %v (rel err %.2f)", predicted, actual, rel)
+	}
+}

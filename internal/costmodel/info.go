@@ -1,0 +1,191 @@
+package costmodel
+
+import (
+	"rulematch/internal/core"
+)
+
+// RuleInfo caches per-rule quantities that the greedy ordering
+// algorithms query many times: prefix selectivities and first-occurrence
+// flags. Building one is a single pass over the estimation sample;
+// without this cache Algorithm 6 degenerates to O(n³·|sample|) on the
+// paper's 255-rule Products set.
+type RuleInfo struct {
+	R *core.CompiledRule
+	// Prefix[j] = sel(p₁ ∧ … ∧ p_j); Prefix[0] = 1, len = #preds+1.
+	Prefix []float64
+	// First[j] marks the first predicate referencing its feature within
+	// the rule (later references hit the memo for sure).
+	First []bool
+	// Cost[j] is cost(feature of p_j).
+	Cost []float64
+}
+
+// Info computes the cached quantities for one rule.
+func (m *Model) Info(r *core.CompiledRule) *RuleInfo {
+	np := len(r.Preds)
+	info := &RuleInfo{
+		R:      r,
+		Prefix: make([]float64, np+1),
+		First:  make([]bool, np),
+		Cost:   make([]float64, np),
+	}
+	seen := make(map[int]bool, np)
+	for j, p := range r.Preds {
+		info.First[j] = !seen[p.Feat]
+		seen[p.Feat] = true
+		info.Cost[j] = m.featCost(p.Feat)
+	}
+	// Static penalty for unmeasured features (ConjSel semantics: each
+	// unmeasured predicate contributes an independent factor 0.5).
+	pen := make([]float64, np+1)
+	pen[0] = 1
+	measured := make([][]float64, np)
+	n := 0
+	for j, p := range r.Preds {
+		vals := m.Est.FeatureValues(m.keyOf(p.Feat))
+		measured[j] = vals
+		pen[j+1] = pen[j]
+		if vals == nil {
+			pen[j+1] *= 0.5
+		} else if n == 0 {
+			n = len(vals)
+		}
+	}
+	if n == 0 {
+		// Nothing measured: pure penalty model.
+		copy(info.Prefix, pen)
+		return info
+	}
+	counts := make([]int, np+1)
+	for i := 0; i < n; i++ {
+		passed := np
+		for j, p := range r.Preds {
+			if measured[j] == nil || i >= len(measured[j]) {
+				continue // unmeasured: handled by the penalty factor
+			}
+			if !p.Eval(measured[j][i]) {
+				passed = j
+				break
+			}
+		}
+		for j := 0; j <= passed; j++ {
+			counts[j]++
+		}
+	}
+	for j := 0; j <= np; j++ {
+		info.Prefix[j] = pen[j] * float64(counts[j]) / float64(n)
+	}
+	return info
+}
+
+// Infos builds the cache for every current rule.
+func (m *Model) Infos() []*RuleInfo {
+	out := make([]*RuleInfo, len(m.C.Rules))
+	for ri := range m.C.Rules {
+		out[ri] = m.Info(&m.C.Rules[ri])
+	}
+	return out
+}
+
+// InfoCost is RuleCostGivenAlpha over cached quantities.
+func (m *Model) InfoCost(info *RuleInfo, alpha []float64) float64 {
+	var c float64
+	for j, p := range info.R.Preds {
+		sel := info.Prefix[j]
+		var e float64
+		if !info.First[j] {
+			e = m.Est.Delta
+		} else {
+			a := 0.0
+			if alpha != nil {
+				a = alpha[p.Feat]
+			}
+			e = (1-a)*info.Cost[j] + a*m.Est.Delta
+		}
+		c += sel * e
+	}
+	return c
+}
+
+// InfoUpdateAlpha advances memo-presence probabilities after executing
+// the rule, using cached prefixes.
+func (m *Model) InfoUpdateAlpha(info *RuleInfo, alpha []float64, reach float64) {
+	if m.PaperAlpha {
+		reach = 1
+	}
+	for j, p := range info.R.Preds {
+		if !info.First[j] {
+			continue
+		}
+		a := alpha[p.Feat]
+		alpha[p.Feat] = a + (1-a)*reach*info.Prefix[j]
+	}
+}
+
+// InfoDeltas returns, for each feature first referenced by the rule,
+// the memo-presence increase caused by executing it under alpha:
+// Δ(f) = (1-α(f))·sel(prev(f,r)).
+func (m *Model) InfoDeltas(info *RuleInfo, alpha []float64) map[int]float64 {
+	deltas := make(map[int]float64, len(info.R.Preds))
+	for j, p := range info.R.Preds {
+		if !info.First[j] {
+			continue
+		}
+		a := alpha[p.Feat]
+		if d := (1 - a) * info.Prefix[j]; d > 0 {
+			deltas[p.Feat] = d
+		}
+	}
+	return deltas
+}
+
+// InfoContribution computes contribution(r', r) from r's presence
+// deltas, matching Contribution but in O(#preds of r').
+func (m *Model) InfoContribution(rPrime *RuleInfo, deltas map[int]float64) float64 {
+	var saved float64
+	for j, p := range rPrime.R.Preds {
+		if !rPrime.First[j] {
+			continue
+		}
+		d, ok := deltas[p.Feat]
+		if !ok {
+			continue
+		}
+		saved += rPrime.Prefix[j] * d * (rPrime.Cost[j] - m.Est.Delta)
+	}
+	return saved
+}
+
+// ReachSeries returns reach(rᵢ) — the probability that rule i is
+// executed (no earlier rule matched) — for every rule, in one pass over
+// the sample.
+func (m *Model) ReachSeries() []float64 {
+	nRules := len(m.C.Rules)
+	out := make([]float64, nRules)
+	n := m.sampleLen()
+	if n == 0 {
+		// Independence fallback.
+		p := 1.0
+		for ri := range m.C.Rules {
+			out[ri] = p
+			p *= 1 - m.RuleSel(&m.C.Rules[ri])
+		}
+		return out
+	}
+	alive := n
+	matched := make([]bool, n)
+	for ri := range m.C.Rules {
+		out[ri] = float64(alive) / float64(n)
+		r := &m.C.Rules[ri]
+		for i := 0; i < n; i++ {
+			if matched[i] {
+				continue
+			}
+			if m.ruleTrueOnSample(r, i) {
+				matched[i] = true
+				alive--
+			}
+		}
+	}
+	return out
+}

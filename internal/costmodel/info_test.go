@@ -1,0 +1,149 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rulematch/internal/core"
+	"rulematch/internal/estimate"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// randomModel builds a compiled function with random rules over three
+// features and deterministic random sample values, for agreement tests
+// between the cached-info fast path and the legacy reference methods.
+func randomModel(t *testing.T, seed int64) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := table.MustNew("A", []string{"x", "y", "z"})
+	b := table.MustNew("B", []string{"x", "y", "z"})
+	a.Append("a0", "foo", "bar", "baz")
+	b.Append("b0", "foo", "bar", "qux")
+	feats := []rule.Feature{
+		{Sim: "jaro", AttrA: "x", AttrB: "x"},
+		{Sim: "trigram", AttrA: "y", AttrB: "y"},
+		{Sim: "jaccard", AttrA: "z", AttrB: "z"},
+	}
+	var f rule.Function
+	nRules := 2 + rng.Intn(4)
+	for ri := 0; ri < nRules; ri++ {
+		r := rule.Rule{Name: fmt.Sprintf("r%d", ri+1)}
+		for pj := 0; pj < 1+rng.Intn(3); pj++ {
+			op := rule.Ge
+			if rng.Intn(3) == 0 {
+				op = rule.Lt
+			}
+			r.Preds = append(r.Preds, rule.Predicate{
+				Feature:   feats[rng.Intn(len(feats))],
+				Op:        op,
+				Threshold: float64(1+rng.Intn(9)) / 10,
+			})
+		}
+		f.Rules = append(f.Rules, r)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Skip("random contradiction; skip this seed")
+	}
+	vals := make(map[string][]float64)
+	costs := make(map[string]float64)
+	for _, ft := range feats {
+		row := make([]float64, 32)
+		for i := range row {
+			row[i] = float64(rng.Intn(11)) / 10
+		}
+		vals[ft.Key()] = row
+		costs[ft.Key()] = 1 + rng.Float64()*10
+	}
+	return New(c, estimate.FromValues(vals, costs, 0.05))
+}
+
+// The cached-info fast path must agree exactly with the legacy
+// reference implementations across random functions and alphas.
+func TestInfoAgreesWithLegacy(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		m := randomModel(t, seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		alpha := make([]float64, len(m.C.Features))
+		for i := range alpha {
+			alpha[i] = rng.Float64()
+		}
+		for ri := range m.C.Rules {
+			r := &m.C.Rules[ri]
+			info := m.Info(r)
+			// Prefix selectivities match PrefixSel.
+			for j := 0; j <= len(r.Preds); j++ {
+				want := m.PrefixSel(r.Preds, j)
+				if math.Abs(info.Prefix[j]-want) > 1e-12 {
+					t.Fatalf("seed %d rule %d prefix %d: info %v, legacy %v", seed, ri, j, info.Prefix[j], want)
+				}
+			}
+			// Rule cost matches.
+			if got, want := m.InfoCost(info, alpha), m.RuleCostGivenAlpha(r, alpha); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d rule %d: InfoCost %v, legacy %v", seed, ri, got, want)
+			}
+			// Alpha updates match.
+			a1 := append([]float64(nil), alpha...)
+			a2 := append([]float64(nil), alpha...)
+			m.InfoUpdateAlpha(info, a1, 0.7)
+			m.UpdateAlpha(r, a2, 0.7)
+			for fi := range a1 {
+				if math.Abs(a1[fi]-a2[fi]) > 1e-12 {
+					t.Fatalf("seed %d rule %d: alpha update diverges at feature %d: %v vs %v",
+						seed, ri, fi, a1[fi], a2[fi])
+				}
+			}
+			// Contribution matches for every other rule.
+			deltas := m.InfoDeltas(info, alpha)
+			for rj := range m.C.Rules {
+				if rj == ri {
+					continue
+				}
+				rp := &m.C.Rules[rj]
+				got := m.InfoContribution(m.Info(rp), deltas)
+				want := m.Contribution(rp, r, alpha)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("seed %d contribution(%d,%d): info %v, legacy %v", seed, rj, ri, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestReachSeriesMonotoneAndBounded(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := randomModel(t, seed)
+		reach := m.ReachSeries()
+		if len(reach) != len(m.C.Rules) {
+			t.Fatalf("series length %d for %d rules", len(reach), len(m.C.Rules))
+		}
+		if reach[0] != 1 {
+			t.Errorf("seed %d: reach[0] = %v", seed, reach[0])
+		}
+		for i := 1; i < len(reach); i++ {
+			if reach[i] > reach[i-1]+1e-12 || reach[i] < 0 {
+				t.Errorf("seed %d: reach not monotone non-increasing: %v", seed, reach)
+				break
+			}
+		}
+	}
+}
+
+func TestPaperAlphaIgnoresReachInInfoPath(t *testing.T) {
+	m := randomModel(t, 3)
+	m.PaperAlpha = true
+	info := m.Info(&m.C.Rules[0])
+	a1 := make([]float64, len(m.C.Features))
+	a2 := make([]float64, len(m.C.Features))
+	m.InfoUpdateAlpha(info, a1, 0.1) // reach should be overridden to 1
+	m.InfoUpdateAlpha(info, a2, 1.0)
+	for fi := range a1 {
+		if a1[fi] != a2[fi] {
+			t.Fatal("PaperAlpha did not ignore reach in the info path")
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package datagen synthesizes the six Table 2 datasets. Real sources
+// (Walmart/Amazon, Yelp/Foursquare, …) are proprietary; the generator
+// reproduces their *shape* — table sizes, candidate-pair counts after
+// blocking, attribute schemas, and dirty-duplicate structure — with a
+// seeded PRNG, so every experiment is deterministic and self-contained.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rulematch/internal/block"
+	"rulematch/internal/table"
+)
+
+// Config parameterizes one synthetic dataset.
+type Config struct {
+	Domain *Domain
+	Seed   int64
+	// SizeA and SizeB are the table record counts.
+	SizeA, SizeB int
+	// BlockKeys controls how many distinct blocking buckets exist;
+	// expected candidate pairs ≈ SizeA·SizeB/BlockKeys.
+	BlockKeys int
+	// MatchFrac is the fraction of A records with at least one true
+	// match in B.
+	MatchFrac float64
+	// MaxDups bounds duplicates per matched A record (≥1).
+	MaxDups int
+	// Intensity scales perturbation probabilities (1 = default noise).
+	Intensity float64
+}
+
+// Dataset is a generated matching task: two tables, the blocked
+// candidate pairs, and gold labels.
+type Dataset struct {
+	Name   string
+	Domain *Domain
+	A, B   *table.Table
+	// Pairs are the candidate pairs after blocking, sorted by (A,B).
+	Pairs []table.Pair
+	// Gold maps pair keys of true matches (restricted to candidates).
+	Gold map[uint64]bool
+	// NumGoldTotal counts true matches before blocking (for recall).
+	NumGoldTotal int
+}
+
+// GoldBits returns the indexes within Pairs that are true matches.
+func (d *Dataset) GoldBits() []int {
+	var out []int
+	for pi, p := range d.Pairs {
+		if d.Gold[p.PairKey()] {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// Generate builds a dataset from the config.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Domain == nil {
+		return nil, fmt.Errorf("datagen: config needs a Domain")
+	}
+	if cfg.SizeA <= 0 || cfg.SizeB <= 0 {
+		return nil, fmt.Errorf("datagen: table sizes must be positive (got %d, %d)", cfg.SizeA, cfg.SizeB)
+	}
+	if cfg.BlockKeys <= 0 {
+		cfg.BlockKeys = 100
+	}
+	if cfg.MaxDups <= 0 {
+		cfg.MaxDups = 1
+	}
+	if cfg.Intensity <= 0 {
+		cfg.Intensity = 1
+	}
+	dom := cfg.Domain
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perturb := NewPerturber(rng, cfg.Intensity)
+	lightPerturb := NewPerturber(rng, cfg.Intensity*0.3)
+
+	ta, err := table.New(dom.Name()+"_A", dom.Attrs())
+	if err != nil {
+		return nil, err
+	}
+	tb, err := table.New(dom.Name()+"_B", dom.Attrs())
+	if err != nil {
+		return nil, err
+	}
+
+	// Table A: canonical entities.
+	entities := make([][]string, cfg.SizeA)
+	for i := 0; i < cfg.SizeA; i++ {
+		entities[i] = dom.genEntity(rng, rng.Intn(cfg.BlockKeys))
+		if err := ta.Append(fmt.Sprintf("a%d", i), entities[i]...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Table B: perturbed duplicates of some A entities plus fresh
+	// entities. bRows collects (values, matchedA) before shuffling.
+	type bRow struct {
+		vals     []string
+		matchedA int // -1 for non-matches
+	}
+	var rows []bRow
+	for i := 0; i < cfg.SizeA && len(rows) < cfg.SizeB; i++ {
+		if rng.Float64() >= cfg.MatchFrac {
+			continue
+		}
+		dups := 1 + rng.Intn(cfg.MaxDups)
+		for d := 0; d < dups && len(rows) < cfg.SizeB; d++ {
+			rows = append(rows, bRow{vals: dom.perturbMatch(entities[i], perturb), matchedA: i})
+		}
+	}
+	for len(rows) < cfg.SizeB {
+		e := dom.genEntity(rng, rng.Intn(cfg.BlockKeys))
+		rows = append(rows, bRow{vals: dom.perturbMatch(e, lightPerturb), matchedA: -1})
+	}
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+
+	numGold := 0
+	gold := make(map[uint64]bool)
+	for j, row := range rows {
+		if err := tb.Append(fmt.Sprintf("b%d", j), row.vals...); err != nil {
+			return nil, err
+		}
+		if row.matchedA >= 0 {
+			numGold++
+			gold[table.Pair{A: int32(row.matchedA), B: int32(j)}.PairKey()] = true
+		}
+	}
+
+	pairs, err := block.AttrEquivalence{Attr: dom.BlockAttr()}.Pairs(ta, tb)
+	if err != nil {
+		return nil, err
+	}
+	// Restrict gold to candidates that survived blocking (duplicates
+	// preserve the block attribute, so normally all survive).
+	surviving := make(map[uint64]bool, len(gold))
+	for _, p := range pairs {
+		if gold[p.PairKey()] {
+			surviving[p.PairKey()] = true
+		}
+	}
+	return &Dataset{
+		Name:         dom.Name(),
+		Domain:       dom,
+		A:            ta,
+		B:            tb,
+		Pairs:        pairs,
+		Gold:         surviving,
+		NumGoldTotal: numGold,
+	}, nil
+}
+
+// FromTables wraps externally loaded tables into a Dataset: candidate
+// pairs come from attribute-equivalence blocking on blockAttr, and the
+// gold labels (pair keys over record indices) are restricted to the
+// surviving candidates. The Domain field is nil for such datasets —
+// they carry no generator or feature pool.
+func FromTables(name string, a, b *table.Table, blockAttr string, gold map[uint64]bool) (*Dataset, error) {
+	pairs, err := block.AttrEquivalence{Attr: blockAttr}.Pairs(a, b)
+	if err != nil {
+		return nil, err
+	}
+	surviving := make(map[uint64]bool, len(gold))
+	for _, p := range pairs {
+		if gold[p.PairKey()] {
+			surviving[p.PairKey()] = true
+		}
+	}
+	return &Dataset{
+		Name:         name,
+		A:            a,
+		B:            b,
+		Pairs:        pairs,
+		Gold:         surviving,
+		NumGoldTotal: len(gold),
+	}, nil
+}
+
+// StandardConfig returns the Table 2-shaped config for the named domain
+// at the given scale (1 = paper-scale sizes; 0.1 = laptop-quick). The
+// candidate-pair count scales linearly with the scale factor.
+func StandardConfig(dom *Domain, scale float64) Config {
+	type shape struct {
+		sizeA, sizeB, blockKeys int
+		matchFrac               float64
+		maxDups                 int
+	}
+	shapes := map[string]shape{
+		// blockKeys ≈ sizeA·sizeB / Table-2 candidate count.
+		"products":    {2554, 22074, 193, 0.5, 2},
+		"restaurants": {3279, 25376, 3333, 0.4, 2},
+		"books":       {3099, 3560, 386, 0.5, 1},
+		"breakfast":   {3669, 4165, 208, 0.4, 2},
+		"movies":      {5526, 4373, 1363, 0.4, 1},
+		"videogames":  {3742, 6739, 1111, 0.4, 1},
+	}
+	s, ok := shapes[dom.Name()]
+	if !ok {
+		s = shape{2000, 4000, 200, 0.4, 1}
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	scaleInt := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	return Config{
+		Domain:    dom,
+		Seed:      int64(len(dom.Name()))*7919 + 42,
+		SizeA:     scaleInt(s.sizeA),
+		SizeB:     scaleInt(s.sizeB),
+		BlockKeys: scaleInt(s.blockKeys),
+		MatchFrac: s.matchFrac,
+		MaxDups:   s.maxDups,
+		Intensity: 1,
+	}
+}

@@ -1,0 +1,258 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+)
+
+func smallConfig(dom *Domain) Config {
+	return Config{
+		Domain:    dom,
+		Seed:      7,
+		SizeA:     120,
+		SizeB:     300,
+		BlockKeys: 20,
+		MatchFrac: 0.5,
+		MaxDups:   2,
+		Intensity: 1,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(smallConfig(Products()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.A.Len() != 120 || ds.B.Len() != 300 {
+		t.Fatalf("table sizes = %d, %d", ds.A.Len(), ds.B.Len())
+	}
+	if len(ds.Pairs) == 0 {
+		t.Fatal("no candidate pairs")
+	}
+	if len(ds.Gold) == 0 {
+		t.Fatal("no gold matches")
+	}
+	// Expected candidate count ≈ sizeA·sizeB/blockKeys; allow wide slack.
+	expect := float64(120*300) / 20
+	if ratio := float64(len(ds.Pairs)) / expect; ratio < 0.5 || ratio > 2 {
+		t.Errorf("candidate pairs = %d, expected about %.0f", len(ds.Pairs), expect)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1, err := Generate(smallConfig(Books()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(smallConfig(Books()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.A.Len() != d2.A.Len() || len(d1.Pairs) != len(d2.Pairs) || len(d1.Gold) != len(d2.Gold) {
+		t.Fatal("same seed produced different datasets")
+	}
+	for i := range d1.A.Records {
+		for j := range d1.A.Attrs {
+			if d1.A.Records[i].Values[j] != d2.A.Records[i].Values[j] {
+				t.Fatal("record values differ for same seed")
+			}
+		}
+	}
+}
+
+func TestGoldSurvivesBlocking(t *testing.T) {
+	for _, dom := range AllDomains() {
+		ds, err := Generate(smallConfig(dom))
+		if err != nil {
+			t.Fatalf("%s: %v", dom.Name(), err)
+		}
+		// Duplicates keep the block attribute, so every injected match
+		// must appear among the candidates.
+		if len(ds.Gold) != ds.NumGoldTotal {
+			t.Errorf("%s: %d of %d gold matches survived blocking",
+				dom.Name(), len(ds.Gold), ds.NumGoldTotal)
+		}
+	}
+}
+
+func TestGoldBitsAlignment(t *testing.T) {
+	ds, err := Generate(smallConfig(Movies()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := ds.GoldBits()
+	if len(bits) != len(ds.Gold) {
+		t.Fatalf("gold bits = %d, gold = %d", len(bits), len(ds.Gold))
+	}
+	for _, pi := range bits {
+		if !ds.Gold[ds.Pairs[pi].PairKey()] {
+			t.Fatal("GoldBits returned a non-gold pair")
+		}
+	}
+}
+
+func TestFeaturePoolsValid(t *testing.T) {
+	lib := sim.Standard()
+	wantSizes := map[string]int{
+		"products":    33,
+		"restaurants": 34,
+		"books":       32,
+		"breakfast":   18,
+		"movies":      39,
+		"videogames":  32,
+	}
+	for _, dom := range AllDomains() {
+		pool := dom.FeaturePool()
+		if got, want := len(pool), wantSizes[dom.Name()]; got != want {
+			t.Errorf("%s: pool size %d, want %d (Table 2 shape)", dom.Name(), got, want)
+		}
+		seen := map[string]bool{}
+		attrs := map[string]bool{}
+		for _, a := range dom.Attrs() {
+			attrs[a] = true
+		}
+		for _, f := range pool {
+			if !lib.Has(f.Sim) {
+				t.Errorf("%s: pool uses unknown sim %q", dom.Name(), f.Sim)
+			}
+			if !attrs[f.AttrA] || !attrs[f.AttrB] {
+				t.Errorf("%s: pool feature %v uses unknown attribute", dom.Name(), f)
+			}
+			if seen[f.Key()] {
+				t.Errorf("%s: duplicate pool feature %s", dom.Name(), f.Key())
+			}
+			seen[f.Key()] = true
+		}
+		if _, ok := attrs[dom.BlockAttr()]; !ok {
+			t.Errorf("%s: block attribute %q not in schema", dom.Name(), dom.BlockAttr())
+		}
+	}
+}
+
+func TestSampleRulesParseAndValidate(t *testing.T) {
+	lib := sim.Standard()
+	for _, dom := range AllDomains() {
+		ds, err := Generate(smallConfig(dom))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := rule.ParseFunction(dom.SampleRules())
+		if err != nil {
+			t.Fatalf("%s sample rules: %v", dom.Name(), err)
+		}
+		if len(f.Rules) < 2 {
+			t.Errorf("%s: only %d sample rules", dom.Name(), len(f.Rules))
+		}
+		if err := rule.Validate(f, lib, ds.A, ds.B); err != nil {
+			t.Errorf("%s sample rules invalid: %v", dom.Name(), err)
+		}
+	}
+}
+
+func TestStandardConfigScaling(t *testing.T) {
+	dom := Products()
+	c1 := StandardConfig(dom, 1)
+	if c1.SizeA != 2554 || c1.SizeB != 22074 {
+		t.Errorf("paper-scale sizes = %d, %d", c1.SizeA, c1.SizeB)
+	}
+	c01 := StandardConfig(dom, 0.1)
+	if math.Abs(float64(c01.SizeA)-255.4) > 1 {
+		t.Errorf("scaled sizeA = %d", c01.SizeA)
+	}
+	// Candidate count scales roughly linearly with scale.
+	if c01.BlockKeys == 0 {
+		t.Error("scaled block keys zero")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("config without domain accepted")
+	}
+	if _, err := Generate(Config{Domain: Products(), SizeA: 0, SizeB: 5}); err == nil {
+		t.Error("zero-size table accepted")
+	}
+}
+
+func TestPerturberDeterministicEffects(t *testing.T) {
+	// Intensity 0 disables every perturbation.
+	p := NewPerturber(nil, 0)
+	if got := p.Typo("hello world", 1); got != "hello world" {
+		t.Errorf("zero-intensity typo changed value: %q", got)
+	}
+	// Structural perturbations keep minimum shapes.
+	p2 := NewPerturber(rand.New(rand.NewSource(1)), 1)
+	if got := p2.DropToken("one two", 1); got != "one two" {
+		t.Errorf("DropToken on 2 tokens changed value: %q", got)
+	}
+	if got := p2.PhoneFormat("not a phone", 1); got != "not a phone" {
+		t.Errorf("PhoneFormat on non-phone changed value: %q", got)
+	}
+}
+
+func TestNewDomainCustom(t *testing.T) {
+	spec := DomainSpec{
+		Name:      "parts",
+		Attrs:     []string{"bucket", "code"},
+		BlockAttr: "bucket",
+		GenEntity: func(rng *rand.Rand, blockKey int) []string {
+			return []string{
+				"bk" + string(rune('a'+blockKey%26)),
+				string(rune('A'+rng.Intn(26))) + string(rune('0'+rng.Intn(10))),
+			}
+		},
+		PerturbMatch: func(vals []string, p *Perturber) []string {
+			out := append([]string(nil), vals...)
+			out[1] = p.Typo(out[1]+"xx", 0.5)
+			return out
+		},
+		FeaturePool: []rule.Feature{{Sim: "levenshtein", AttrA: "code", AttrB: "code"}},
+	}
+	dom, err := NewDomain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Generate(Config{Domain: dom, Seed: 1, SizeA: 40, SizeB: 80, BlockKeys: 5, MatchFrac: 0.5, MaxDups: 1, Intensity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.A.Len() != 40 || ds.B.Len() != 80 || len(ds.Pairs) == 0 || len(ds.Gold) == 0 {
+		t.Fatalf("custom domain dataset degenerate: %d/%d records, %d pairs, %d gold",
+			ds.A.Len(), ds.B.Len(), len(ds.Pairs), len(ds.Gold))
+	}
+	if len(ds.Gold) != ds.NumGoldTotal {
+		t.Error("custom domain gold lost by blocking; PerturbMatch must keep the block attr")
+	}
+}
+
+func TestNewDomainValidation(t *testing.T) {
+	good := DomainSpec{
+		Name:         "x",
+		Attrs:        []string{"k"},
+		BlockAttr:    "k",
+		GenEntity:    func(*rand.Rand, int) []string { return []string{"v"} },
+		PerturbMatch: func(v []string, _ *Perturber) []string { return v },
+	}
+	if _, err := NewDomain(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Name = ""
+	if _, err := NewDomain(bad); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = good
+	bad.BlockAttr = "nope"
+	if _, err := NewDomain(bad); err == nil {
+		t.Error("unknown block attribute accepted")
+	}
+	bad = good
+	bad.GenEntity = nil
+	if _, err := NewDomain(bad); err == nil {
+		t.Error("nil generator accepted")
+	}
+}

@@ -1,0 +1,387 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rulematch/internal/rule"
+)
+
+// Domain describes one synthetic dataset family: its schema, blocking
+// attribute, entity generator, match perturbation, and the feature pool
+// analysts choose from (the "Total features" column of Table 2).
+type Domain struct {
+	name      string
+	attrs     []string
+	blockAttr string
+	// genEntity returns canonical attribute values; blockKey is the
+	// entity's block bucket in [0, blockKeys).
+	genEntity func(rng *rand.Rand, blockKey int) []string
+	// perturbMatch renders the B-side copy of a matching entity.
+	perturbMatch func(vals []string, p *Perturber) []string
+	pool         []rule.Feature
+	sampleRules  string
+}
+
+// DomainSpec configures a custom Domain for users generating their own
+// synthetic matching tasks (the six built-in domains use the same
+// machinery).
+type DomainSpec struct {
+	// Name identifies the domain.
+	Name string
+	// Attrs is the schema shared by both generated tables.
+	Attrs []string
+	// BlockAttr is the attribute blocking groups on; it must be in
+	// Attrs, and PerturbMatch must leave it unchanged (or gold matches
+	// will not survive blocking).
+	BlockAttr string
+	// GenEntity produces canonical attribute values; blockKey in
+	// [0, Config.BlockKeys) selects the blocking bucket and must be
+	// encoded into the BlockAttr value.
+	GenEntity func(rng *rand.Rand, blockKey int) []string
+	// PerturbMatch renders the B-side copy of a matching entity.
+	PerturbMatch func(vals []string, p *Perturber) []string
+	// FeaturePool is the total feature pool analysts draw from.
+	FeaturePool []rule.Feature
+	// SampleRules optionally provides hand-written DSL rules.
+	SampleRules string
+}
+
+// NewDomain builds a custom domain from a spec.
+func NewDomain(spec DomainSpec) (*Domain, error) {
+	if spec.Name == "" || len(spec.Attrs) == 0 {
+		return nil, fmt.Errorf("datagen: domain needs a name and attributes")
+	}
+	if spec.GenEntity == nil || spec.PerturbMatch == nil {
+		return nil, fmt.Errorf("datagen: domain %q needs GenEntity and PerturbMatch", spec.Name)
+	}
+	found := false
+	for _, a := range spec.Attrs {
+		if a == spec.BlockAttr {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("datagen: block attribute %q not in schema %v", spec.BlockAttr, spec.Attrs)
+	}
+	return &Domain{
+		name:         spec.Name,
+		attrs:        spec.Attrs,
+		blockAttr:    spec.BlockAttr,
+		genEntity:    spec.GenEntity,
+		perturbMatch: spec.PerturbMatch,
+		pool:         spec.FeaturePool,
+		sampleRules:  spec.SampleRules,
+	}, nil
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Attrs returns the schema shared by tables A and B.
+func (d *Domain) Attrs() []string { return d.attrs }
+
+// BlockAttr returns the attribute used by the blocking step.
+func (d *Domain) BlockAttr() string { return d.blockAttr }
+
+// FeaturePool returns the full feature pool of the domain.
+func (d *Domain) FeaturePool() []rule.Feature { return d.pool }
+
+// SampleRules returns a small hand-written DSL rule set for the domain,
+// suitable for examples and quick starts.
+func (d *Domain) SampleRules() string { return d.sampleRules }
+
+func feat(simName, attrA, attrB string) rule.Feature {
+	return rule.Feature{Sim: simName, AttrA: attrA, AttrB: attrB}
+}
+
+// featsOn builds one feature per sim name over the same attribute pair.
+func featsOn(attrA, attrB string, sims ...string) []rule.Feature {
+	out := make([]rule.Feature, len(sims))
+	for i, s := range sims {
+		out[i] = feat(s, attrA, attrB)
+	}
+	return out
+}
+
+func concat(groups ...[]rule.Feature) []rule.Feature {
+	var out []rule.Feature
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, words []string) string { return words[rng.Intn(len(words))] }
+
+// modelNo generates an alphanumeric model number like "SD-4816K".
+func modelNo(rng *rand.Rand) string {
+	letters := "ABCDEFGHJKLMNPRSTUVWX"
+	var b strings.Builder
+	b.WriteByte(letters[rng.Intn(len(letters))])
+	b.WriteByte(letters[rng.Intn(len(letters))])
+	b.WriteByte('-')
+	for i := 0; i < 4; i++ {
+		b.WriteByte(byte('0' + rng.Intn(10)))
+	}
+	b.WriteByte(letters[rng.Intn(len(letters))])
+	return b.String()
+}
+
+func phoneNumber(rng *rand.Rand) string {
+	d := make([]byte, 10)
+	d[0] = byte('2' + rng.Intn(8))
+	for i := 1; i < 10; i++ {
+		d[i] = byte('0' + rng.Intn(10))
+	}
+	return fmt.Sprintf("%s-%s-%s", d[0:3], d[3:6], d[6:10])
+}
+
+// Products is the electronics products domain (Walmart/Amazon shape).
+func Products() *Domain {
+	d := &Domain{
+		name:      "products",
+		attrs:     []string{"category", "brand", "modelno", "title", "price"},
+		blockAttr: "category",
+	}
+	d.genEntity = func(rng *rand.Rand, blockKey int) []string {
+		brand := pick(rng, brandWords)
+		adj := pick(rng, productAdjectives)
+		noun := pick(rng, productNouns)
+		mn := modelNo(rng)
+		title := fmt.Sprintf("%s %s %s %s", brand, adj, noun, mn)
+		price := fmt.Sprintf("%.2f", 5+rng.Float64()*1995)
+		return []string{fmt.Sprintf("cat%d", blockKey), brand, mn, title, price}
+	}
+	d.perturbMatch = func(v []string, p *Perturber) []string {
+		out := append([]string(nil), v...)
+		out[1] = p.Typo(p.Abbreviate(out[1], 0.25), 0.2)
+		out[2] = p.Casing(p.ModelNoNoise(out[2], 0.3), 0.3)
+		out[3] = p.ExtraToken(p.SwapTokens(p.DropToken(p.Typo(out[3], 0.4), 0.3), 0.2), 0.2)
+		out[4] = p.NumberJitter(out[4], 0.5, 0.05)
+		return out
+	}
+	d.pool = concat(
+		featsOn("modelno", "modelno", "exact_match", "jaro", "jaro_winkler", "levenshtein", "trigram", "soundex", "jaccard_3gram", "monge_elkan"),
+		featsOn("modelno", "title", "cosine", "jaccard", "tf_idf", "soft_tf_idf"),
+		featsOn("title", "title", "jaccard", "tf_idf", "soft_tf_idf", "cosine", "dice", "overlap", "monge_elkan", "levenshtein", "trigram", "jaccard_3gram"),
+		featsOn("brand", "brand", "exact_match", "jaro_winkler", "jaccard", "soundex", "levenshtein"),
+		featsOn("brand", "title", "jaccard", "overlap"),
+		featsOn("price", "price", "rel_diff", "abs_diff", "exact_match"),
+		featsOn("category", "category", "exact_match"),
+	)
+	d.sampleRules = `rule r1: jaro_winkler(modelno, modelno) >= 0.95 and jaccard(title, title) >= 0.4
+rule r2: exact_match(modelno, modelno) >= 1 and jaro_winkler(brand, brand) >= 0.8
+rule r3: tf_idf(title, title) >= 0.8 and rel_diff(price, price) >= 0.85`
+	return d
+}
+
+// Restaurants is the restaurants domain (Yelp/Foursquare shape).
+func Restaurants() *Domain {
+	d := &Domain{
+		name:      "restaurants",
+		attrs:     []string{"name", "street", "city", "zip", "phone", "cuisine"},
+		blockAttr: "zip",
+	}
+	d.genEntity = func(rng *rand.Rand, blockKey int) []string {
+		var name string
+		if rng.Intn(2) == 0 {
+			name = pick(rng, firstNames) + "s " + pick(rng, restaurantWords)
+		} else {
+			name = pick(rng, restaurantWords) + " " + pick(rng, restaurantWords)
+		}
+		street := fmt.Sprintf("%d %s %s", 1+rng.Intn(9999), pick(rng, streetNames), pick(rng, streetTypes))
+		city := pick(rng, cities)
+		zip := fmt.Sprintf("%05d", 10000+blockKey)
+		return []string{name, street, city, zip, phoneNumber(rng), pick(rng, cuisines)}
+	}
+	d.perturbMatch = func(v []string, p *Perturber) []string {
+		out := append([]string(nil), v...)
+		out[0] = p.Casing(p.DropToken(p.Typo(out[0], 0.4), 0.2), 0.15)
+		out[1] = p.Typo(p.DropToken(out[1], 0.25), 0.3)
+		out[2] = p.Typo(out[2], 0.1)
+		out[4] = p.PhoneFormat(out[4], 0.8)
+		out[5] = p.Typo(out[5], 0.1)
+		return out
+	}
+	d.pool = concat(
+		featsOn("name", "name", "jaccard", "jaro_winkler", "levenshtein", "cosine", "tf_idf", "soft_tf_idf", "monge_elkan", "trigram", "dice", "overlap", "soundex", "jaccard_3gram"),
+		featsOn("street", "street", "jaccard", "jaro_winkler", "levenshtein", "tf_idf", "trigram", "cosine", "monge_elkan"),
+		featsOn("phone", "phone", "exact_match", "levenshtein", "trigram", "jaccard_3gram"),
+		featsOn("zip", "zip", "exact_match", "levenshtein"),
+		featsOn("city", "city", "exact_match", "jaro_winkler", "soundex"),
+		featsOn("cuisine", "cuisine", "exact_match", "jaccard"),
+		featsOn("name", "street", "jaccard", "tf_idf"),
+		featsOn("name", "cuisine", "overlap"),
+		featsOn("street", "name", "cosine"),
+	)
+	d.sampleRules = `rule r1: jaro_winkler(name, name) >= 0.85 and levenshtein(street, street) >= 0.5
+rule r2: levenshtein(phone, phone) >= 0.8 and jaccard(name, name) >= 0.3
+rule r3: tf_idf(name, name) >= 0.75 and exact_match(city, city) >= 1`
+	return d
+}
+
+// Books is the books domain (Amazon/Barnes & Noble shape).
+func Books() *Domain {
+	d := &Domain{
+		name:      "books",
+		attrs:     []string{"title", "author", "publisher", "year", "category"},
+		blockAttr: "category",
+	}
+	d.genEntity = func(rng *rand.Rand, blockKey int) []string {
+		pattern := pick(rng, bookPatterns)
+		n := strings.Count(pattern, "%s")
+		args := make([]interface{}, n)
+		for i := range args {
+			args[i] = pick(rng, bookSubjects)
+		}
+		title := fmt.Sprintf(pattern, args...)
+		author := pick(rng, firstNames) + " " + pick(rng, lastNames)
+		year := fmt.Sprintf("%d", 1950+rng.Intn(70))
+		cat := fmt.Sprintf("%s-%d", bookGenres[blockKey%len(bookGenres)], blockKey/len(bookGenres))
+		return []string{title, author, pick(rng, publishers), year, cat}
+	}
+	d.perturbMatch = func(v []string, p *Perturber) []string {
+		out := append([]string(nil), v...)
+		out[0] = p.Casing(p.DropToken(p.Typo(out[0], 0.35), 0.2), 0.15)
+		out[1] = p.Abbreviate(p.Typo(out[1], 0.25), 0.35)
+		out[2] = p.Typo(out[2], 0.2)
+		out[3] = p.YearJitter(out[3], 0.2)
+		return out
+	}
+	d.pool = concat(
+		featsOn("title", "title", "jaccard", "jaro_winkler", "levenshtein", "cosine", "tf_idf", "soft_tf_idf", "monge_elkan", "trigram", "dice", "overlap", "jaccard_3gram"),
+		featsOn("author", "author", "jaccard", "jaro_winkler", "levenshtein", "soundex", "monge_elkan", "exact_match", "trigram"),
+		featsOn("publisher", "publisher", "exact_match", "jaccard", "jaro_winkler", "levenshtein", "soundex"),
+		featsOn("year", "year", "exact_match", "abs_diff", "rel_diff", "levenshtein"),
+		featsOn("category", "category", "exact_match", "jaccard"),
+		featsOn("title", "author", "jaccard", "overlap", "tf_idf"),
+	)
+	d.sampleRules = `rule r1: jaro_winkler(title, title) >= 0.9 and soundex(author, author) >= 0.5
+rule r2: tf_idf(title, title) >= 0.7 and abs_diff(year, year) >= 1
+rule r3: jaccard(title, title) >= 0.6 and jaro_winkler(author, author) >= 0.8`
+	return d
+}
+
+// Breakfast is the breakfast/grocery products domain (Walmart/Amazon
+// shape).
+func Breakfast() *Domain {
+	d := &Domain{
+		name:      "breakfast",
+		attrs:     []string{"category", "brand", "name", "size", "flavor"},
+		blockAttr: "category",
+	}
+	d.genEntity = func(rng *rand.Rand, blockKey int) []string {
+		brand := pick(rng, groceryBrands)
+		noun := pick(rng, groceryNouns)
+		flavor := pick(rng, groceryFlavors)
+		name := fmt.Sprintf("%s %s %s", brand, flavor, noun)
+		size := fmt.Sprintf("%d oz", 8+2*rng.Intn(12))
+		return []string{fmt.Sprintf("aisle%d", blockKey), brand, name, size, flavor}
+	}
+	d.perturbMatch = func(v []string, p *Perturber) []string {
+		out := append([]string(nil), v...)
+		out[1] = p.Abbreviate(p.Typo(out[1], 0.2), 0.2)
+		out[2] = p.ExtraToken(p.SwapTokens(p.DropToken(p.Typo(out[2], 0.35), 0.25), 0.2), 0.15)
+		out[3] = p.Typo(out[3], 0.15)
+		out[4] = p.Typo(out[4], 0.15)
+		return out
+	}
+	d.pool = concat(
+		featsOn("name", "name", "jaccard", "jaro_winkler", "levenshtein", "cosine", "tf_idf", "trigram"),
+		featsOn("brand", "brand", "exact_match", "jaro_winkler", "jaccard", "soundex"),
+		featsOn("flavor", "flavor", "jaccard", "exact_match", "overlap"),
+		featsOn("size", "size", "exact_match", "rel_diff"),
+		featsOn("category", "category", "exact_match"),
+		featsOn("brand", "name", "overlap", "jaccard"),
+	)
+	d.sampleRules = `rule r1: jaccard(name, name) >= 0.5 and jaro_winkler(brand, brand) >= 0.85
+rule r2: tf_idf(name, name) >= 0.75 and exact_match(size, size) >= 1`
+	return d
+}
+
+// Movies is the movies domain (Amazon/BestBuy shape).
+func Movies() *Domain {
+	d := &Domain{
+		name:      "movies",
+		attrs:     []string{"title", "director", "year", "genre", "studio"},
+		blockAttr: "genre",
+	}
+	d.genEntity = func(rng *rand.Rand, blockKey int) []string {
+		title := fmt.Sprintf("%s %s", pick(rng, movieWords), pick(rng, movieNouns))
+		if rng.Intn(3) == 0 {
+			title = "the " + title
+		}
+		director := pick(rng, firstNames) + " " + pick(rng, directors)
+		year := fmt.Sprintf("%d", 1970+rng.Intn(50))
+		genre := fmt.Sprintf("%s-%d", movieGenres[blockKey%len(movieGenres)], blockKey/len(movieGenres))
+		return []string{title, director, year, genre, pick(rng, studios)}
+	}
+	d.perturbMatch = func(v []string, p *Perturber) []string {
+		out := append([]string(nil), v...)
+		out[0] = p.Casing(p.ExtraToken(p.Typo(out[0], 0.3), 0.2), 0.15)
+		out[1] = p.Abbreviate(p.Typo(out[1], 0.2), 0.35)
+		out[2] = p.YearJitter(out[2], 0.15)
+		out[4] = p.Typo(out[4], 0.2)
+		return out
+	}
+	d.pool = concat(
+		featsOn("title", "title", "jaccard", "jaro_winkler", "levenshtein", "cosine", "tf_idf", "soft_tf_idf", "monge_elkan", "trigram", "dice", "overlap", "jaccard_3gram", "exact_match", "soundex"),
+		featsOn("director", "director", "jaccard", "jaro_winkler", "levenshtein", "soundex", "exact_match", "monge_elkan", "trigram"),
+		featsOn("year", "year", "exact_match", "abs_diff", "rel_diff", "levenshtein"),
+		featsOn("genre", "genre", "exact_match", "jaccard", "overlap"),
+		featsOn("studio", "studio", "exact_match", "jaccard", "jaro_winkler", "levenshtein", "soundex"),
+		featsOn("title", "director", "jaccard", "overlap", "tf_idf", "cosine"),
+		featsOn("director", "title", "jaccard", "monge_elkan"),
+		featsOn("genre", "title", "overlap"),
+	)
+	d.sampleRules = `rule r1: jaro_winkler(title, title) >= 0.9 and abs_diff(year, year) >= 1
+rule r2: tf_idf(title, title) >= 0.7 and soundex(director, director) >= 0.5`
+	return d
+}
+
+// VideoGames is the video games domain (TheGamesDB/MobyGames shape).
+func VideoGames() *Domain {
+	d := &Domain{
+		name:      "videogames",
+		attrs:     []string{"title", "platform", "publisher", "year", "genre"},
+		blockAttr: "platform",
+	}
+	d.genEntity = func(rng *rand.Rand, blockKey int) []string {
+		title := fmt.Sprintf("%s %s %s", pick(rng, gameWords), pick(rng, gameNouns), pick(rng, gameWords))
+		if rng.Intn(3) == 0 {
+			title += fmt.Sprintf(" %d", 2+rng.Intn(5))
+		}
+		platform := fmt.Sprintf("%s-%d", platforms[blockKey%len(platforms)], blockKey/len(platforms))
+		year := fmt.Sprintf("%d", 1985+rng.Intn(35))
+		return []string{title, platform, pick(rng, gamePublishers), year, pick(rng, movieGenres)}
+	}
+	d.perturbMatch = func(v []string, p *Perturber) []string {
+		out := append([]string(nil), v...)
+		out[0] = p.Casing(p.SwapTokens(p.DropToken(p.Typo(out[0], 0.3), 0.2), 0.15), 0.15)
+		out[2] = p.Typo(out[2], 0.2)
+		out[3] = p.YearJitter(out[3], 0.15)
+		out[4] = p.Typo(out[4], 0.15)
+		return out
+	}
+	d.pool = concat(
+		featsOn("title", "title", "jaccard", "jaro_winkler", "levenshtein", "cosine", "tf_idf", "soft_tf_idf", "monge_elkan", "trigram", "dice", "overlap", "jaccard_3gram"),
+		featsOn("platform", "platform", "exact_match", "jaro_winkler", "levenshtein", "jaccard_3gram"),
+		featsOn("publisher", "publisher", "exact_match", "jaccard", "jaro_winkler", "soundex", "levenshtein"),
+		featsOn("year", "year", "exact_match", "abs_diff", "rel_diff"),
+		featsOn("genre", "genre", "exact_match", "jaccard", "overlap"),
+		featsOn("title", "publisher", "jaccard", "overlap", "tf_idf"),
+		featsOn("title", "platform", "overlap"),
+		featsOn("publisher", "title", "cosine"),
+		featsOn("title", "genre", "jaccard"),
+	)
+	d.sampleRules = `rule r1: jaro_winkler(title, title) >= 0.88 and exact_match(publisher, publisher) >= 1
+rule r2: tf_idf(title, title) >= 0.7 and abs_diff(year, year) >= 1`
+	return d
+}
+
+// AllDomains returns the six dataset domains in Table 2 order.
+func AllDomains() []*Domain {
+	return []*Domain{Products(), Restaurants(), Books(), Breakfast(), Movies(), VideoGames()}
+}

@@ -1,0 +1,179 @@
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Perturber applies noisy edits to attribute values, simulating the
+// dirty variation between two real-world data sources (typos, dropped
+// tokens, abbreviations, reformatting). Probabilities are per
+// opportunity; an Intensity scales them all.
+type Perturber struct {
+	rng *rand.Rand
+	// Intensity scales all perturbation probabilities (1 = defaults).
+	Intensity float64
+}
+
+// NewPerturber creates a perturber with the given randomness source and
+// intensity.
+func NewPerturber(rng *rand.Rand, intensity float64) *Perturber {
+	return &Perturber{rng: rng, Intensity: intensity}
+}
+
+func (p *Perturber) chance(base float64) bool {
+	pr := base * p.Intensity
+	if pr <= 0 {
+		return false
+	}
+	return p.rng.Float64() < pr
+}
+
+// Typo applies up to one random character edit (swap, delete, replace)
+// per call with the given base probability.
+func (p *Perturber) Typo(s string, base float64) string {
+	if len(s) < 3 || !p.chance(base) {
+		return s
+	}
+	b := []byte(s)
+	i := 1 + p.rng.Intn(len(b)-2)
+	switch p.rng.Intn(3) {
+	case 0: // swap
+		b[i], b[i-1] = b[i-1], b[i]
+	case 1: // delete
+		b = append(b[:i], b[i+1:]...)
+	default: // replace
+		b[i] = byte('a' + p.rng.Intn(26))
+	}
+	return string(b)
+}
+
+// DropToken removes one random token with the given probability if at
+// least two tokens remain afterwards.
+func (p *Perturber) DropToken(s string, base float64) string {
+	toks := strings.Fields(s)
+	if len(toks) < 3 || !p.chance(base) {
+		return s
+	}
+	i := p.rng.Intn(len(toks))
+	toks = append(toks[:i], toks[i+1:]...)
+	return strings.Join(toks, " ")
+}
+
+// SwapTokens exchanges two adjacent tokens.
+func (p *Perturber) SwapTokens(s string, base float64) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 || !p.chance(base) {
+		return s
+	}
+	i := p.rng.Intn(len(toks) - 1)
+	toks[i], toks[i+1] = toks[i+1], toks[i]
+	return strings.Join(toks, " ")
+}
+
+// Abbreviate shortens the first token to its initial plus a period
+// ("Western Digital" -> "W. Digital").
+func (p *Perturber) Abbreviate(s string, base float64) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 || len(toks[0]) < 3 || !p.chance(base) {
+		return s
+	}
+	toks[0] = toks[0][:1] + "."
+	return strings.Join(toks, " ")
+}
+
+// Casing flips the value to all-lower or all-upper case.
+func (p *Perturber) Casing(s string, base float64) string {
+	if !p.chance(base) {
+		return s
+	}
+	if p.rng.Intn(2) == 0 {
+		return strings.ToLower(s)
+	}
+	return strings.ToUpper(s)
+}
+
+// NumberJitter perturbs a numeric string by up to frac relatively
+// (prices) keeping two decimals.
+func (p *Perturber) NumberJitter(s string, base, frac float64) string {
+	if !p.chance(base) {
+		return s
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return s
+	}
+	v *= 1 + (p.rng.Float64()*2-1)*frac
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// YearJitter moves an integer year by ±1.
+func (p *Perturber) YearJitter(s string, base float64) string {
+	if !p.chance(base) {
+		return s
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return s
+	}
+	if p.rng.Intn(2) == 0 {
+		v++
+	} else {
+		v--
+	}
+	return strconv.Itoa(v)
+}
+
+// PhoneFormat rewrites a 10-digit phone number into one of several
+// common formats, possibly dropping the area code.
+func (p *Perturber) PhoneFormat(s string, base float64) string {
+	digits := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			digits = append(digits, s[i])
+		}
+	}
+	if len(digits) != 10 || !p.chance(base) {
+		return s
+	}
+	d := string(digits)
+	switch p.rng.Intn(4) {
+	case 0:
+		return d[:3] + "-" + d[3:6] + "-" + d[6:]
+	case 1:
+		return "(" + d[:3] + ") " + d[3:6] + "-" + d[6:]
+	case 2:
+		return d[3:6] + " " + d[6:] // drop area code
+	default:
+		return d
+	}
+}
+
+// ModelNoNoise perturbs an alphanumeric model number: replaces one
+// character or strips a hyphen.
+func (p *Perturber) ModelNoNoise(s string, base float64) string {
+	if len(s) < 4 || !p.chance(base) {
+		return s
+	}
+	if strings.Contains(s, "-") && p.rng.Intn(2) == 0 {
+		return strings.Replace(s, "-", "", 1)
+	}
+	b := []byte(s)
+	i := p.rng.Intn(len(b))
+	if b[i] >= '0' && b[i] <= '9' {
+		b[i] = byte('0' + p.rng.Intn(10))
+	} else {
+		b[i] = byte('A' + p.rng.Intn(26))
+	}
+	return string(b)
+}
+
+// ExtraToken appends a filler token such as "new" or "oem".
+func (p *Perturber) ExtraToken(s string, base float64) string {
+	if !p.chance(base) {
+		return s
+	}
+	fillers := []string{"new", "oem", "genuine", "original", "edition", "series"}
+	return s + " " + fillers[p.rng.Intn(len(fillers))]
+}

@@ -1,0 +1,149 @@
+package datagen
+
+// Word pools used by the domain generators. The goal is realistic token
+// frequency structure (shared brand/category vocabulary, discriminative
+// model numbers and names), not realistic semantics.
+
+var brandWords = []string{
+	"acer", "asus", "belkin", "canon", "dell", "epson", "fujitsu", "garmin",
+	"hitachi", "hp", "jvc", "kensington", "kingston", "lenovo", "logitech",
+	"netgear", "nikon", "panasonic", "philips", "pioneer", "samsung", "sandisk",
+	"sanyo", "sharp", "siemens", "sony", "targus", "toshiba", "tripplite",
+	"viewsonic", "vizio", "western digital", "zebra",
+}
+
+var productNouns = []string{
+	"adapter", "battery", "cable", "camera", "camcorder", "case", "charger",
+	"dock", "drive", "earbuds", "enclosure", "headset", "hub", "keyboard",
+	"laptop", "lens", "microphone", "monitor", "mouse", "player", "printer",
+	"projector", "receiver", "router", "scanner", "speaker", "stand", "stylus",
+	"tablet", "television", "tripod", "webcam",
+}
+
+var productAdjectives = []string{
+	"black", "blue", "compact", "cordless", "digital", "dual", "hd", "mini",
+	"portable", "pro", "silver", "slim", "smart", "ultra", "white", "wireless",
+}
+
+var groceryBrands = []string{
+	"annies", "barbaras", "bobs red mill", "cascadian farm", "cheerios",
+	"quaker", "kashi", "kelloggs", "natures path", "post", "weetabix",
+	"familia", "ezekiel", "grape nuts", "malt o meal", "mom brands",
+}
+
+var groceryNouns = []string{
+	"granola", "oatmeal", "cereal", "muesli", "flakes", "crunch", "clusters",
+	"squares", "puffs", "shredded wheat", "bran", "oats",
+}
+
+var groceryFlavors = []string{
+	"almond", "apple cinnamon", "banana", "blueberry", "chocolate", "cinnamon",
+	"honey", "maple", "original", "peanut butter", "pumpkin", "raisin",
+	"strawberry", "vanilla",
+}
+
+var firstNames = []string{
+	"alex", "ana", "carlos", "chen", "david", "elena", "fatima", "george",
+	"hana", "ivan", "james", "julia", "karen", "luis", "maria", "mohammed",
+	"nina", "omar", "peter", "rosa", "sara", "tom", "wei", "yuki",
+}
+
+var lastNames = []string{
+	"anderson", "brown", "chen", "davis", "garcia", "johnson", "kim", "lee",
+	"lopez", "martin", "miller", "nguyen", "patel", "rodriguez", "smith",
+	"taylor", "thomas", "walker", "wang", "wilson",
+}
+
+var restaurantWords = []string{
+	"bistro", "cafe", "cantina", "diner", "grill", "house", "kitchen",
+	"lounge", "palace", "pizzeria", "tavern", "trattoria", "garden", "corner",
+	"express", "golden", "royal", "little", "blue", "green",
+}
+
+var cuisines = []string{
+	"american", "chinese", "french", "greek", "indian", "italian", "japanese",
+	"korean", "mexican", "thai", "vietnamese", "mediterranean",
+}
+
+var cities = []string{
+	"madison", "milwaukee", "chicago", "minneapolis", "detroit", "cleveland",
+	"columbus", "indianapolis", "stlouis", "kansas city", "omaha", "des moines",
+}
+
+var streetNames = []string{
+	"main", "oak", "maple", "washington", "lake", "hill", "park", "pine",
+	"cedar", "elm", "walnut", "state", "university", "mifflin", "johnson",
+}
+
+var streetTypes = []string{"st", "ave", "blvd", "rd", "dr", "ln", "way"}
+
+var bookSubjects = []string{
+	"gardens", "rivers", "mountains", "cities", "machines", "numbers",
+	"stars", "shadows", "letters", "bridges", "storms", "harvest", "memory",
+	"silence", "journeys", "horizons", "islands", "winter", "summer", "voices",
+}
+
+var bookPatterns = []string{
+	"the %s of %s", "a history of %s", "%s and %s", "beyond the %s",
+	"the last %s", "notes on %s", "an introduction to %s", "the secret %s",
+}
+
+var publishers = []string{
+	"penguin", "harpercollins", "random house", "simon schuster", "macmillan",
+	"hachette", "scholastic", "wiley", "oreilly", "springer", "mit press",
+	"oxford", "cambridge", "norton", "vintage", "anchor",
+}
+
+var bookGenres = []string{
+	"fiction", "history", "science", "biography", "mystery", "fantasy",
+	"romance", "travel", "cooking", "poetry", "business", "children",
+}
+
+var movieWords = []string{
+	"midnight", "crimson", "broken", "silent", "burning", "hidden", "lost",
+	"final", "iron", "golden", "shadow", "storm", "river", "city", "king",
+	"queen", "ghost", "dragon", "winter", "star", "dark", "last",
+}
+
+var movieNouns = []string{
+	"run", "empire", "protocol", "legacy", "awakening", "chronicles",
+	"redemption", "uprising", "paradox", "heist", "code", "horizon",
+	"vendetta", "odyssey", "reckoning", "covenant", "frontier", "mirage",
+}
+
+var movieGenres = []string{
+	"action", "comedy", "drama", "horror", "scifi", "thriller", "animation",
+	"documentary", "romance", "western",
+}
+
+var studios = []string{
+	"paramount", "universal", "warner", "columbia", "mgm", "lionsgate",
+	"focus", "a24", "miramax", "dreamworks", "newline", "searchlight",
+}
+
+var directors = []string{
+	"abrams", "bigelow", "coen", "cuaron", "deltoro", "fincher", "gerwig",
+	"jenkins", "kurosawa", "lee", "mann", "nolan", "peele", "scott",
+	"spielberg", "tarantino", "villeneuve", "zhao",
+}
+
+var gameWords = []string{
+	"super", "mega", "turbo", "ultimate", "legend", "quest", "warrior",
+	"galaxy", "dungeon", "racing", "fantasy", "tactics", "arena", "assault",
+	"rebellion", "dynasty", "frontier", "saga",
+}
+
+var gameNouns = []string{
+	"heroes", "kingdoms", "champions", "raiders", "hunters", "commanders",
+	"racers", "legends", "knights", "wizards", "pilots", "rangers",
+}
+
+var platforms = []string{
+	"nes", "snes", "genesis", "playstation", "ps2", "ps3", "xbox", "xbox360",
+	"gamecube", "wii", "ds", "psp", "pc", "dreamcast", "n64", "gba",
+}
+
+var gamePublishers = []string{
+	"nintendo", "sega", "capcom", "konami", "squaresoft", "ea", "activision",
+	"ubisoft", "atari", "namco", "thq", "midway", "bethesda", "rockstar",
+}

@@ -1,0 +1,169 @@
+// Package explain produces structured explanations of matching
+// decisions: which rule matched a pair, which predicates failed and by
+// how much. This is the "inspect result" half of the paper's Figure 1
+// loop — the analyst needs to see *why* a pair matched or missed before
+// deciding which rule to edit.
+package explain
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"rulematch/internal/core"
+	"rulematch/internal/rule"
+	"rulematch/internal/table"
+)
+
+// PredicateResult is one predicate evaluation.
+type PredicateResult struct {
+	Feature   string // feature key
+	Op        rule.Op
+	Threshold float64
+	Value     float64
+	Pass      bool
+	// Gap is how far the value is from satisfying the predicate: 0 when
+	// it passes, otherwise the distance to the threshold.
+	Gap float64
+}
+
+// RuleResult is one rule's full evaluation (no early exit — every
+// predicate is computed so the analyst sees the whole picture).
+type RuleResult struct {
+	Name  string
+	Preds []PredicateResult
+	True  bool
+	// TotalGap sums failing predicates' gaps; 0 for a true rule. It
+	// orders rules by "how close they came" to matching the pair.
+	TotalGap float64
+}
+
+// Explanation is the full evaluation of one candidate pair.
+type Explanation struct {
+	Pair      table.Pair
+	Rules     []RuleResult
+	Matched   bool
+	MatchedBy string // first true rule's name, "" if unmatched
+}
+
+// Pair evaluates every predicate of every rule for the pair. It reads
+// feature values fresh (no memo side effects).
+func Pair(c *core.Compiled, p table.Pair) *Explanation {
+	e := &Explanation{Pair: p}
+	for ri := range c.Rules {
+		r := &c.Rules[ri]
+		rr := RuleResult{Name: r.Name, True: true}
+		for _, cp := range r.Preds {
+			v := c.ComputeFeature(cp.Feat, p)
+			pass := cp.Eval(v)
+			gap := 0.0
+			if !pass {
+				gap = math.Abs(v - cp.Threshold)
+				rr.True = false
+			}
+			rr.Preds = append(rr.Preds, PredicateResult{
+				Feature:   c.Features[cp.Feat].Key,
+				Op:        cp.Op,
+				Threshold: cp.Threshold,
+				Value:     v,
+				Pass:      pass,
+				Gap:       gap,
+			})
+			rr.TotalGap += gap
+		}
+		if rr.True && e.MatchedBy == "" {
+			e.Matched = true
+			e.MatchedBy = r.Name
+		}
+		e.Rules = append(e.Rules, rr)
+	}
+	return e
+}
+
+// NearestRules returns the rules ordered by ascending total gap — the
+// rules that came closest to matching the pair first. True rules have
+// gap 0 and sort first.
+func (e *Explanation) NearestRules() []RuleResult {
+	out := append([]RuleResult(nil), e.Rules...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalGap < out[j].TotalGap })
+	return out
+}
+
+// Format writes a human-readable report, including the record values
+// when tables are provided (either may be nil).
+func (e *Explanation) Format(w io.Writer, a, b *table.Table) {
+	if a != nil && b != nil {
+		fmt.Fprintf(w, "A %s: %v\n", a.Records[e.Pair.A].ID, a.Records[e.Pair.A].Values)
+		fmt.Fprintf(w, "B %s: %v\n", b.Records[e.Pair.B].ID, b.Records[e.Pair.B].Values)
+	}
+	for _, rr := range e.Rules {
+		fmt.Fprintf(w, "rule %s:\n", rr.Name)
+		for _, pr := range rr.Preds {
+			mark := "PASS"
+			if !pr.Pass {
+				mark = fmt.Sprintf("fail (off by %.4f)", pr.Gap)
+			}
+			fmt.Fprintf(w, "  %s = %.4f  %s %g  -> %s\n", pr.Feature, pr.Value, pr.Op, pr.Threshold, mark)
+		}
+		if rr.True {
+			fmt.Fprintf(w, "  => rule %s MATCHES\n", rr.Name)
+		}
+	}
+	if e.Matched {
+		fmt.Fprintf(w, "verdict: MATCH via %s\n", e.MatchedBy)
+	} else {
+		nearest := e.NearestRules()
+		fmt.Fprintf(w, "verdict: NO MATCH; closest rule %s (total gap %.4f)\n",
+			nearest[0].Name, nearest[0].TotalGap)
+	}
+}
+
+// Suggestion proposes the smallest threshold relaxations of one rule
+// that would make it cover the pair.
+type Suggestion struct {
+	Rule    string
+	Changes []ThresholdChange
+}
+
+// ThresholdChange is one proposed edit.
+type ThresholdChange struct {
+	Feature      string
+	Op           rule.Op
+	OldThreshold float64
+	NewThreshold float64
+}
+
+// Suggest returns, for an unmatched pair, the edit set that would make
+// the closest rule cover it: for each failing predicate of that rule,
+// the threshold moved just past the pair's feature value. The analyst
+// still judges whether the relaxation is safe — this automates only the
+// arithmetic.
+func (e *Explanation) Suggest() *Suggestion {
+	if e.Matched {
+		return nil
+	}
+	nearest := e.NearestRules()[0]
+	s := &Suggestion{Rule: nearest.Name}
+	for _, pr := range nearest.Preds {
+		if pr.Pass {
+			continue
+		}
+		// Move the threshold to the value itself; Ge/Le become satisfied
+		// exactly, Gt/Lt need a hair beyond.
+		nt := pr.Value
+		switch pr.Op {
+		case rule.Gt:
+			nt = math.Nextafter(pr.Value, math.Inf(-1))
+		case rule.Lt:
+			nt = math.Nextafter(pr.Value, math.Inf(1))
+		}
+		s.Changes = append(s.Changes, ThresholdChange{
+			Feature:      pr.Feature,
+			Op:           pr.Op,
+			OldThreshold: pr.Threshold,
+			NewThreshold: nt,
+		})
+	}
+	return s
+}

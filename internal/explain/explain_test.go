@@ -1,0 +1,169 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rulematch/internal/core"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+func buildCase(t *testing.T) (*core.Compiled, []table.Pair) {
+	t.Helper()
+	a := table.MustNew("A", []string{"name", "city"})
+	b := table.MustNew("B", []string{"name", "city"})
+	a.Append("a0", "matthew richardson", "seattle")
+	a.Append("a1", "john smith", "madison")
+	b.Append("b0", "matt richardson", "seattle")
+	b.Append("b1", "entirely different", "nowhere")
+	f, err := rule.ParseFunction(`
+rule r1: jaro_winkler(name, name) >= 0.9 and exact_match(city, city) >= 1
+rule r2: trigram(name, name) >= 0.95`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []table.Pair
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			pairs = append(pairs, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	return c, pairs
+}
+
+func TestExplainMatchedPair(t *testing.T) {
+	c, pairs := buildCase(t)
+	e := Pair(c, pairs[0]) // matthew ~ matt, same city
+	if !e.Matched || e.MatchedBy != "r1" {
+		t.Fatalf("explanation = matched %v by %q", e.Matched, e.MatchedBy)
+	}
+	if len(e.Rules) != 2 {
+		t.Fatalf("rules evaluated = %d", len(e.Rules))
+	}
+	if !e.Rules[0].True {
+		t.Error("r1 not reported true")
+	}
+	if e.Rules[0].TotalGap != 0 {
+		t.Error("true rule has non-zero gap")
+	}
+	// Every predicate value is recorded.
+	for _, pr := range e.Rules[0].Preds {
+		if pr.Value < 0 || pr.Value > 1 {
+			t.Errorf("predicate value out of range: %+v", pr)
+		}
+	}
+}
+
+func TestExplainUnmatchedPairGapsAndNearest(t *testing.T) {
+	c, pairs := buildCase(t)
+	e := Pair(c, pairs[1]) // matthew ~ entirely different
+	if e.Matched {
+		t.Fatal("dissimilar pair matched")
+	}
+	nearest := e.NearestRules()
+	if len(nearest) != 2 {
+		t.Fatal("nearest rules missing")
+	}
+	if nearest[0].TotalGap > nearest[1].TotalGap {
+		t.Error("nearest rules not sorted by gap")
+	}
+	for _, rr := range e.Rules {
+		for _, pr := range rr.Preds {
+			if pr.Pass && pr.Gap != 0 {
+				t.Errorf("passing predicate has gap %v", pr.Gap)
+			}
+			if !pr.Pass && pr.Gap <= 0 {
+				t.Errorf("failing predicate has gap %v", pr.Gap)
+			}
+		}
+	}
+}
+
+func TestSuggestMakesRuleCover(t *testing.T) {
+	c, pairs := buildCase(t)
+	// a1b0: john smith vs matt richardson — nothing close.
+	e := Pair(c, pairs[2])
+	if e.Matched {
+		t.Skip("fixture unexpectedly matched")
+	}
+	s := e.Suggest()
+	if s == nil || len(s.Changes) == 0 {
+		t.Fatal("no suggestion for unmatched pair")
+	}
+	// Apply the suggested thresholds to the named rule and re-explain:
+	// the rule must now cover the pair.
+	ri := -1
+	for i := range c.Rules {
+		if c.Rules[i].Name == s.Rule {
+			ri = i
+		}
+	}
+	if ri < 0 {
+		t.Fatalf("suggestion names unknown rule %q", s.Rule)
+	}
+	for _, ch := range s.Changes {
+		for pj := range c.Rules[ri].Preds {
+			p := &c.Rules[ri].Preds[pj]
+			if c.Features[p.Feat].Key == ch.Feature && p.Op == ch.Op && p.Threshold == ch.OldThreshold {
+				p.Threshold = ch.NewThreshold
+			}
+		}
+	}
+	e2 := Pair(c, pairs[2])
+	if !e2.Matched {
+		t.Error("applying the suggestion did not make the pair match")
+	}
+}
+
+func TestSuggestNilForMatched(t *testing.T) {
+	c, pairs := buildCase(t)
+	e := Pair(c, pairs[0])
+	if e.Suggest() != nil {
+		t.Error("suggestion produced for a matched pair")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	c, pairs := buildCase(t)
+	var sb strings.Builder
+	Pair(c, pairs[0]).Format(&sb, c.A, c.B)
+	out := sb.String()
+	for _, want := range []string{"rule r1", "MATCH via r1", "jaro_winkler(name,name)", "a0", "b0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	Pair(c, pairs[1]).Format(&sb2, nil, nil)
+	if !strings.Contains(sb2.String(), "NO MATCH; closest rule") {
+		t.Errorf("unmatched format missing verdict:\n%s", sb2.String())
+	}
+}
+
+func TestGapOrderingAcrossPairs(t *testing.T) {
+	// For the name-similarity rule r1, the more similar pair must show a
+	// smaller total gap than the dissimilar one.
+	c, _ := buildCase(t)
+	ruleGap := func(p table.Pair) float64 {
+		for _, rr := range Pair(c, p).Rules {
+			if rr.Name == "r1" {
+				return rr.TotalGap
+			}
+		}
+		t.Fatal("r1 missing from explanation")
+		return 0
+	}
+	gClose := ruleGap(table.Pair{A: 1, B: 0}) // john smith ~ matt richardson
+	gFar := ruleGap(table.Pair{A: 1, B: 1})   // john smith ~ entirely different
+	if gClose >= gFar {
+		t.Errorf("gap(close)=%v not < gap(far)=%v", gClose, gFar)
+	}
+	_ = fmt.Sprint(gClose, gFar)
+}

@@ -1,0 +1,161 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rulematch/internal/rule"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size; 0 means 10.
+	Trees int
+	// MaxDepth per tree; 0 means 8.
+	MaxDepth int
+	// MinLeaf per tree; 0 means 2.
+	MinLeaf int
+	// Seed drives bootstrap sampling and feature subsetting.
+	Seed int64
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	Trees []*Tree
+}
+
+// TrainForest fits an ensemble of CART trees, each on a bootstrap
+// sample with sqrt(F) random features per split.
+func TrainForest(X [][]float64, y []bool, cfg ForestConfig) (*Forest, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("forest: need equal non-zero samples and labels (got %d, %d)", len(X), len(y))
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numFeats := len(X[0])
+	perSplit := int(math.Ceil(math.Sqrt(float64(numFeats))))
+	f := &Forest{}
+	n := len(X)
+	for t := 0; t < cfg.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]bool, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree, err := TrainTree(bx, by, TreeConfig{
+			MaxDepth:         cfg.MaxDepth,
+			MinLeaf:          cfg.MinLeaf,
+			FeaturesPerSplit: perSplit,
+			Rng:              rand.New(rand.NewSource(rng.Int63())),
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the majority vote over the ensemble.
+func (f *Forest) Predict(x []float64) bool {
+	votes := 0
+	for _, t := range f.Trees {
+		if t.Predict(x) {
+			votes++
+		}
+	}
+	return votes*2 > len(f.Trees)
+}
+
+// ExtractRules pools the positive-path rules of every tree, drops
+// duplicates and always-false contradictions, canonicalizes each rule,
+// and names them r1..rN in a deterministic order.
+func (f *Forest) ExtractRules(features []rule.Feature, minPurity float64, minSupport int) []rule.Rule {
+	seen := make(map[string]struct{})
+	var out []rule.Rule
+	for _, t := range f.Trees {
+		for _, r := range t.ExtractRules(features, minPurity, minSupport) {
+			canon, err := rule.Canonicalize(r)
+			if err != nil {
+				continue // contradictory path (possible after merging bounds)
+			}
+			key := canonicalKey(canon)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, canon)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return canonicalKey(out[i]) < canonicalKey(out[j]) })
+	for i := range out {
+		out[i].Name = fmt.Sprintf("r%d", i+1)
+	}
+	return out
+}
+
+// canonicalKey renders a rule with predicates sorted, making rule
+// identity independent of predicate order.
+func canonicalKey(r rule.Rule) string {
+	keys := make([]string, len(r.Preds))
+	for i, p := range r.Preds {
+		keys[i] = p.Key()
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + ";"
+	}
+	return s
+}
+
+// FeatureImportance returns, per feature column, the fraction of
+// internal split nodes across the ensemble that split on it — a cheap
+// split-count importance. It tells the analyst which features the
+// forest found discriminative (the "used features" of Table 2 are
+// those that survive into extracted rules).
+func (f *Forest) FeatureImportance(numFeatures int) []float64 {
+	counts := make([]float64, numFeatures)
+	total := 0.0
+	for _, t := range f.Trees {
+		var walk func(nd *node)
+		walk = func(nd *node) {
+			if nd.leaf {
+				return
+			}
+			if nd.feat < numFeatures {
+				counts[nd.feat]++
+				total++
+			}
+			walk(nd.left)
+			walk(nd.right)
+		}
+		walk(t.root)
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}
+
+// Accuracy evaluates the forest on a labeled set.
+func (f *Forest) Accuracy(X [][]float64, y []bool) float64 {
+	if len(X) == 0 {
+		return 1
+	}
+	ok := 0
+	for i, x := range X {
+		if f.Predict(x) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}

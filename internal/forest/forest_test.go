@@ -1,0 +1,225 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"rulematch/internal/rule"
+)
+
+// separableData builds a dataset where class = (f0 >= 0.6 && f1 < 0.4),
+// with a little noise in the irrelevant feature f2.
+func separableData(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		f0, f1, f2 := rng.Float64(), rng.Float64(), rng.Float64()
+		X[i] = []float64{f0, f1, f2}
+		y[i] = f0 >= 0.6 && f1 < 0.4
+	}
+	return X, y
+}
+
+var testFeatures = []rule.Feature{
+	{Sim: "jaro", AttrA: "a", AttrB: "a"},
+	{Sim: "jaccard", AttrA: "b", AttrB: "b"},
+	{Sim: "trigram", AttrA: "c", AttrB: "c"},
+}
+
+func TestTreeLearnsSeparableConcept(t *testing.T) {
+	X, y := separableData(400, 1)
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := separableData(200, 2)
+	ok := 0
+	for i := range Xt {
+		if tree.Predict(Xt[i]) == yt[i] {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(Xt)); acc < 0.95 {
+		t.Errorf("tree accuracy = %v, want >= 0.95", acc)
+	}
+	if tree.Depth() == 0 || tree.Leaves() < 2 {
+		t.Errorf("degenerate tree: depth=%d leaves=%d", tree.Depth(), tree.Leaves())
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	X := [][]float64{{0.1}, {0.2}, {0.3}}
+	y := []bool{true, true, true}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 1 {
+		t.Errorf("pure data grew %d leaves", tree.Leaves())
+	}
+	if !tree.Predict([]float64{0.9}) {
+		t.Error("pure-positive tree predicts false")
+	}
+}
+
+func TestTrainTreeErrors(t *testing.T) {
+	if _, err := TrainTree(nil, nil, TreeConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := TrainTree([][]float64{{1}}, []bool{true, false}, TreeConfig{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestTreeExtractRulesMatchSemantics(t *testing.T) {
+	X, y := separableData(500, 3)
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.ExtractRules(testFeatures, 0.9, 3)
+	if len(rules) == 0 {
+		t.Fatal("no rules extracted")
+	}
+	evalRules := func(x []float64) bool {
+		for _, r := range rules {
+			all := true
+			for _, p := range r.Preds {
+				fi := -1
+				for k, f := range testFeatures {
+					if f.Key() == p.Feature.Key() {
+						fi = k
+					}
+				}
+				if fi < 0 {
+					t.Fatalf("rule references unknown feature %v", p.Feature)
+				}
+				if !p.Eval(x[fi]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	// The extracted DNF must agree with the tree on its positive side
+	// for high-purity leaves; check global agreement is high.
+	Xt, _ := separableData(300, 4)
+	agree := 0
+	for i := range Xt {
+		if evalRules(Xt[i]) == tree.Predict(Xt[i]) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(Xt)); frac < 0.9 {
+		t.Errorf("rules agree with tree on %v, want >= 0.9", frac)
+	}
+}
+
+func TestExtractRulesMergesBounds(t *testing.T) {
+	// Depth-2 tree splitting twice on feature 0 must yield merged
+	// single-feature bounds, not duplicated predicates.
+	X := [][]float64{{0.1}, {0.3}, {0.5}, {0.7}, {0.9}, {0.15}, {0.35}, {0.55}, {0.75}, {0.95}}
+	y := []bool{false, false, true, true, false, false, false, true, true, false}
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 3, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.ExtractRules(testFeatures[:1], 0.99, 1)
+	for _, r := range rules {
+		canon, err := rule.Canonicalize(r)
+		if err != nil {
+			t.Fatalf("extracted contradictory rule %v: %v", r, err)
+		}
+		if len(canon.Preds) != len(r.Preds) {
+			t.Errorf("rule %v not canonical (bounds unmerged)", r)
+		}
+		if len(r.Preds) > 2 {
+			t.Errorf("single-feature rule has %d predicates", len(r.Preds))
+		}
+	}
+}
+
+func TestForestBetterOrEqualSingleTreeAndRules(t *testing.T) {
+	X, y := separableData(600, 5)
+	f, err := TrainForest(X, y, ForestConfig{Trees: 15, MaxDepth: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := separableData(300, 6)
+	if acc := f.Accuracy(Xt, yt); acc < 0.93 {
+		t.Errorf("forest accuracy = %v", acc)
+	}
+	rules := f.ExtractRules(testFeatures, 0.85, 3)
+	if len(rules) < 3 {
+		t.Errorf("forest extracted only %d rules", len(rules))
+	}
+	// Rule names assigned deterministically.
+	for i, r := range rules {
+		if r.Name == "" {
+			t.Fatalf("rule %d unnamed", i)
+		}
+	}
+	// Deduplication: no two rules with the same canonical key.
+	seen := map[string]bool{}
+	for _, r := range rules {
+		k := canonicalKey(r)
+		if seen[k] {
+			t.Errorf("duplicate rule %s", r)
+		}
+		seen[k] = true
+	}
+}
+
+func TestForestDeterministicForSeed(t *testing.T) {
+	X, y := separableData(200, 7)
+	f1, _ := TrainForest(X, y, ForestConfig{Trees: 5, Seed: 11})
+	f2, _ := TrainForest(X, y, ForestConfig{Trees: 5, Seed: 11})
+	r1 := f1.ExtractRules(testFeatures, 0.8, 2)
+	r2 := f2.ExtractRules(testFeatures, 0.8, 2)
+	if len(r1) != len(r2) {
+		t.Fatalf("rule counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].String() != r2[i].String() {
+			t.Fatal("same seed produced different rules")
+		}
+	}
+}
+
+func TestTrainForestErrors(t *testing.T) {
+	if _, err := TrainForest(nil, nil, ForestConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	X, y := separableData(500, 11)
+	f, err := TrainForest(X, y, ForestConfig{Trees: 20, MaxDepth: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance(3)
+	if len(imp) != 3 {
+		t.Fatalf("importance length = %d", len(imp))
+	}
+	var sum float64
+	for _, v := range imp {
+		if v < 0 || v > 1 {
+			t.Errorf("importance out of range: %v", imp)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	// The concept depends on features 0 and 1; the noise feature 2 must
+	// rank last.
+	if imp[2] >= imp[0] || imp[2] >= imp[1] {
+		t.Errorf("noise feature ranked too high: %v", imp)
+	}
+}

@@ -1,0 +1,295 @@
+// Package forest implements CART decision trees and a random forest
+// over entity-matching feature vectors, plus extraction of positive
+// root-to-leaf paths as CNF matching rules. The paper's 255-rule
+// Products rule set was produced exactly this way (Section 7.1); the
+// extracted rules mix >= and < predicates over a shared feature pool,
+// as in its Figure 4.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rulematch/internal/rule"
+)
+
+// TreeConfig controls CART training.
+type TreeConfig struct {
+	// MaxDepth bounds the tree depth (root = depth 0); 0 means 8.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; 0 means 2.
+	MinLeaf int
+	// FeaturesPerSplit restricts each split to a random subset of
+	// features (random-forest style); 0 considers all features.
+	FeaturesPerSplit int
+	// Rng supplies randomness for feature subsetting; nil uses a fixed
+	// seed.
+	Rng *rand.Rand
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.Rng == nil {
+		c.Rng = rand.New(rand.NewSource(1))
+	}
+	return c
+}
+
+type node struct {
+	leaf   bool
+	match  bool    // leaf prediction
+	purity float64 // fraction of majority class at the leaf
+	n      int     // training samples at the leaf
+
+	feat        int // split feature (internal nodes)
+	thr         float64
+	left, right *node // left: x[feat] < thr, right: x[feat] >= thr
+}
+
+// Tree is a trained CART binary classifier.
+type Tree struct {
+	root     *node
+	numFeats int
+}
+
+// TrainTree fits a CART tree with Gini impurity on X (rows = samples,
+// columns = features) and boolean labels y.
+func TrainTree(X [][]float64, y []bool, cfg TreeConfig) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("forest: need equal non-zero samples and labels (got %d, %d)", len(X), len(y))
+	}
+	cfg = cfg.withDefaults()
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{numFeats: len(X[0])}
+	t.root = grow(X, y, idx, 0, cfg)
+	return t, nil
+}
+
+func grow(X [][]float64, y []bool, idx []int, depth int, cfg TreeConfig) *node {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	n := len(idx)
+	makeLeaf := func() *node {
+		match := pos*2 >= n
+		maj := pos
+		if !match {
+			maj = n - pos
+		}
+		return &node{leaf: true, match: match, purity: float64(maj) / float64(n), n: n}
+	}
+	if depth >= cfg.MaxDepth || n < 2*cfg.MinLeaf || pos == 0 || pos == n {
+		return makeLeaf()
+	}
+	feat, thr, ok := bestSplit(X, y, idx, cfg)
+	if !ok {
+		return makeLeaf()
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] < thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return makeLeaf()
+	}
+	return &node{
+		feat:  feat,
+		thr:   thr,
+		left:  grow(X, y, left, depth+1, cfg),
+		right: grow(X, y, right, depth+1, cfg),
+	}
+}
+
+// bestSplit finds the (feature, threshold) minimizing weighted Gini
+// impurity, scanning sorted feature values.
+func bestSplit(X [][]float64, y []bool, idx []int, cfg TreeConfig) (int, float64, bool) {
+	numFeats := len(X[idx[0]])
+	feats := make([]int, numFeats)
+	for f := range feats {
+		feats[f] = f
+	}
+	if cfg.FeaturesPerSplit > 0 && cfg.FeaturesPerSplit < numFeats {
+		cfg.Rng.Shuffle(numFeats, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:cfg.FeaturesPerSplit]
+		sort.Ints(feats)
+	}
+	type fv struct {
+		v float64
+		y bool
+	}
+	n := len(idx)
+	totalPos := 0
+	for _, i := range idx {
+		if y[i] {
+			totalPos++
+		}
+	}
+	bestGini := math.Inf(1)
+	bestFeat, bestThr := -1, 0.0
+	vals := make([]fv, n)
+	for _, f := range feats {
+		for k, i := range idx {
+			vals[k] = fv{v: X[i][f], y: y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		leftPos, leftN := 0, 0
+		for k := 0; k < n-1; k++ {
+			if vals[k].y {
+				leftPos++
+			}
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue // can't split between equal values
+			}
+			rightPos := totalPos - leftPos
+			rightN := n - leftN
+			g := weightedGini(leftPos, leftN, rightPos, rightN)
+			if g < bestGini {
+				bestGini = g
+				bestFeat = f
+				bestThr = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, false
+	}
+	// Reject splits that don't improve over the parent impurity.
+	parent := gini(totalPos, n)
+	if bestGini >= parent-1e-12 {
+		return 0, 0, false
+	}
+	return bestFeat, bestThr, true
+}
+
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+func weightedGini(lp, ln, rp, rn int) float64 {
+	n := ln + rn
+	return float64(ln)/float64(n)*gini(lp, ln) + float64(rn)/float64(n)*gini(rp, rn)
+}
+
+// Predict classifies one feature vector.
+func (t *Tree) Predict(x []float64) bool {
+	nd := t.root
+	for !nd.leaf {
+		if x[nd.feat] < nd.thr {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.match
+}
+
+// Depth returns the tree depth.
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(nd *node) int {
+	if nd.leaf {
+		return 0
+	}
+	l, r := depthOf(nd.left), depthOf(nd.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leavesOf(t.root) }
+
+func leavesOf(nd *node) int {
+	if nd.leaf {
+		return 1
+	}
+	return leavesOf(nd.left) + leavesOf(nd.right)
+}
+
+// ExtractRules converts every leaf predicting "match" with purity >=
+// minPurity and at least minSupport training samples into a CNF rule.
+// Right branches contribute feature >= threshold predicates, left
+// branches feature < threshold; per-feature bounds along a path are
+// merged to the tightest. features maps column index to rule features.
+func (t *Tree) ExtractRules(features []rule.Feature, minPurity float64, minSupport int) []rule.Rule {
+	if len(features) < t.numFeats {
+		panic(fmt.Sprintf("forest: %d feature descriptors for %d columns", len(features), t.numFeats))
+	}
+	var out []rule.Rule
+	type bound struct {
+		lower    float64
+		hasLower bool
+		upper    float64
+		hasUpper bool
+	}
+	var walk func(nd *node, path map[int]bound, order []int)
+	walk = func(nd *node, path map[int]bound, order []int) {
+		if nd.leaf {
+			if !nd.match || nd.purity < minPurity || nd.n < minSupport || len(order) == 0 {
+				return
+			}
+			var r rule.Rule
+			for _, f := range order {
+				b := path[f]
+				if b.hasLower {
+					r.Preds = append(r.Preds, rule.Predicate{Feature: features[f], Op: rule.Ge, Threshold: b.lower})
+				}
+				if b.hasUpper {
+					r.Preds = append(r.Preds, rule.Predicate{Feature: features[f], Op: rule.Lt, Threshold: b.upper})
+				}
+			}
+			out = append(out, r)
+			return
+		}
+		b, seen := path[nd.feat]
+		saved := b
+		// Left: x < thr tightens the upper bound.
+		nb := b
+		if !nb.hasUpper || nd.thr < nb.upper {
+			nb.upper, nb.hasUpper = nd.thr, true
+		}
+		path[nd.feat] = nb
+		newOrder := order
+		if !seen {
+			newOrder = append(order, nd.feat)
+		}
+		walk(nd.left, path, newOrder)
+		// Right: x >= thr tightens the lower bound.
+		nb = b
+		if !nb.hasLower || nd.thr > nb.lower {
+			nb.lower, nb.hasLower = nd.thr, true
+		}
+		path[nd.feat] = nb
+		walk(nd.right, path, newOrder)
+		if seen {
+			path[nd.feat] = saved
+		} else {
+			delete(path, nd.feat)
+		}
+	}
+	walk(t.root, make(map[int]bound), nil)
+	return out
+}

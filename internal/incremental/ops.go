@@ -1,0 +1,360 @@
+package incremental
+
+import (
+	"fmt"
+
+	"rulematch/internal/bitmap"
+	"rulematch/internal/core"
+	"rulematch/internal/rule"
+)
+
+// owner returns the index of the rule that matched pair pi, or -1.
+// Ownership is tracked lazily: built on first use after RunFull and
+// updated by every operation.
+func (s *Session) ownerOf(pi int) int {
+	s.ensureOwners()
+	return int(s.owners[pi])
+}
+
+func (s *Session) ensureOwners() {
+	if s.owners != nil {
+		return
+	}
+	s.owners = make([]int32, len(s.M.Pairs))
+	for i := range s.owners {
+		s.owners[i] = -1
+	}
+	for ri := range s.St.RuleTrue {
+		ri := ri
+		s.St.RuleTrue[ri].ForEach(func(pi int) bool {
+			s.owners[pi] = int32(ri)
+			return true
+		})
+	}
+}
+
+func (s *Session) setOwner(pi, ri int) {
+	s.ensureOwners()
+	s.owners[pi] = int32(ri)
+}
+
+// AddPredicate appends predicate p to rule ri and incrementally updates
+// the match result (Algorithm 7): only pairs previously matched *by*
+// rule ri are re-examined; those that now fail are re-evaluated against
+// the rules after ri.
+func (s *Session) AddPredicate(ri int, p rule.Predicate) error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	if err := s.checkRule(ri); err != nil {
+		return err
+	}
+	cp, err := s.bindPredicate(p)
+	if err != nil {
+		return err
+	}
+	before := s.M.Stats
+	r := &s.M.C.Rules[ri]
+	r.Preds = append(r.Preds, cp)
+	pj := len(r.Preds) - 1
+	s.St.PredFalse[ri] = append(s.St.PredFalse[ri], bitmap.New(len(s.M.Pairs)))
+
+	examined := 0
+	owned := s.St.RuleTrue[ri].Indices()
+	for _, pi := range owned {
+		examined++
+		v := s.M.FeatureValue(cp.Feat, pi)
+		s.M.Stats.PredEvals++
+		if cp.Eval(v) {
+			continue
+		}
+		s.St.PredFalse[ri][pj].Set(pi)
+		s.St.RuleTrue[ri].Clear(pi)
+		s.St.Matched.Clear(pi)
+		s.setOwner(pi, -1)
+		if s.reEvalAfter(ri, pi) {
+			s.setOwner(pi, s.findOwnerAfter(ri, pi))
+		}
+	}
+	s.LastOp = OpReport{Op: "add_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
+	return nil
+}
+
+// findOwnerAfter locates the rule (after ri) whose RuleTrue was just set
+// for pi by reEvalAfter.
+func (s *Session) findOwnerAfter(ri, pi int) int {
+	for rj := ri + 1; rj < len(s.St.RuleTrue); rj++ {
+		if s.St.RuleTrue[rj].Get(pi) {
+			return rj
+		}
+	}
+	return -1
+}
+
+// TightenPredicate makes predicate pj of rule ri stricter by moving its
+// threshold (Algorithm 7's second guise: a stricter predicate is an
+// added constraint). For >=/> predicates the threshold must increase,
+// for <=/< it must decrease.
+func (s *Session) TightenPredicate(ri, pj int, newThreshold float64) error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	if err := s.checkPred(ri, pj); err != nil {
+		return err
+	}
+	p := &s.M.C.Rules[ri].Preds[pj]
+	if err := checkDirection(p, newThreshold, true); err != nil {
+		return err
+	}
+	before := s.M.Stats
+	p.Threshold = newThreshold
+
+	examined := 0
+	owned := s.St.RuleTrue[ri].Indices()
+	for _, pi := range owned {
+		examined++
+		v := s.M.FeatureValue(p.Feat, pi)
+		s.M.Stats.PredEvals++
+		if p.Eval(v) {
+			continue
+		}
+		s.St.PredFalse[ri][pj].Set(pi)
+		s.St.RuleTrue[ri].Clear(pi)
+		s.St.Matched.Clear(pi)
+		s.setOwner(pi, -1)
+		if s.reEvalAfter(ri, pi) {
+			s.setOwner(pi, s.findOwnerAfter(ri, pi))
+		}
+	}
+	s.LastOp = OpReport{Op: "tighten_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
+	return nil
+}
+
+// RelaxPredicate makes predicate pj of rule ri less strict (Algorithm
+// 8). Pairs for which the predicate was recorded false are re-examined:
+// unmatched ones may now match through rule ri; matched ones owned by a
+// later rule may migrate ownership to ri to preserve the first-true-rule
+// invariant.
+func (s *Session) RelaxPredicate(ri, pj int, newThreshold float64) error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	if err := s.checkPred(ri, pj); err != nil {
+		return err
+	}
+	p := &s.M.C.Rules[ri].Preds[pj]
+	if err := checkDirection(p, newThreshold, false); err != nil {
+		return err
+	}
+	before := s.M.Stats
+	p.Threshold = newThreshold
+
+	examined, moves := 0, 0
+	falseSet := s.St.PredFalse[ri][pj].Indices()
+	for _, pi := range falseSet {
+		examined++
+		v := s.M.FeatureValue(p.Feat, pi)
+		s.M.Stats.PredEvals++
+		if !p.Eval(v) {
+			continue // still false; the recorded bit stays sound
+		}
+		s.St.PredFalse[ri][pj].Clear(pi)
+		if !s.St.Matched.Get(pi) {
+			// Previously unmatched: rule ri may now fire. All predicates
+			// must be re-checked (footnote 2: check-cache-first means the
+			// stored exit point is order-dependent).
+			if s.evalRuleRecordFalse(ri, pi) {
+				s.St.RuleTrue[ri].Set(pi)
+				s.St.Matched.Set(pi)
+				s.setOwner(pi, ri)
+			}
+			continue
+		}
+		// Matched pair: if owned by a later rule and ri now fires,
+		// ownership migrates to keep invariant 1 sound.
+		if owner := s.ownerOf(pi); owner > ri {
+			if s.evalRuleRecordFalse(ri, pi) {
+				s.St.RuleTrue[owner].Clear(pi)
+				s.St.RuleTrue[ri].Set(pi)
+				s.setOwner(pi, ri)
+				moves++
+			}
+		}
+	}
+	s.LastOp = OpReport{Op: "relax_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats), OwnershipMoves: moves}
+	return nil
+}
+
+// RemovePredicate deletes predicate pj from rule ri (Algorithm 8 with
+// an always-true replacement): pairs whose recorded failure was this
+// predicate are re-examined against the rest of the rule.
+func (s *Session) RemovePredicate(ri, pj int) error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	if err := s.checkPred(ri, pj); err != nil {
+		return err
+	}
+	r := &s.M.C.Rules[ri]
+	if len(r.Preds) == 1 {
+		return fmt.Errorf("incremental: cannot remove the only predicate of rule %q; remove the rule instead", r.Name)
+	}
+	before := s.M.Stats
+	falseSet := s.St.PredFalse[ri][pj].Indices()
+	r.Preds = append(r.Preds[:pj], r.Preds[pj+1:]...)
+	s.St.PredFalse[ri] = append(s.St.PredFalse[ri][:pj], s.St.PredFalse[ri][pj+1:]...)
+
+	examined, moves := 0, 0
+	for _, pi := range falseSet {
+		examined++
+		if !s.St.Matched.Get(pi) {
+			if s.evalRuleRecordFalse(ri, pi) {
+				s.St.RuleTrue[ri].Set(pi)
+				s.St.Matched.Set(pi)
+				s.setOwner(pi, ri)
+			}
+			continue
+		}
+		if owner := s.ownerOf(pi); owner > ri {
+			if s.evalRuleRecordFalse(ri, pi) {
+				s.St.RuleTrue[owner].Clear(pi)
+				s.St.RuleTrue[ri].Set(pi)
+				s.setOwner(pi, ri)
+				moves++
+			}
+		}
+	}
+	s.LastOp = OpReport{Op: "remove_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats), OwnershipMoves: moves}
+	return nil
+}
+
+// RemoveRule deletes rule ri (Algorithm 9): only pairs matched by ri are
+// re-evaluated, and only against the rules that followed it.
+func (s *Session) RemoveRule(ri int) error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	if err := s.checkRule(ri); err != nil {
+		return err
+	}
+	before := s.M.Stats
+	orphans := s.St.RuleTrue[ri].Indices()
+	s.M.C.RemoveRule(ri)
+	s.St.RuleTrue = append(s.St.RuleTrue[:ri], s.St.RuleTrue[ri+1:]...)
+	s.St.PredFalse = append(s.St.PredFalse[:ri], s.St.PredFalse[ri+1:]...)
+	s.ensureOwners()
+	for pi := range s.owners {
+		if int(s.owners[pi]) > ri {
+			s.owners[pi]--
+		}
+	}
+	examined := 0
+	for _, pi := range orphans {
+		examined++
+		s.St.Matched.Clear(pi)
+		s.setOwner(pi, -1)
+		// Rules formerly after ri now start at index ri.
+		if s.reEvalAfter(ri-1, pi) {
+			s.setOwner(pi, s.findOwnerAfter(ri-1, pi))
+		}
+	}
+	s.LastOp = OpReport{Op: "remove_rule", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
+	return nil
+}
+
+// AddRule appends a new rule (Algorithm 10): only currently unmatched
+// pairs are evaluated, and only against the new rule.
+func (s *Session) AddRule(r rule.Rule) error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	cr, err := s.M.C.CompileRule(r)
+	if err != nil {
+		return err
+	}
+	before := s.M.Stats
+	s.M.C.Rules = append(s.M.C.Rules, cr)
+	ri := len(s.M.C.Rules) - 1
+	s.St.RuleTrue = append(s.St.RuleTrue, bitmap.New(len(s.M.Pairs)))
+	pf := make([]*bitmap.Bits, len(cr.Preds))
+	for i := range pf {
+		pf[i] = bitmap.New(len(s.M.Pairs))
+	}
+	s.St.PredFalse = append(s.St.PredFalse, pf)
+
+	examined := 0
+	for pi := range s.M.Pairs {
+		if s.St.Matched.Get(pi) {
+			continue
+		}
+		examined++
+		if s.M.EvalRule(ri, pi, s.St) {
+			s.St.RuleTrue[ri].Set(pi)
+			s.St.Matched.Set(pi)
+			s.setOwner(pi, ri)
+		}
+	}
+	s.LastOp = OpReport{Op: "add_rule", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
+	return nil
+}
+
+// SetThreshold changes the threshold of predicate pj of rule ri,
+// dispatching to TightenPredicate or RelaxPredicate based on the
+// direction of the change. A no-op change returns nil immediately.
+func (s *Session) SetThreshold(ri, pj int, newThreshold float64) error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	if err := s.checkPred(ri, pj); err != nil {
+		return err
+	}
+	p := &s.M.C.Rules[ri].Preds[pj]
+	if p.Threshold == newThreshold {
+		s.LastOp = OpReport{Op: "set_threshold_noop"}
+		return nil
+	}
+	stricter := newThreshold > p.Threshold
+	if p.Op.Upper() {
+		stricter = !stricter
+	}
+	if p.Op == rule.Eq {
+		return fmt.Errorf("incremental: cannot move the threshold of an equality predicate incrementally; remove and re-add it")
+	}
+	if stricter {
+		return s.TightenPredicate(ri, pj, newThreshold)
+	}
+	return s.RelaxPredicate(ri, pj, newThreshold)
+}
+
+func (s *Session) checkPred(ri, pj int) error {
+	if err := s.checkRule(ri); err != nil {
+		return err
+	}
+	if pj < 0 || pj >= len(s.M.C.Rules[ri].Preds) {
+		return fmt.Errorf("incremental: predicate index %d out of range [0,%d) in rule %q",
+			pj, len(s.M.C.Rules[ri].Preds), s.M.C.Rules[ri].Name)
+	}
+	return nil
+}
+
+// checkDirection validates that the threshold move matches the intended
+// strictness direction for the predicate's operator.
+func checkDirection(p *core.CompiledPred, newThreshold float64, tighten bool) error {
+	if p.Op == rule.Eq {
+		return fmt.Errorf("incremental: equality predicates cannot be tightened or relaxed")
+	}
+	raising := newThreshold > p.Threshold
+	stricter := raising != p.Op.Upper()
+	if newThreshold == p.Threshold {
+		return fmt.Errorf("incremental: threshold unchanged (%g)", newThreshold)
+	}
+	if stricter != tighten {
+		verb := "tighten"
+		if !tighten {
+			verb = "relax"
+		}
+		return fmt.Errorf("incremental: moving %s threshold from %g to %g does not %s it",
+			p.Op, p.Threshold, newThreshold, verb)
+	}
+	return nil
+}

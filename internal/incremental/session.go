@@ -1,0 +1,256 @@
+// Package incremental implements the incremental matching of Section 6:
+// a Session materializes the memo, per-rule match sets and per-predicate
+// false sets across runs, and applies rule-set changes — add/tighten
+// predicate (Algorithm 7), remove/relax predicate (Algorithm 8), remove
+// rule (Algorithm 9), add rule (Algorithm 10) — touching only affected
+// pairs.
+//
+// Invariants maintained across operations (they make the paper's
+// "re-evaluate only rules after r" optimization sound):
+//
+//  1. Ownership: a matched pair is recorded in RuleTrue of exactly one
+//     rule — the first rule (in current order) that evaluates true for
+//     it — and every earlier rule evaluates false for that pair.
+//  2. Witness: for every unmatched pair, every rule has at least one
+//     predicate with a recorded false bit that is currently false.
+//  3. Soundness: every recorded false bit corresponds to a predicate
+//     that is currently false for that pair.
+//
+// Relaxing or removing a predicate can make an *earlier* rule true for a
+// pair currently owned by a later rule; the session migrates ownership
+// to preserve invariant 1 (the paper's Algorithms 7/8 as literally
+// written would otherwise mis-unmatch such pairs on a later tighten).
+package incremental
+
+import (
+	"fmt"
+
+	"rulematch/internal/core"
+	"rulematch/internal/rule"
+	"rulematch/internal/table"
+)
+
+// Session holds matching state alive across incremental rule changes.
+type Session struct {
+	M  *core.Matcher
+	St *core.MatchState
+	// LastOp reports work done by the most recent operation.
+	LastOp OpReport
+
+	owners []int32 // per-pair owning rule index, -1 when unmatched
+}
+
+// OpReport describes the work performed by one incremental operation.
+type OpReport struct {
+	Op             string
+	PairsExamined  int        // candidate pairs the operation touched
+	Stats          core.Stats // engine work during the operation
+	OwnershipMoves int        // pairs whose owning rule changed
+}
+
+// NewSession compiles nothing itself: pass a compiled function (already
+// ordered if desired) and the candidate pairs. The session enables
+// dynamic memoing and check-cache-first, the paper's recommended
+// configuration for interactive debugging.
+func NewSession(c *core.Compiled, pairs []table.Pair) *Session {
+	m := core.NewMatcher(c, pairs)
+	m.CheckCacheFirst = true
+	return &Session{M: m}
+}
+
+// RunFull evaluates the function from scratch (with memoing) and
+// materializes the state. Call once before incremental operations; the
+// memo persists, so later full runs are cheaper too.
+func (s *Session) RunFull() {
+	before := s.M.Stats
+	s.St = s.M.Match()
+	s.owners = nil // rebuilt lazily from the fresh state
+	s.LastOp = OpReport{Op: "full", PairsExamined: len(s.M.Pairs), Stats: diffStats(before, s.M.Stats)}
+}
+
+// RunFullWithMemo is the "precomputation variation" of §7.6: it
+// re-evaluates every rule for every pair with early exit and the warm
+// memo, rebuilding state, rather than computing the minimal delta.
+func (s *Session) RunFullWithMemo() {
+	s.RunFull()
+	s.LastOp.Op = "full_memo"
+}
+
+// Matched returns whether pair pi currently matches.
+func (s *Session) Matched(pi int) bool { return s.St.Matched.Get(pi) }
+
+// MatchCount returns the current number of matched pairs.
+func (s *Session) MatchCount() int { return s.St.Matched.Count() }
+
+func diffStats(before, after core.Stats) core.Stats {
+	return core.Stats{
+		FeatureComputes: after.FeatureComputes - before.FeatureComputes,
+		MemoHits:        after.MemoHits - before.MemoHits,
+		PredEvals:       after.PredEvals - before.PredEvals,
+		RuleEvals:       after.RuleEvals - before.RuleEvals,
+		PairEvals:       after.PairEvals - before.PairEvals,
+	}
+}
+
+// checkState guards operations that require a prior RunFull.
+func (s *Session) checkState() error {
+	if s.St == nil {
+		return fmt.Errorf("incremental: RunFull must be called before incremental operations")
+	}
+	return nil
+}
+
+func (s *Session) checkRule(ri int) error {
+	if ri < 0 || ri >= len(s.M.C.Rules) {
+		return fmt.Errorf("incremental: rule index %d out of range [0,%d)", ri, len(s.M.C.Rules))
+	}
+	return nil
+}
+
+// reEvalAfter evaluates rules after ri for pair pi (whose earlier rules
+// are known false) and records ownership if one fires. Returns whether
+// the pair matched.
+func (s *Session) reEvalAfter(ri, pi int) bool {
+	for rj := ri + 1; rj < len(s.M.C.Rules); rj++ {
+		if s.M.EvalRule(rj, pi, s.St) {
+			s.St.RuleTrue[rj].Set(pi)
+			s.St.Matched.Set(pi)
+			return true
+		}
+	}
+	return false
+}
+
+// evalRuleRecordFalse evaluates every predicate of rule ri for pair pi
+// (no early exit within the rule), recording false bits for all failing
+// predicates and clearing stale bits for passing ones. Returns whether
+// the rule is true. Used after relaxing/removing predicates where the
+// old exit point is no longer valid (paper footnote 2).
+func (s *Session) evalRuleRecordFalse(ri, pi int) bool {
+	r := &s.M.C.Rules[ri]
+	ok := true
+	for pj := range r.Preds {
+		p := &r.Preds[pj]
+		v := s.M.FeatureValue(p.Feat, pi)
+		if p.Eval(v) {
+			if s.St.PredFalse[ri][pj].Get(pi) {
+				s.St.PredFalse[ri][pj].Clear(pi)
+			}
+		} else {
+			s.St.PredFalse[ri][pj].Set(pi)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// MemoryBytes reports the approximate footprint of the materialized
+// state: memo plus bitmaps (§7.4).
+func (s *Session) MemoryBytes() (memo, bitmaps int64) {
+	if s.M.Memo != nil {
+		memo = s.M.Memo.Bytes()
+	}
+	if s.St != nil {
+		bitmaps = s.St.Bytes()
+	}
+	return memo, bitmaps
+}
+
+// Verify re-evaluates the function from scratch (bypassing all state)
+// and reports the first pair whose incremental match mark disagrees.
+// Intended for tests.
+func (s *Session) Verify() error {
+	if err := s.checkState(); err != nil {
+		return err
+	}
+	fresh := &core.Matcher{C: s.M.C, Pairs: s.M.Pairs}
+	for pi := range s.M.Pairs {
+		want := fresh.EvalPair(pi, nil)
+		if got := s.St.Matched.Get(pi); got != want {
+			return fmt.Errorf("incremental: pair %d (%v): incremental=%v, fresh=%v",
+				pi, s.M.Pairs[pi], got, want)
+		}
+	}
+	return nil
+}
+
+// VerifyDeep checks, beyond Verify, the three state invariants the
+// incremental algorithms rely on (see the package comment): single
+// first-true-rule ownership, witness bits for every unmatched pair and
+// rule, and soundness of every recorded false bit. It is O(pairs ×
+// predicates) of memo lookups; intended for tests.
+func (s *Session) VerifyDeep() error {
+	if err := s.Verify(); err != nil {
+		return err
+	}
+	c := s.M.C
+	evalPred := func(ri, pj, pi int) bool {
+		p := &c.Rules[ri].Preds[pj]
+		return p.Eval(c.ComputeFeature(p.Feat, s.M.Pairs[pi]))
+	}
+	evalRule := func(ri, pi int) bool {
+		for pj := range c.Rules[ri].Preds {
+			if !evalPred(ri, pj, pi) {
+				return false
+			}
+		}
+		return true
+	}
+	for pi := range s.M.Pairs {
+		owners := 0
+		for ri := range c.Rules {
+			if s.St.RuleTrue[ri].Get(pi) {
+				owners++
+				// Invariant 1: the owner fires and every earlier rule
+				// does not.
+				if !evalRule(ri, pi) {
+					return fmt.Errorf("incremental: pair %d owned by rule %d which is false", pi, ri)
+				}
+				for rj := 0; rj < ri; rj++ {
+					if evalRule(rj, pi) {
+						return fmt.Errorf("incremental: pair %d owned by rule %d but earlier rule %d fires", pi, ri, rj)
+					}
+				}
+			}
+			// Invariant 3: recorded false bits are sound.
+			for pj := range c.Rules[ri].Preds {
+				if s.St.PredFalse[ri][pj].Get(pi) && evalPred(ri, pj, pi) {
+					return fmt.Errorf("incremental: pair %d has stale false bit on rule %d predicate %d", pi, ri, pj)
+				}
+			}
+		}
+		if s.St.Matched.Get(pi) {
+			if owners != 1 {
+				return fmt.Errorf("incremental: matched pair %d has %d owners", pi, owners)
+			}
+			continue
+		}
+		if owners != 0 {
+			return fmt.Errorf("incremental: unmatched pair %d has %d owners", pi, owners)
+		}
+		// Invariant 2: every rule has a currently-false recorded witness.
+		for ri := range c.Rules {
+			witness := false
+			for pj := range c.Rules[ri].Preds {
+				if s.St.PredFalse[ri][pj].Get(pi) && !evalPred(ri, pj, pi) {
+					witness = true
+					break
+				}
+			}
+			if !witness {
+				return fmt.Errorf("incremental: unmatched pair %d lacks a witness in rule %d", pi, ri)
+			}
+		}
+	}
+	return nil
+}
+
+// bindPredicate compiles a source-level predicate against the session's
+// tables and similarity library.
+func (s *Session) bindPredicate(p rule.Predicate) (core.CompiledPred, error) {
+	fi, err := s.M.C.BindFeature(p.Feature)
+	if err != nil {
+		return core.CompiledPred{}, err
+	}
+	return core.CompiledPred{Feat: fi, Op: p.Op, Threshold: p.Threshold, Key: p.Key()}, nil
+}

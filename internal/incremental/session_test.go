@@ -1,0 +1,467 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rulematch/internal/core"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// fixture builds two name/phone/city tables with a mix of near and far
+// pairs, and the full cross product as candidates.
+func fixture(t testing.TB) (*table.Table, *table.Table, []table.Pair) {
+	t.Helper()
+	a := table.MustNew("A", []string{"name", "phone", "city"})
+	b := table.MustNew("B", []string{"name", "phone", "city"})
+	rowsA := [][]string{
+		{"matthew richardson", "206-453-1978", "seattle"},
+		{"john smith", "608-263-1000", "madison"},
+		{"maria garcia", "312-555-0148", "chicago"},
+		{"wei chen", "414-555-0199", "milwaukee"},
+		{"sara lopez", "217-555-0123", "springfield"},
+		{"omar patel", "614-555-0177", "columbus"},
+	}
+	rowsB := [][]string{
+		{"matt richardson", "453 1978", "seattle"},
+		{"jon smith", "608-263-1000", "madison"},
+		{"mary garcia", "3125550148", "chicago"},
+		{"alexandra cooper", "212-555-0101", "new york"},
+		{"wei chen", "414-555-0199", "milwaukee"},
+		{"sarah lopez", "217-555-0123", "springfield"},
+		{"omar patel", "614 555 0177", "columbus"},
+	}
+	for i, r := range rowsA {
+		if err := a.Append(fmt.Sprintf("a%d", i), r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range rowsB {
+		if err := b.Append(fmt.Sprintf("b%d", i), r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pairs []table.Pair
+	for i := range rowsA {
+		for j := range rowsB {
+			pairs = append(pairs, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	return a, b, pairs
+}
+
+func newSession(t testing.TB, src string) *Session {
+	t.Helper()
+	a, b, pairs := fixture(t)
+	f, err := rule.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(c, pairs)
+	s.RunFull()
+	return s
+}
+
+const baseFunc = `
+rule r1: jaro_winkler(name, name) >= 0.9 and exact_match(city, city) >= 1
+rule r2: levenshtein(phone, phone) >= 0.9 and jaccard(name, name) >= 0.3
+rule r3: trigram(name, name) >= 0.8
+`
+
+func mustVerify(t *testing.T, s *Session, context string) {
+	t.Helper()
+	if err := s.Verify(); err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+}
+
+func TestRunFullMatchesOracle(t *testing.T) {
+	s := newSession(t, baseFunc)
+	mustVerify(t, s, "after RunFull")
+	if s.MatchCount() == 0 || s.MatchCount() == len(s.M.Pairs) {
+		t.Fatalf("degenerate fixture: %d matches", s.MatchCount())
+	}
+}
+
+func TestOpsRequireRunFull(t *testing.T) {
+	a, b, pairs := fixture(t)
+	f, _ := rule.ParseFunction(baseFunc)
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(c, pairs)
+	if err := s.AddRule(rule.Rule{Name: "x", Preds: []rule.Predicate{{
+		Feature: rule.Feature{Sim: "jaro", AttrA: "name", AttrB: "name"}, Op: rule.Ge, Threshold: 0.5}}}); err == nil {
+		t.Error("AddRule before RunFull accepted")
+	}
+	if err := s.RemoveRule(0); err == nil {
+		t.Error("RemoveRule before RunFull accepted")
+	}
+}
+
+func TestAddPredicate(t *testing.T) {
+	s := newSession(t, baseFunc)
+	before := s.MatchCount()
+	p, err := rule.ParsePredicate("jaccard(city, city) >= 0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPredicate(2, p); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after AddPredicate")
+	if s.MatchCount() > before {
+		t.Error("adding a predicate increased matches")
+	}
+	if s.LastOp.Op != "add_predicate" {
+		t.Errorf("op = %q", s.LastOp.Op)
+	}
+	// Only pairs owned by the changed rule are examined.
+	if s.LastOp.PairsExamined > len(s.M.Pairs) {
+		t.Errorf("examined %d pairs", s.LastOp.PairsExamined)
+	}
+}
+
+func TestAddPredicateWithNewFeature(t *testing.T) {
+	s := newSession(t, baseFunc)
+	nf := len(s.M.C.Features)
+	p, err := rule.ParsePredicate("soundex(name, name) >= 0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPredicate(0, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.M.C.Features) != nf+1 {
+		t.Errorf("features = %d, want %d", len(s.M.C.Features), nf+1)
+	}
+	mustVerify(t, s, "after AddPredicate with new feature")
+}
+
+func TestTightenPredicate(t *testing.T) {
+	s := newSession(t, baseFunc)
+	if err := s.TightenPredicate(2, 0, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after TightenPredicate")
+	// Direction checks.
+	if err := s.TightenPredicate(2, 0, 0.5); err == nil {
+		t.Error("loosening via Tighten accepted")
+	}
+	if err := s.TightenPredicate(2, 0, 0.95); err == nil {
+		t.Error("no-op threshold accepted")
+	}
+}
+
+func TestRelaxPredicate(t *testing.T) {
+	s := newSession(t, baseFunc)
+	before := s.MatchCount()
+	if err := s.RelaxPredicate(0, 0, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after RelaxPredicate")
+	if s.MatchCount() < before {
+		t.Error("relaxing a predicate decreased matches")
+	}
+	if err := s.RelaxPredicate(0, 0, 0.9); err == nil {
+		t.Error("tightening via Relax accepted")
+	}
+}
+
+func TestRemovePredicate(t *testing.T) {
+	s := newSession(t, baseFunc)
+	before := s.MatchCount()
+	if err := s.RemovePredicate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after RemovePredicate")
+	if s.MatchCount() < before {
+		t.Error("removing a predicate decreased matches")
+	}
+	if len(s.M.C.Rules[1].Preds) != 1 {
+		t.Errorf("preds left = %d", len(s.M.C.Rules[1].Preds))
+	}
+	if err := s.RemovePredicate(1, 0); err == nil {
+		t.Error("removing the only predicate accepted")
+	}
+}
+
+func TestRemoveRule(t *testing.T) {
+	s := newSession(t, baseFunc)
+	if err := s.RemoveRule(1); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after RemoveRule(1)")
+	if len(s.M.C.Rules) != 2 {
+		t.Errorf("rules = %d", len(s.M.C.Rules))
+	}
+	// Remove the (new) first rule too.
+	if err := s.RemoveRule(0); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after RemoveRule(0)")
+	if err := s.RemoveRule(5); err == nil {
+		t.Error("out-of-range rule accepted")
+	}
+}
+
+func TestAddRule(t *testing.T) {
+	s := newSession(t, baseFunc)
+	before := s.MatchCount()
+	unmatchedBefore := len(s.M.Pairs) - before
+	r, err := rule.ParseRule("r4: soundex(name, name) >= 0.6 and exact_match(city, city) >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after AddRule")
+	if s.MatchCount() < before {
+		t.Error("adding a rule decreased matches")
+	}
+	// Algorithm 10: only unmatched pairs are examined.
+	if s.LastOp.PairsExamined != unmatchedBefore {
+		t.Errorf("examined %d pairs, want %d unmatched", s.LastOp.PairsExamined, unmatchedBefore)
+	}
+}
+
+func TestSetThresholdDispatch(t *testing.T) {
+	s := newSession(t, baseFunc)
+	if err := s.SetThreshold(2, 0, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastOp.Op != "tighten_predicate" {
+		t.Errorf("op = %q, want tighten", s.LastOp.Op)
+	}
+	if err := s.SetThreshold(2, 0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastOp.Op != "relax_predicate" {
+		t.Errorf("op = %q, want relax", s.LastOp.Op)
+	}
+	if err := s.SetThreshold(2, 0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastOp.Op != "set_threshold_noop" {
+		t.Errorf("op = %q, want noop", s.LastOp.Op)
+	}
+	mustVerify(t, s, "after SetThreshold sequence")
+}
+
+// Regression test for the ownership-migration subtlety: relaxing a
+// predicate makes an EARLIER rule true for a pair owned by a LATER
+// rule; a subsequent tighten of the later rule must not lose the match.
+func TestRelaxThenTightenOwnershipMigration(t *testing.T) {
+	// For the exact-duplicate "wei chen" pair, r1 is initially false
+	// (trigram of identical names is 1, failing the < 0.99 predicate)
+	// while r2 (equal phones) matches it — so r2 owns the pair. Relaxing
+	// r1's upper bound makes the EARLIER rule true for it; ownership
+	// must migrate to r1, or the later RemoveRule(r2) — which only
+	// re-evaluates rules after r2 — would lose the match.
+	src := `
+rule r1: jaro_winkler(name, name) >= 0.9 and trigram(name, name) < 0.99
+rule r2: levenshtein(phone, phone) >= 0.9 and jaccard(name, name) >= 0.3`
+	s := newSession(t, src)
+	mustVerify(t, s, "initial")
+	weiPair := -1
+	for pi, p := range s.M.Pairs {
+		if s.M.C.A.Records[p.A].Values[0] == "wei chen" && s.M.C.B.Records[p.B].Values[0] == "wei chen" {
+			weiPair = pi
+		}
+	}
+	if weiPair < 0 || !s.Matched(weiPair) {
+		t.Fatalf("fixture: wei chen pair %d not matched initially", weiPair)
+	}
+	if !s.St.RuleTrue[1].Get(weiPair) {
+		t.Fatal("fixture: wei chen pair not owned by r2")
+	}
+	// Relax r1's trigram upper bound past 1: r1 now covers wei chen.
+	if err := s.RelaxPredicate(0, 1, 1.01); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after relax")
+	if s.LastOp.OwnershipMoves == 0 {
+		t.Fatal("relax did not migrate ownership (scenario not exercised)")
+	}
+	if !s.St.RuleTrue[0].Get(weiPair) {
+		t.Fatal("wei chen pair not migrated to r1")
+	}
+	// Remove r2: pairs it owns are only re-checked against later rules.
+	if err := s.RemoveRule(1); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, s, "after remove")
+	if !s.Matched(weiPair) {
+		t.Fatal("pair lost despite earlier rule matching it (ownership migration broken)")
+	}
+}
+
+func TestIncrementalCheaperThanFullRerun(t *testing.T) {
+	s := newSession(t, baseFunc)
+	r, _ := rule.ParseRule("r4: soundex(name, name) >= 0.6")
+	if err := s.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	incrementalEvals := s.LastOp.Stats.RuleEvals
+	s.RunFullWithMemo()
+	fullEvals := s.LastOp.Stats.RuleEvals
+	if incrementalEvals >= fullEvals {
+		t.Errorf("incremental add-rule evaluated %d rules, full rerun %d", incrementalEvals, fullEvals)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := newSession(t, baseFunc)
+	memo, bitmaps := s.MemoryBytes()
+	if memo <= 0 || bitmaps <= 0 {
+		t.Errorf("memory report memo=%d bitmaps=%d", memo, bitmaps)
+	}
+}
+
+// Property test: a long random sequence of incremental operations always
+// agrees with from-scratch evaluation.
+func TestQuickRandomOpSequences(t *testing.T) {
+	sims := []string{"jaro", "jaro_winkler", "levenshtein", "jaccard", "trigram", "soundex", "exact_match"}
+	attrs := []string{"name", "phone", "city"}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 17))
+		randPred := func() rule.Predicate {
+			op := rule.Ge
+			if rng.Intn(3) == 0 {
+				op = rule.Lt
+			}
+			attr := attrs[rng.Intn(len(attrs))]
+			return rule.Predicate{
+				Feature:   rule.Feature{Sim: sims[rng.Intn(len(sims))], AttrA: attr, AttrB: attr},
+				Op:        op,
+				Threshold: float64(1+rng.Intn(9)) / 10,
+			}
+		}
+		var f rule.Function
+		for ri := 0; ri < 2+rng.Intn(3); ri++ {
+			r := rule.Rule{Name: fmt.Sprintf("r%d", ri+1)}
+			for pj := 0; pj < 1+rng.Intn(3); pj++ {
+				r.Preds = append(r.Preds, randPred())
+			}
+			f.Rules = append(f.Rules, r)
+		}
+		a, b, pairs := fixture(t)
+		c, err := core.Compile(f, sim.Standard(), a, b)
+		if err != nil {
+			continue
+		}
+		s := NewSession(c, pairs)
+		s.RunFull()
+		for step := 0; step < 30; step++ {
+			nRules := len(s.M.C.Rules)
+			switch rng.Intn(6) {
+			case 0: // add rule
+				r := rule.Rule{Name: fmt.Sprintf("x%d_%d", trial, step)}
+				for pj := 0; pj < 1+rng.Intn(2); pj++ {
+					r.Preds = append(r.Preds, randPred())
+				}
+				if err := s.AddRule(r); err != nil {
+					continue
+				}
+			case 1: // remove rule
+				if nRules <= 1 {
+					continue
+				}
+				if err := s.RemoveRule(rng.Intn(nRules)); err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+			case 2: // add predicate
+				if err := s.AddPredicate(rng.Intn(nRules), randPred()); err != nil {
+					continue // may contradict: acceptable rejection
+				}
+			case 3: // remove predicate
+				ri := rng.Intn(nRules)
+				np := len(s.M.C.Rules[ri].Preds)
+				if np <= 1 {
+					continue
+				}
+				if err := s.RemovePredicate(ri, rng.Intn(np)); err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+			default: // move a threshold either way
+				ri := rng.Intn(nRules)
+				np := len(s.M.C.Rules[ri].Preds)
+				pj := rng.Intn(np)
+				delta := float64(1+rng.Intn(3)) / 10
+				if rng.Intn(2) == 0 {
+					delta = -delta
+				}
+				nt := s.M.C.Rules[ri].Preds[pj].Threshold + delta
+				if err := s.SetThreshold(ri, pj, nt); err != nil {
+					continue
+				}
+			}
+			if err := s.VerifyDeep(); err != nil {
+				t.Fatalf("trial %d step %d (%s): %v", trial, step, s.LastOp.Op, err)
+			}
+		}
+	}
+}
+
+func TestSweepThreshold(t *testing.T) {
+	s := newSession(t, baseFunc)
+	before := s.MatchCount()
+	stateBefore := s.St.Matched.Clone()
+	thresholds := DefaultSweep(9)
+	points, err := s.SweepThreshold(2, 0, thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(thresholds) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Rule 2's predicate is a lower bound: match counts must be
+	// non-increasing in the threshold.
+	for i := 1; i < len(points); i++ {
+		if points[i].Matched.Count() > points[i-1].Matched.Count() {
+			t.Errorf("sweep not monotone at %v: %d > %d",
+				points[i].Threshold, points[i].Matched.Count(), points[i-1].Matched.Count())
+		}
+	}
+	// Session state untouched.
+	if s.MatchCount() != before || !s.St.Matched.Equal(stateBefore) {
+		t.Error("sweep mutated session state")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A sweep point at the current threshold reproduces current matches.
+	cur := s.M.C.Rules[2].Preds[0].Threshold
+	pts, err := s.SweepThreshold(2, 0, []float64{cur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts[0].Matched.Equal(s.St.Matched) {
+		t.Error("sweep at the current threshold differs from current state")
+	}
+	if pts[0].String() == "" {
+		t.Error("empty sweep point string")
+	}
+}
+
+func TestSweepThresholdValidation(t *testing.T) {
+	s := newSession(t, baseFunc)
+	if _, err := s.SweepThreshold(99, 0, DefaultSweep(3)); err == nil {
+		t.Error("bad rule index accepted")
+	}
+	if _, err := s.SweepThreshold(0, 99, DefaultSweep(3)); err == nil {
+		t.Error("bad predicate index accepted")
+	}
+	if got := len(DefaultSweep(0)); got != 9 {
+		t.Errorf("default sweep steps = %d", got)
+	}
+}

@@ -1,0 +1,64 @@
+package incremental
+
+import (
+	"fmt"
+
+	"rulematch/internal/bitmap"
+)
+
+// SweepPoint is the outcome of evaluating the function with one
+// candidate threshold substituted into a predicate.
+type SweepPoint struct {
+	Threshold float64
+	Matched   *bitmap.Bits
+}
+
+// SweepThreshold evaluates the matching function once per candidate
+// threshold for predicate pj of rule ri, without changing session
+// state. Because every required feature is already memoized (or gets
+// memoized on first touch), each sweep point costs only lookups — this
+// is the kind of instant what-if exploration dynamic memoing exists
+// for.
+func (s *Session) SweepThreshold(ri, pj int, thresholds []float64) ([]SweepPoint, error) {
+	if err := s.checkState(); err != nil {
+		return nil, err
+	}
+	if err := s.checkPred(ri, pj); err != nil {
+		return nil, err
+	}
+	p := &s.M.C.Rules[ri].Preds[pj]
+	original := p.Threshold
+	defer func() { p.Threshold = original }()
+
+	out := make([]SweepPoint, 0, len(thresholds))
+	for _, thr := range thresholds {
+		p.Threshold = thr
+		matched := bitmap.New(len(s.M.Pairs))
+		for pi := range s.M.Pairs {
+			// Evaluate with early exit and the warm memo, recording no
+			// state (the sweep is a read-only what-if).
+			if s.M.EvalPair(pi, nil) {
+				matched.Set(pi)
+			}
+		}
+		out = append(out, SweepPoint{Threshold: thr, Matched: matched})
+	}
+	return out, nil
+}
+
+// DefaultSweep returns evenly spaced thresholds across (0,1).
+func DefaultSweep(steps int) []float64 {
+	if steps < 2 {
+		steps = 9
+	}
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = float64(i+1) / float64(steps+1)
+	}
+	return out
+}
+
+// String renders a sweep point compactly.
+func (p SweepPoint) String() string {
+	return fmt.Sprintf("thr=%.3f matches=%d", p.Threshold, p.Matched.Count())
+}

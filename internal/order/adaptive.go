@@ -1,0 +1,106 @@
+package order
+
+import (
+	"math"
+
+	"rulematch/internal/bitmap"
+	"rulematch/internal/core"
+	"rulematch/internal/costmodel"
+)
+
+// MatchAdaptive is the optimization the paper describes but leaves
+// unimplemented in §5.4.3: while matching, periodically re-order the
+// *remaining evaluation order of whole rules* based on the memo's
+// actual contents, instead of trusting the pre-run expected α values.
+//
+// Every `every` pairs (0 picks ~5% of the pair count) the memo fill
+// fraction of each feature is measured over a window of recently
+// processed pairs and the rules are re-ranked greedily by expected cost
+// under those measured presence probabilities (Algorithm 5's criterion
+// with empirical α).
+//
+// Because the evaluation order varies across pairs, no MatchState is
+// materialized — adaptive matching is for batch runs; incremental
+// sessions need the fixed-order Match. Results are recorded against
+// stable rule indices, so the returned match marks equal Match's.
+func MatchAdaptive(m *core.Matcher, model *costmodel.Model, every int) *bitmap.Bits {
+	n := len(m.Pairs)
+	matched := bitmap.New(n)
+	if n == 0 || len(m.C.Rules) == 0 {
+		return matched
+	}
+	if m.Memo == nil {
+		panic("order: MatchAdaptive requires a memo")
+	}
+	if every <= 0 {
+		every = n / 20
+		if every < 1 {
+			every = 1
+		}
+	}
+	infos := model.Infos()
+	perm := make([]int, len(infos))
+	for i := range perm {
+		perm[i] = i
+	}
+	alpha := make([]float64, len(m.C.Features))
+	for pi := 0; pi < n; pi++ {
+		if pi > 0 && pi%every == 0 {
+			measureAlpha(m, pi, alpha)
+			greedyPerm(model, infos, alpha, perm)
+		}
+		m.Stats.PairEvals++
+		for _, ri := range perm {
+			if m.EvalRule(ri, pi, nil) {
+				matched.Set(pi)
+				break
+			}
+		}
+	}
+	return matched
+}
+
+// measureAlpha estimates per-feature memo presence over a window of the
+// most recently processed pairs.
+func measureAlpha(m *core.Matcher, upto int, alpha []float64) {
+	const window = 64
+	lo := upto - window
+	if lo < 0 {
+		lo = 0
+	}
+	total := upto - lo
+	if total == 0 {
+		return
+	}
+	for fi := range alpha {
+		present := 0
+		for pi := lo; pi < upto; pi++ {
+			if m.Memo.Has(fi, pi) {
+				present++
+			}
+		}
+		alpha[fi] = float64(present) / float64(total)
+	}
+}
+
+// greedyPerm fills perm with a greedy min-expected-cost order of the
+// rules under the measured presence probabilities (Algorithm 5's
+// criterion with empirical α).
+func greedyPerm(model *costmodel.Model, infos []*costmodel.RuleInfo, alpha []float64, perm []int) {
+	a := append([]float64(nil), alpha...)
+	used := make([]bool, len(infos))
+	for k := range perm {
+		best, bestCost := -1, math.Inf(1)
+		for i, info := range infos {
+			if used[i] {
+				continue
+			}
+			if cost := model.InfoCost(info, a); cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		used[best] = true
+		perm[k] = best
+		model.InfoUpdateAlpha(infos[best], a, 1)
+	}
+}

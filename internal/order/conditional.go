@@ -1,0 +1,99 @@
+package order
+
+import (
+	"math"
+
+	"rulematch/internal/core"
+	"rulematch/internal/costmodel"
+)
+
+// GreedyConditional orders rules for the early-exit-only setting
+// (§5.4.2's discussion: without memoing, predicate costs are constants
+// and the correlated-ordering problem admits greedy approximation in
+// the style of the pipelined-filters literature the paper cites).
+//
+// It generalizes Theorem 1 to correlated rules by using *conditional*
+// quantities: at each step it keeps only the estimation-sample rows no
+// already-picked rule fired on, and among the remaining rules picks the
+// one with the best conditional rank sel(r | survivors)/cost(r |
+// survivors) — the rule most likely to let surviving pairs exit early,
+// per unit cost. Predicates are first ordered by Lemma 3.
+func GreedyConditional(c *core.Compiled, m *costmodel.Model) {
+	PredicatesLemma3(c, m)
+	// Pre-evaluate every rule on every sample row once.
+	n := sampleLen(c, m)
+	fired := make([][]bool, len(c.Rules))
+	for ri := range c.Rules {
+		fired[ri] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			fired[ri][i] = ruleTrueOnRow(c, m, &c.Rules[ri], i)
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := n
+	remaining := make([]int, len(c.Rules))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	out := make([]core.CompiledRule, 0, len(c.Rules))
+	for len(remaining) > 0 {
+		bestPos, bestRank := 0, math.Inf(-1)
+		for pos, ri := range remaining {
+			// Conditional selectivity over survivors.
+			sel := 0.5
+			if aliveCount > 0 {
+				firedAlive := 0
+				for i := 0; i < n; i++ {
+					if alive[i] && fired[ri][i] {
+						firedAlive++
+					}
+				}
+				sel = float64(firedAlive) / float64(aliveCount)
+			}
+			cost := m.RuleCostGivenAlpha(&c.Rules[ri], nil)
+			rank := sel / math.Max(cost, epsilonCost)
+			if rank > bestRank {
+				bestPos, bestRank = pos, rank
+			}
+		}
+		ri := remaining[bestPos]
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+		out = append(out, c.Rules[ri])
+		for i := 0; i < n; i++ {
+			if alive[i] && fired[ri][i] {
+				alive[i] = false
+				aliveCount--
+			}
+		}
+	}
+	copy(c.Rules, out)
+}
+
+// sampleLen returns the length of the estimator's aligned sample
+// vectors over the compiled features (0 when nothing is measured).
+func sampleLen(c *core.Compiled, m *costmodel.Model) int {
+	for fi := range c.Features {
+		if vals := m.Est.FeatureValues(c.Features[fi].Key); vals != nil {
+			return len(vals)
+		}
+	}
+	return 0
+}
+
+// ruleTrueOnRow evaluates a rule on one estimation-sample row, treating
+// unmeasured features as passing.
+func ruleTrueOnRow(c *core.Compiled, m *costmodel.Model, r *core.CompiledRule, i int) bool {
+	for _, p := range r.Preds {
+		vals := m.Est.FeatureValues(c.Features[p.Feat].Key)
+		if vals == nil || i >= len(vals) {
+			continue
+		}
+		if !p.Eval(vals[i]) {
+			return false
+		}
+	}
+	return true
+}

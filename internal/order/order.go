@@ -1,0 +1,215 @@
+// Package order implements the rule/predicate ordering optimizers of
+// Section 5: Lemma 1 rank ordering of independent predicates, Lemma 2/3
+// ordering of per-feature predicate groups, Theorem 1 rule ordering
+// under independence, and the two greedy heuristics for the correlated
+// (memoized) case — Algorithm 5 (minimum expected rule cost) and
+// Algorithm 6 (maximum expected overall cost reduction). The underlying
+// optimization problem is NP-hard (reduction from TSP, §5.4), hence the
+// heuristics.
+//
+// All functions permute the compiled rules/predicates in place; run them
+// before matching.
+package order
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"rulematch/internal/core"
+	"rulematch/internal/costmodel"
+)
+
+// epsilonCost guards rank divisions against zero measured costs.
+const epsilonCost = 1e-12
+
+// Shuffle randomizes rule order and the predicate order inside each
+// rule, deterministically for a seed. This is the paper's "random
+// ordering" baseline.
+func Shuffle(c *core.Compiled, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(c.Rules), func(i, j int) { c.Rules[i], c.Rules[j] = c.Rules[j], c.Rules[i] })
+	for ri := range c.Rules {
+		preds := c.Rules[ri].Preds
+		rng.Shuffle(len(preds), func(i, j int) { preds[i], preds[j] = preds[j], preds[i] })
+	}
+}
+
+// PredicatesLemma1 orders the predicates of each rule by ascending
+// rank(p) = (sel(p) - 1) / cost(p), optimal when predicates are
+// independent and memoing is off (Lemma 1).
+func PredicatesLemma1(c *core.Compiled, m *costmodel.Model) {
+	for ri := range c.Rules {
+		preds := c.Rules[ri].Preds
+		ranks := make([]float64, len(preds))
+		for j := range preds {
+			sel := m.PrefixSel(preds[j:j+1], 1)
+			cost := m.Est.FeatureCost(c.Features[preds[j].Feat].Key)
+			ranks[j] = (sel - 1) / math.Max(cost, epsilonCost)
+		}
+		sortPredsBy(preds, ranks)
+	}
+}
+
+// PredicatesLemma3 orders the predicates of each rule into canonical
+// per-feature groups: within a group ascending selectivity (Lemma 2),
+// groups by ascending rank = (sel(group) - 1) / cost(group) where the
+// group cost accounts for memoing — the first predicate of a group pays
+// the feature cost, later ones pay δ (Lemma 3).
+func PredicatesLemma3(c *core.Compiled, m *costmodel.Model) {
+	for ri := range c.Rules {
+		c.Rules[ri].Preds = orderRuleLemma3(c, m, c.Rules[ri].Preds)
+	}
+}
+
+// orderRuleLemma3 returns the Lemma 3 ordering of one rule's predicates.
+func orderRuleLemma3(c *core.Compiled, m *costmodel.Model, preds []core.CompiledPred) []core.CompiledPred {
+	type group struct {
+		preds []core.CompiledPred
+		rank  float64
+		order int // first-appearance tiebreak
+	}
+	var order []int
+	byFeat := make(map[int]*group)
+	for _, p := range preds {
+		g, ok := byFeat[p.Feat]
+		if !ok {
+			g = &group{order: len(order)}
+			byFeat[p.Feat] = g
+			order = append(order, p.Feat)
+		}
+		g.preds = append(g.preds, p)
+	}
+	groups := make([]*group, 0, len(order))
+	for _, fi := range order {
+		g := byFeat[fi]
+		// Lemma 2: within a group, ascending selectivity.
+		sort.SliceStable(g.preds, func(i, j int) bool {
+			si := m.PrefixSel(g.preds[i:i+1], 1)
+			sj := m.PrefixSel(g.preds[j:j+1], 1)
+			return si < sj
+		})
+		sel := m.PrefixSel(g.preds, len(g.preds))
+		cost := m.Est.FeatureCost(c.Features[fi].Key)
+		groupCost := cost
+		if len(g.preds) > 1 {
+			groupCost += m.PrefixSel(g.preds, 1) * m.Est.Delta
+		}
+		g.rank = (sel - 1) / math.Max(groupCost, epsilonCost)
+		groups = append(groups, g)
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		if groups[i].rank != groups[j].rank {
+			return groups[i].rank < groups[j].rank
+		}
+		return groups[i].order < groups[j].order
+	})
+	out := make([]core.CompiledPred, 0, len(preds))
+	for _, g := range groups {
+		out = append(out, g.preds...)
+	}
+	return out
+}
+
+// RulesTheorem1 orders rules by ascending rank(r) = -sel(r)/cost(r)
+// (Theorem 1), optimal when all predicates are independent and memoing
+// is off. Predicates should be ordered first (Lemma 1 or 3).
+func RulesTheorem1(c *core.Compiled, m *costmodel.Model) {
+	ranks := make([]float64, len(c.Rules))
+	for ri := range c.Rules {
+		sel := m.RuleSel(&c.Rules[ri])
+		cost := m.RuleCostGivenAlpha(&c.Rules[ri], nil)
+		ranks[ri] = -sel / math.Max(cost, epsilonCost)
+	}
+	sortRulesBy(c.Rules, ranks)
+}
+
+// GreedyCost is Algorithm 5: repeatedly execute the remaining rule with
+// minimum expected cost under the current memo-presence probabilities,
+// updating the probabilities after each pick. Predicates are first
+// ordered by Lemma 3.
+func GreedyCost(c *core.Compiled, m *costmodel.Model) {
+	PredicatesLemma3(c, m)
+	n := len(c.Rules)
+	alpha := make([]float64, len(c.Features))
+	out := make([]core.CompiledRule, 0, n)
+	remaining := m.Infos()
+	for len(remaining) > 0 {
+		best, bestCost := 0, math.Inf(1)
+		for i, info := range remaining {
+			cost := m.InfoCost(info, alpha)
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		picked := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		m.InfoUpdateAlpha(picked, alpha, 1)
+		out = append(out, *picked.R)
+	}
+	copy(c.Rules, out)
+}
+
+// GreedyReduction is Algorithm 6: repeatedly execute the remaining rule
+// with maximum expected overall cost reduction — the total cost saved in
+// the other remaining rules through memo hits — breaking ties by lower
+// expected cost. Predicates are first ordered by Lemma 3.
+func GreedyReduction(c *core.Compiled, m *costmodel.Model) {
+	PredicatesLemma3(c, m)
+	n := len(c.Rules)
+	alpha := make([]float64, len(c.Features))
+	out := make([]core.CompiledRule, 0, n)
+	remaining := m.Infos()
+	for len(remaining) > 0 {
+		best := 0
+		bestRed := math.Inf(-1)
+		bestCost := math.Inf(1)
+		for i, info := range remaining {
+			deltas := m.InfoDeltas(info, alpha)
+			red := 0.0
+			for k, other := range remaining {
+				if k == i {
+					continue
+				}
+				red += m.InfoContribution(other, deltas)
+			}
+			cost := m.InfoCost(info, alpha)
+			if red > bestRed || (red == bestRed && cost < bestCost) {
+				best, bestRed, bestCost = i, red, cost
+			}
+		}
+		picked := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		m.InfoUpdateAlpha(picked, alpha, 1)
+		out = append(out, *picked.R)
+	}
+	copy(c.Rules, out)
+}
+
+// sortPredsBy stably sorts preds by ascending rank.
+func sortPredsBy(preds []core.CompiledPred, ranks []float64) {
+	idx := make([]int, len(preds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ranks[idx[a]] < ranks[idx[b]] })
+	tmp := make([]core.CompiledPred, len(preds))
+	for i, j := range idx {
+		tmp[i] = preds[j]
+	}
+	copy(preds, tmp)
+}
+
+// sortRulesBy stably sorts rules by ascending rank.
+func sortRulesBy(rules []core.CompiledRule, ranks []float64) {
+	idx := make([]int, len(rules))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ranks[idx[a]] < ranks[idx[b]] })
+	tmp := make([]core.CompiledRule, len(rules))
+	for i, j := range idx {
+		tmp[i] = rules[j]
+	}
+	copy(rules, tmp)
+}

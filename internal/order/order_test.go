@@ -1,0 +1,440 @@
+package order
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rulematch/internal/core"
+	"rulematch/internal/costmodel"
+	"rulematch/internal/estimate"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// compileSrc compiles over a dummy fixture with attributes x, y, z; the
+// tests drive ordering with injected estimates.
+func compileSrc(t *testing.T, src string) *core.Compiled {
+	t.Helper()
+	a := table.MustNew("A", []string{"x", "y", "z"})
+	b := table.MustNew("B", []string{"x", "y", "z"})
+	a.Append("a0", "foo", "bar", "baz")
+	b.Append("b0", "foo", "bar", "qux")
+	f, err := rule.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// independentEst builds a 16-row sample where jaro(x,x), trigram(y,y)
+// and jaccard(z,z) pass a >=0.5 threshold independently with
+// selectivities 0.5, 0.25 and 0.5 and costs 10, 2 and 5.
+func independentEst(delta float64) *estimate.Estimates {
+	f1 := make([]float64, 16)
+	f2 := make([]float64, 16)
+	f3 := make([]float64, 16)
+	for i := 0; i < 16; i++ {
+		if i&8 != 0 {
+			f1[i] = 1
+		}
+		if i&3 == 3 {
+			f2[i] = 1
+		}
+		if i&4 != 0 {
+			f3[i] = 1
+		}
+	}
+	return estimate.FromValues(map[string][]float64{
+		"jaro(x,x)":    f1,
+		"trigram(y,y)": f2,
+		"jaccard(z,z)": f3,
+	}, map[string]float64{
+		"jaro(x,x)":    10,
+		"trigram(y,y)": 2,
+		"jaccard(z,z)": 5,
+	}, delta)
+}
+
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestLemma1IsOptimalForIndependentPredicates(t *testing.T) {
+	c := compileSrc(t, "rule r1: jaro(x, x) >= 0.5 and trigram(y, y) >= 0.5 and jaccard(z, z) >= 0.5")
+	m := costmodel.New(c, independentEst(0.01))
+
+	// Brute-force the optimum over all 6 predicate permutations.
+	orig := append([]core.CompiledPred(nil), c.Rules[0].Preds...)
+	best := math.Inf(1)
+	for _, perm := range permutations(3) {
+		for i, j := range perm {
+			c.Rules[0].Preds[i] = orig[j]
+		}
+		if cost := m.CostEarlyExit(); cost < best {
+			best = cost
+		}
+	}
+	copy(c.Rules[0].Preds, orig)
+	PredicatesLemma1(c, m)
+	if got := m.CostEarlyExit(); math.Abs(got-best) > 1e-9 {
+		t.Errorf("Lemma 1 order cost %v, brute-force optimum %v", got, best)
+	}
+	// Expected order by rank (sel-1)/cost: trigram, jaccard, jaro.
+	want := []string{"trigram(y,y)", "jaccard(z,z)", "jaro(x,x)"}
+	for i, p := range c.Rules[0].Preds {
+		if key := c.Features[p.Feat].Key; key != want[i] {
+			t.Errorf("position %d = %s, want %s", i, key, want[i])
+		}
+	}
+}
+
+func TestTheorem1IsOptimalForIndependentRules(t *testing.T) {
+	c := compileSrc(t, `rule r1: jaro(x, x) >= 0.5
+rule r2: trigram(y, y) >= 0.5
+rule r3: jaccard(z, z) >= 0.5`)
+	m := costmodel.New(c, independentEst(0.01))
+	orig := append([]core.CompiledRule(nil), c.Rules...)
+	best := math.Inf(1)
+	for _, perm := range permutations(3) {
+		for i, j := range perm {
+			c.Rules[i] = orig[j]
+		}
+		if cost := m.CostEarlyExit(); cost < best {
+			best = cost
+		}
+	}
+	copy(c.Rules, orig)
+	RulesTheorem1(c, m)
+	if got := m.CostEarlyExit(); math.Abs(got-best) > 1e-9 {
+		t.Errorf("Theorem 1 order cost %v, brute-force optimum %v", got, best)
+	}
+}
+
+func TestLemma3GroupsSharedFeatures(t *testing.T) {
+	// jaro appears twice (interval); the two predicates must end up
+	// adjacent with the more selective one first (Lemma 2).
+	c := compileSrc(t, "rule r1: jaro(x, x) >= 0.5 and trigram(y, y) >= 0.5 and jaro(x, x) < 0.9")
+	m := costmodel.New(c, independentEst(0.01))
+	PredicatesLemma3(c, m)
+	preds := c.Rules[0].Preds
+	if len(preds) != 3 {
+		t.Fatalf("preds = %d", len(preds))
+	}
+	// Locate the jaro pair; they must be adjacent.
+	jaroAt := -1
+	for i, p := range preds {
+		if c.Features[p.Feat].Key == "jaro(x,x)" {
+			jaroAt = i
+			break
+		}
+	}
+	if jaroAt < 0 || jaroAt+1 >= len(preds) ||
+		c.Features[preds[jaroAt+1].Feat].Key != "jaro(x,x)" {
+		t.Fatalf("jaro group not adjacent: %v", describe(c))
+	}
+	// Within the group: sel(>=0.5)=0.5 < sel(<0.9)... sample jaro values
+	// are 0/1, so sel(<0.9)=0.5 too; order then keeps lower-bound first.
+	if preds[jaroAt].Op != rule.Ge {
+		t.Errorf("group order = %v", describe(c))
+	}
+}
+
+func describe(c *core.Compiled) []string {
+	var out []string
+	for _, r := range c.Rules {
+		for _, p := range r.Preds {
+			out = append(out, fmt.Sprintf("%s %s %g", c.Features[p.Feat].Key, p.Op, p.Threshold))
+		}
+	}
+	return out
+}
+
+func TestGreedyCostPicksCheapestFirst(t *testing.T) {
+	c := compileSrc(t, `rule expensive: jaro(x, x) >= 0.5
+rule cheap: trigram(y, y) >= 0.5`)
+	m := costmodel.New(c, independentEst(0.01))
+	GreedyCost(c, m)
+	if c.Rules[0].Name != "cheap" {
+		t.Errorf("first rule = %q, want cheap", c.Rules[0].Name)
+	}
+}
+
+func TestGreedyReductionPrefersSharing(t *testing.T) {
+	// "shared" is more expensive than "loner" but warms the memo for two
+	// follow-up rules; Algorithm 6 must schedule it first, while
+	// Algorithm 5 (myopic cost) picks the loner.
+	src := `rule loner: trigram(y, y) >= 0.5
+rule shared: jaro(x, x) >= 0.5
+rule follow1: jaro(x, x) >= 0.1
+rule follow2: jaro(x, x) >= 0.2`
+	c1 := compileSrc(t, src)
+	m1 := costmodel.New(c1, independentEst(0.01))
+	GreedyReduction(c1, m1)
+	if c1.Rules[0].Name != "shared" {
+		t.Errorf("Algorithm 6 first rule = %q, want shared", c1.Rules[0].Name)
+	}
+	c2 := compileSrc(t, src)
+	m2 := costmodel.New(c2, independentEst(0.01))
+	GreedyCost(c2, m2)
+	if c2.Rules[0].Name != "loner" {
+		t.Errorf("Algorithm 5 first rule = %q, want loner", c2.Rules[0].Name)
+	}
+}
+
+func TestShuffleDeterministicAndPermuting(t *testing.T) {
+	src := `rule r1: jaro(x, x) >= 0.5
+rule r2: trigram(y, y) >= 0.5
+rule r3: jaccard(z, z) >= 0.5
+rule r4: jaro(x, x) >= 0.1`
+	c1 := compileSrc(t, src)
+	c2 := compileSrc(t, src)
+	Shuffle(c1, 99)
+	Shuffle(c2, 99)
+	for i := range c1.Rules {
+		if c1.Rules[i].Name != c2.Rules[i].Name {
+			t.Fatal("same seed produced different shuffles")
+		}
+	}
+	c3 := compileSrc(t, src)
+	Shuffle(c3, 100)
+	diff := false
+	for i := range c1.Rules {
+		if c1.Rules[i].Name != c3.Rules[i].Name {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Log("seeds 99/100 coincide; acceptable but unusual")
+	}
+	// Rule set unchanged as a set.
+	names := map[string]bool{}
+	for _, r := range c1.Rules {
+		names[r.Name] = true
+	}
+	if len(names) != 4 {
+		t.Errorf("shuffle lost rules: %v", names)
+	}
+}
+
+// All ordering strategies must preserve matching semantics end to end.
+func TestOrderingsPreserveSemantics(t *testing.T) {
+	a := table.MustNew("A", []string{"x", "y", "z"})
+	b := table.MustNew("B", []string{"x", "y", "z"})
+	words := []string{"alphabet", "alphabey", "gamma", "delta", "epsilon", "zeta"}
+	for i := range words {
+		a.Append(fmt.Sprintf("a%d", i), words[i], words[(i+2)%6], words[(i+4)%6])
+		b.Append(fmt.Sprintf("b%d", i), words[(i+1)%6], words[i], words[(i+3)%6])
+	}
+	var pairs []table.Pair
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			pairs = append(pairs, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	src := `rule r1: jaro(x, x) >= 0.8 and trigram(y, y) >= 0.3
+rule r2: jaccard_3gram(z, z) >= 0.5
+rule r3: jaro(x, x) >= 0.3 and jaro(x, x) < 0.95 and levenshtein(y, y) >= 0.6`
+	strategies := map[string]func(c *core.Compiled, m *costmodel.Model){
+		"lemma1":   PredicatesLemma1,
+		"lemma3":   PredicatesLemma3,
+		"theorem1": func(c *core.Compiled, m *costmodel.Model) { PredicatesLemma3(c, m); RulesTheorem1(c, m) },
+		"greedy5":  GreedyCost,
+		"greedy6":  GreedyReduction,
+		"shuffle":  func(c *core.Compiled, m *costmodel.Model) { Shuffle(c, 7) },
+	}
+	f, err := rule.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (&core.Matcher{C: base, Pairs: pairs}).MatchRudimentary()
+	for name, apply := range strategies {
+		c, err := core.Compile(f, sim.Standard(), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := estimate.New(c, pairs, 0.5, 3)
+		apply(c, costmodel.New(c, est))
+		got := core.NewMatcher(c, pairs).Match()
+		for pi := range pairs {
+			if got.Matched.Get(pi) != want.Get(pi) {
+				t.Errorf("%s: pair %d differs from rudimentary", name, pi)
+				break
+			}
+		}
+	}
+}
+
+func TestMatchAdaptiveAgreesWithMatch(t *testing.T) {
+	a := table.MustNew("A", []string{"x", "y", "z"})
+	b := table.MustNew("B", []string{"x", "y", "z"})
+	words := []string{"alphabet", "alphabey", "gamma", "delta", "epsilon", "zeta", "etaeta", "thetas"}
+	for i := range words {
+		a.Append(fmt.Sprintf("a%d", i), words[i], words[(i+2)%8], words[(i+4)%8])
+		b.Append(fmt.Sprintf("b%d", i), words[(i+1)%8], words[i], words[(i+3)%8])
+	}
+	var pairs []table.Pair
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pairs = append(pairs, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	f, err := rule.ParseFunction(`rule r1: jaro(x, x) >= 0.8 and trigram(y, y) >= 0.3
+rule r2: jaccard_3gram(z, z) >= 0.5
+rule r3: levenshtein(y, y) >= 0.6 and jaro(x, x) >= 0.3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (&core.Matcher{C: c, Pairs: pairs}).MatchRudimentary()
+	for _, every := range []int{0, 1, 5, 1000} {
+		m := core.NewMatcher(c, pairs)
+		est := estimate.New(c, pairs, 0.3, 3)
+		got := MatchAdaptive(m, costmodel.New(c, est), every)
+		for pi := range pairs {
+			if got.Get(pi) != want.Get(pi) {
+				t.Fatalf("every=%d pair %d: adaptive=%v want=%v", every, pi, got.Get(pi), want.Get(pi))
+			}
+		}
+	}
+}
+
+func TestMatchAdaptiveRequiresMemo(t *testing.T) {
+	c := compileSrc(t, "rule r1: jaro(x, x) >= 0.5")
+	m := &core.Matcher{C: c, Pairs: []table.Pair{{A: 0, B: 0}}}
+	est := independentEst(0.01)
+	defer func() {
+		if recover() == nil {
+			t.Error("MatchAdaptive without memo did not panic")
+		}
+	}()
+	MatchAdaptive(m, costmodel.New(c, est), 1)
+}
+
+func TestGreedyConditionalMatchesTheorem1WhenIndependent(t *testing.T) {
+	// With independent rules, conditional selectivities equal marginal
+	// ones, so GreedyConditional must reproduce Theorem 1's order.
+	src := `rule r1: jaro(x, x) >= 0.5
+rule r2: trigram(y, y) >= 0.5
+rule r3: jaccard(z, z) >= 0.5`
+	c1 := compileSrc(t, src)
+	m1 := costmodel.New(c1, independentEst(0.01))
+	RulesTheorem1(c1, m1)
+	c2 := compileSrc(t, src)
+	m2 := costmodel.New(c2, independentEst(0.01))
+	GreedyConditional(c2, m2)
+	for i := range c1.Rules {
+		if c1.Rules[i].Name != c2.Rules[i].Name {
+			t.Fatalf("order differs at %d: theorem1=%v conditional=%v",
+				i, names(c1), names(c2))
+		}
+	}
+}
+
+func names(c *core.Compiled) []string {
+	out := make([]string, len(c.Rules))
+	for i, r := range c.Rules {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func TestGreedyConditionalExploitsCorrelation(t *testing.T) {
+	// Two rules fire on exactly the same sample rows (perfectly
+	// correlated); a third fires on the complement. After picking one of
+	// the correlated pair, its twin has conditional selectivity 0 and
+	// must be scheduled last.
+	f1 := make([]float64, 16)
+	f3 := make([]float64, 16)
+	for i := 0; i < 16; i++ {
+		if i < 8 {
+			f1[i] = 1
+		} else {
+			f3[i] = 1
+		}
+	}
+	est := estimate.FromValues(map[string][]float64{
+		"jaro(x,x)":    f1,
+		"trigram(y,y)": f1, // identical firing pattern to jaro
+		"jaccard(z,z)": f3, // complement
+	}, map[string]float64{
+		"jaro(x,x)":    1,
+		"trigram(y,y)": 1,
+		"jaccard(z,z)": 2,
+	}, 0.01)
+	c := compileSrc(t, `rule a: jaro(x, x) >= 0.5
+rule twin: trigram(y, y) >= 0.5
+rule complement: jaccard(z, z) >= 0.5`)
+	GreedyConditional(c, costmodel.New(c, est))
+	if c.Rules[2].Name != "twin" && c.Rules[2].Name != "a" {
+		t.Fatalf("correlated twin not scheduled last: %v", names(c))
+	}
+	if c.Rules[1].Name != "complement" {
+		t.Fatalf("complement rule should be second: %v", names(c))
+	}
+}
+
+func TestGreedyConditionalPreservesSemantics(t *testing.T) {
+	a := table.MustNew("A", []string{"x", "y", "z"})
+	b := table.MustNew("B", []string{"x", "y", "z"})
+	words := []string{"alphabet", "alphabey", "gamma", "delta", "epsilon", "zeta"}
+	for i := range words {
+		a.Append(fmt.Sprintf("a%d", i), words[i], words[(i+2)%6], words[(i+4)%6])
+		b.Append(fmt.Sprintf("b%d", i), words[(i+1)%6], words[i], words[(i+3)%6])
+	}
+	var pairs []table.Pair
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			pairs = append(pairs, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	f, err := rule.ParseFunction(`rule r1: jaro(x, x) >= 0.8
+rule r2: jaccard_3gram(z, z) >= 0.5
+rule r3: levenshtein(y, y) >= 0.6 and jaro(x, x) >= 0.3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (&core.Matcher{C: c, Pairs: pairs}).MatchRudimentary()
+	est := estimate.New(c, pairs, 0.5, 3)
+	GreedyConditional(c, costmodel.New(c, est))
+	got := core.NewMatcher(c, pairs).Match()
+	for pi := range pairs {
+		if got.Matched.Get(pi) != want.Get(pi) {
+			t.Fatalf("conditional ordering changed semantics at pair %d", pi)
+		}
+	}
+}

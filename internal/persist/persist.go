@@ -1,0 +1,184 @@
+// Package persist saves and restores incremental matching sessions.
+// The paper's maintainability goal (Section 1) asks that matching state
+// survive between runs; a snapshot captures the matching function, the
+// candidate pairs, the feature memo and the materialized bitmaps, so an
+// analyst can stop and resume a debugging session without paying the
+// cold-start cost again.
+//
+// Snapshots are encoding/gob streams. The tables themselves are not
+// stored — the caller reloads them (they are the analyst's input data)
+// and Load verifies the snapshot is consistent with them.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"rulematch/internal/bitmap"
+	"rulematch/internal/core"
+	"rulematch/internal/incremental"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// snapshotVersion guards against stale files after format changes.
+const snapshotVersion = 1
+
+// memoRow holds the memoized values of one feature, sparsely.
+type memoRow struct {
+	Feature rule.Feature
+	Pairs   []int32
+	Vals    []float64
+}
+
+// snapshot is the serialized form of a session.
+type snapshot struct {
+	Version   int
+	TableA    string // table names, to catch obvious mix-ups
+	TableB    string
+	Function  string // DSL source; float thresholds round-trip exactly
+	Pairs     []table.Pair
+	Memo      []memoRow
+	Matched   *bitmap.Bits
+	RuleTrue  []*bitmap.Bits
+	PredFalse [][]*bitmap.Bits
+	Stats     core.Stats
+}
+
+// Save writes the session snapshot to w. The session must have run
+// (RunFull) at least once.
+func Save(w io.Writer, s *incremental.Session) error {
+	if s.St == nil {
+		return fmt.Errorf("persist: session has no materialized state; call RunFull first")
+	}
+	c := s.M.C
+	snap := snapshot{
+		Version:   snapshotVersion,
+		TableA:    c.A.Name,
+		TableB:    c.B.Name,
+		Function:  c.Function().String(),
+		Pairs:     s.M.Pairs,
+		Matched:   s.St.Matched,
+		RuleTrue:  s.St.RuleTrue,
+		PredFalse: s.St.PredFalse,
+		Stats:     s.M.Stats,
+	}
+	if s.M.Memo != nil {
+		for fi := range c.Features {
+			row := memoRow{Feature: c.Features[fi].Feature}
+			for pi := range s.M.Pairs {
+				if v, ok := s.M.Memo.Get(fi, pi); ok {
+					row.Pairs = append(row.Pairs, int32(pi))
+					row.Vals = append(row.Vals, v)
+				}
+			}
+			if len(row.Pairs) > 0 {
+				snap.Memo = append(snap.Memo, row)
+			}
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// SaveFile writes the snapshot to a file.
+func SaveFile(path string, s *incremental.Session) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a session from a snapshot against the (reloaded)
+// tables and similarity library. The restored session has the same
+// matching function, memo contents, materialized bitmaps and work
+// counters as the saved one.
+func Load(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Session, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.TableA != a.Name || snap.TableB != b.Name {
+		return nil, fmt.Errorf("persist: snapshot is for tables %q/%q, got %q/%q",
+			snap.TableA, snap.TableB, a.Name, b.Name)
+	}
+	for _, p := range snap.Pairs {
+		if int(p.A) >= a.Len() || int(p.B) >= b.Len() || p.A < 0 || p.B < 0 {
+			return nil, fmt.Errorf("persist: pair %v out of range for reloaded tables", p)
+		}
+	}
+	f, err := rule.ParseFunction(snap.Function)
+	if err != nil {
+		return nil, fmt.Errorf("persist: re-parse function: %w", err)
+	}
+	c, err := core.Compile(f, lib, a, b)
+	if err != nil {
+		return nil, fmt.Errorf("persist: re-compile function: %w", err)
+	}
+	n := len(snap.Pairs)
+	if snap.Matched == nil || snap.Matched.Len() != n {
+		return nil, fmt.Errorf("persist: corrupt snapshot: match bitmap missing or mis-sized")
+	}
+	if len(snap.RuleTrue) != len(c.Rules) || len(snap.PredFalse) != len(c.Rules) {
+		return nil, fmt.Errorf("persist: snapshot has %d rule bitmaps for %d rules",
+			len(snap.RuleTrue), len(c.Rules))
+	}
+	for ri := range c.Rules {
+		if snap.RuleTrue[ri].Len() != n {
+			return nil, fmt.Errorf("persist: rule %d bitmap mis-sized", ri)
+		}
+		if len(snap.PredFalse[ri]) != len(c.Rules[ri].Preds) {
+			return nil, fmt.Errorf("persist: rule %d has %d predicate bitmaps for %d predicates",
+				ri, len(snap.PredFalse[ri]), len(c.Rules[ri].Preds))
+		}
+		for pj := range snap.PredFalse[ri] {
+			if snap.PredFalse[ri][pj].Len() != n {
+				return nil, fmt.Errorf("persist: rule %d predicate %d bitmap mis-sized", ri, pj)
+			}
+		}
+	}
+	s := incremental.NewSession(c, snap.Pairs)
+	for _, row := range snap.Memo {
+		fi, err := c.BindFeature(row.Feature)
+		if err != nil {
+			return nil, fmt.Errorf("persist: rebind feature %s: %w", row.Feature.Key(), err)
+		}
+		if len(row.Pairs) != len(row.Vals) {
+			return nil, fmt.Errorf("persist: corrupt memo row for %s", row.Feature.Key())
+		}
+		for k, pi := range row.Pairs {
+			if int(pi) >= n || pi < 0 {
+				return nil, fmt.Errorf("persist: memo row for %s references pair %d of %d",
+					row.Feature.Key(), pi, n)
+			}
+			s.M.Memo.Put(fi, int(pi), row.Vals[k])
+		}
+	}
+	s.St = &core.MatchState{
+		Matched:   snap.Matched,
+		RuleTrue:  snap.RuleTrue,
+		PredFalse: snap.PredFalse,
+	}
+	s.M.Stats = snap.Stats
+	return s, nil
+}
+
+// LoadFile restores a session from a snapshot file.
+func LoadFile(path string, lib *sim.Library, a, b *table.Table) (*incremental.Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, lib, a, b)
+}

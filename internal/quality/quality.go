@@ -1,0 +1,111 @@
+// Package quality evaluates matching output against gold labels:
+// precision, recall and F1 (paper Section 3 — the metrics the analyst
+// inspects after each Run EM step).
+package quality
+
+import (
+	"rulematch/internal/bitmap"
+	"rulematch/internal/table"
+)
+
+// Report holds the confusion counts and derived metrics of one
+// matching run against labeled pairs.
+type Report struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	TrueNegatives  int
+}
+
+// Evaluate compares predicted match marks (indexed like pairs) against
+// the gold set of matching pair keys. Pairs absent from labeled are
+// ignored; pass nil to treat every candidate pair as labeled.
+func Evaluate(pairs []table.Pair, predicted *bitmap.Bits, gold map[uint64]bool, labeled map[uint64]bool) Report {
+	var r Report
+	for pi, p := range pairs {
+		k := p.PairKey()
+		if labeled != nil && !labeled[k] {
+			continue
+		}
+		pred := predicted.Get(pi)
+		actual := gold[k]
+		switch {
+		case pred && actual:
+			r.TruePositives++
+		case pred && !actual:
+			r.FalsePositives++
+		case !pred && actual:
+			r.FalseNegatives++
+		default:
+			r.TrueNegatives++
+		}
+	}
+	return r
+}
+
+// Precision returns TP / (TP + FP), or 1 when nothing was predicted.
+func (r Report) Precision() float64 {
+	d := r.TruePositives + r.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(d)
+}
+
+// Recall returns TP / (TP + FN), or 1 when there are no gold matches.
+func (r Report) Recall() float64 {
+	d := r.TruePositives + r.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (r Report) F1() float64 {
+	p, rec := r.Precision(), r.Recall()
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}
+
+// RuleReport attributes match quality to one rule: of the pairs the
+// rule *owns* (it was the first rule to fire for them), how many are
+// gold matches. A rule with low owned-precision is the one to tighten.
+type RuleReport struct {
+	Name    string
+	Owned   int // pairs this rule matched first
+	OwnedTP int // of those, gold matches
+	OwnedFP int // of those, non-gold
+}
+
+// Precision returns the owned-pair precision (1 when the rule owns
+// nothing).
+func (r RuleReport) Precision() float64 {
+	if r.Owned == 0 {
+		return 1
+	}
+	return float64(r.OwnedTP) / float64(r.Owned)
+}
+
+// PerRule attributes predicted matches to owning rules. ruleNames is
+// parallel to ruleOwned; ruleOwned[ri] must yield the pair indexes the
+// rule owns (a *bitmap.Bits from core.MatchState.RuleTrue).
+func PerRule(pairs []table.Pair, ruleNames []string, ruleOwned []*bitmap.Bits, gold map[uint64]bool) []RuleReport {
+	out := make([]RuleReport, len(ruleNames))
+	for ri := range ruleNames {
+		rep := RuleReport{Name: ruleNames[ri]}
+		ruleOwned[ri].ForEach(func(pi int) bool {
+			rep.Owned++
+			if gold[pairs[pi].PairKey()] {
+				rep.OwnedTP++
+			} else {
+				rep.OwnedFP++
+			}
+			return true
+		})
+		out[ri] = rep
+	}
+	return out
+}

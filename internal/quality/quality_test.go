@@ -1,0 +1,91 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"rulematch/internal/bitmap"
+	"rulematch/internal/table"
+)
+
+func TestEvaluate(t *testing.T) {
+	pairs := []table.Pair{{A: 0, B: 0}, {A: 0, B: 1}, {A: 1, B: 0}, {A: 1, B: 1}}
+	pred := bitmap.New(4)
+	pred.Set(0) // TP
+	pred.Set(1) // FP
+	gold := map[uint64]bool{
+		pairs[0].PairKey(): true,
+		pairs[2].PairKey(): true, // FN
+	}
+	r := Evaluate(pairs, pred, gold, nil)
+	if r.TruePositives != 1 || r.FalsePositives != 1 || r.FalseNegatives != 1 || r.TrueNegatives != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Precision() != 0.5 || r.Recall() != 0.5 {
+		t.Errorf("P=%v R=%v", r.Precision(), r.Recall())
+	}
+	if math.Abs(r.F1()-0.5) > 1e-12 {
+		t.Errorf("F1 = %v", r.F1())
+	}
+}
+
+func TestEvaluateLabeledSubset(t *testing.T) {
+	pairs := []table.Pair{{A: 0, B: 0}, {A: 0, B: 1}}
+	pred := bitmap.New(2)
+	pred.Set(1)
+	labeled := map[uint64]bool{pairs[0].PairKey(): true} // only pair 0 labeled
+	r := Evaluate(pairs, pred, map[uint64]bool{}, labeled)
+	if r.TruePositives+r.FalsePositives+r.FalseNegatives+r.TrueNegatives != 1 {
+		t.Errorf("labeled subset not respected: %+v", r)
+	}
+}
+
+func TestDegenerateMetrics(t *testing.T) {
+	var r Report
+	if r.Precision() != 1 || r.Recall() != 1 {
+		t.Error("empty report precision/recall should be 1")
+	}
+	r2 := Report{FalseNegatives: 3}
+	if r2.Recall() != 0 {
+		t.Errorf("recall = %v", r2.Recall())
+	}
+	if r2.F1() != 0 {
+		t.Errorf("F1 = %v", r2.F1())
+	}
+	perfect := Report{TruePositives: 10}
+	if perfect.F1() != 1 {
+		t.Errorf("perfect F1 = %v", perfect.F1())
+	}
+}
+
+func TestPerRule(t *testing.T) {
+	pairs := []table.Pair{{A: 0, B: 0}, {A: 0, B: 1}, {A: 1, B: 0}, {A: 1, B: 1}}
+	gold := map[uint64]bool{
+		pairs[0].PairKey(): true,
+		pairs[3].PairKey(): true,
+	}
+	// r1 owns pairs 0 and 1 (one gold, one not); r2 owns pair 3 (gold).
+	r1 := bitmap.New(4)
+	r1.Set(0)
+	r1.Set(1)
+	r2 := bitmap.New(4)
+	r2.Set(3)
+	reps := PerRule(pairs, []string{"r1", "r2"}, []*bitmap.Bits{r1, r2}, gold)
+	if len(reps) != 2 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	if reps[0].Owned != 2 || reps[0].OwnedTP != 1 || reps[0].OwnedFP != 1 {
+		t.Errorf("r1 report = %+v", reps[0])
+	}
+	if reps[0].Precision() != 0.5 {
+		t.Errorf("r1 precision = %v", reps[0].Precision())
+	}
+	if reps[1].Owned != 1 || reps[1].Precision() != 1 {
+		t.Errorf("r2 report = %+v", reps[1])
+	}
+	// A rule that owns nothing has precision 1 by convention.
+	empty := PerRule(pairs, []string{"r3"}, []*bitmap.Bits{bitmap.New(4)}, gold)
+	if empty[0].Precision() != 1 {
+		t.Errorf("empty rule precision = %v", empty[0].Precision())
+	}
+}

@@ -1,0 +1,162 @@
+package rule
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAlwaysFalse reports that canonicalization proved a rule can never
+// be satisfied (contradictory bounds on one feature).
+var ErrAlwaysFalse = errors.New("rule is always false")
+
+// Group is the canonical per-feature predicate group of Section 5.4
+// (Lemma 2): all predicates of one rule that share a feature. After
+// canonicalization a group has at most one lower bound and one upper
+// bound.
+type Group struct {
+	Feature Feature
+	Preds   []Predicate
+}
+
+// Canonicalize rewrites a rule into per-feature groups with redundant
+// predicates removed: among multiple lower bounds on the same feature
+// the strictest wins, likewise for upper bounds; equality predicates
+// subsume consistent bounds. It returns ErrAlwaysFalse when the bounds
+// on some feature are contradictory (the rule can never fire).
+// Group order preserves first appearance; the rule's predicate list is
+// rebuilt group by group.
+func Canonicalize(r Rule) (Rule, error) {
+	groups, err := GroupsOf(r)
+	if err != nil {
+		return Rule{}, err
+	}
+	out := Rule{Name: r.Name}
+	for _, g := range groups {
+		out.Preds = append(out.Preds, g.Preds...)
+	}
+	return out, nil
+}
+
+// GroupsOf computes the canonical feature groups of a rule, eliminating
+// redundant predicates. See Canonicalize.
+func GroupsOf(r Rule) ([]Group, error) {
+	type bounds struct {
+		feature Feature
+		lower   *Predicate
+		upper   *Predicate
+		eq      *Predicate
+	}
+	var order []string
+	byFeat := make(map[string]*bounds)
+	for i := range r.Preds {
+		p := r.Preds[i]
+		k := p.Feature.Key()
+		b, ok := byFeat[k]
+		if !ok {
+			b = &bounds{feature: p.Feature}
+			byFeat[k] = b
+			order = append(order, k)
+		}
+		switch p.Op {
+		case Ge, Gt:
+			if b.lower == nil || stricterLower(p, *b.lower) {
+				q := p
+				b.lower = &q
+			}
+		case Le, Lt:
+			if b.upper == nil || stricterUpper(p, *b.upper) {
+				q := p
+				b.upper = &q
+			}
+		case Eq:
+			if b.eq != nil && b.eq.Threshold != p.Threshold {
+				return nil, fmt.Errorf("rule %q: %s: %w", r.Name, k, ErrAlwaysFalse)
+			}
+			q := p
+			b.eq = &q
+		default:
+			return nil, fmt.Errorf("rule %q: invalid operator in %s", r.Name, p)
+		}
+	}
+	groups := make([]Group, 0, len(order))
+	for _, k := range order {
+		b := byFeat[k]
+		if b.eq != nil {
+			v := b.eq.Threshold
+			if b.lower != nil && !b.lower.Eval(v) {
+				return nil, fmt.Errorf("rule %q: %s: %w", r.Name, k, ErrAlwaysFalse)
+			}
+			if b.upper != nil && !b.upper.Eval(v) {
+				return nil, fmt.Errorf("rule %q: %s: %w", r.Name, k, ErrAlwaysFalse)
+			}
+			groups = append(groups, Group{Feature: b.feature, Preds: []Predicate{*b.eq}})
+			continue
+		}
+		if b.lower != nil && b.upper != nil {
+			lo, hi := b.lower.Threshold, b.upper.Threshold
+			if lo > hi || (lo == hi && (b.lower.Op == Gt || b.upper.Op == Lt)) {
+				return nil, fmt.Errorf("rule %q: %s: %w", r.Name, k, ErrAlwaysFalse)
+			}
+		}
+		g := Group{Feature: b.feature}
+		if b.lower != nil {
+			g.Preds = append(g.Preds, *b.lower)
+		}
+		if b.upper != nil {
+			g.Preds = append(g.Preds, *b.upper)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// stricterLower reports whether lower bound a is stricter than b.
+func stricterLower(a, b Predicate) bool {
+	if a.Threshold != b.Threshold {
+		return a.Threshold > b.Threshold
+	}
+	return a.Op == Gt && b.Op == Ge
+}
+
+// stricterUpper reports whether upper bound a is stricter than b.
+func stricterUpper(a, b Predicate) bool {
+	if a.Threshold != b.Threshold {
+		return a.Threshold < b.Threshold
+	}
+	return a.Op == Lt && b.Op == Le
+}
+
+// AttrChecker reports whether a table has the named attribute. It is
+// satisfied by *table.Table via a small adapter to avoid an import
+// cycle.
+type AttrChecker interface {
+	AttrIndex(name string) (int, bool)
+}
+
+// SimChecker reports whether a similarity function name exists; it is
+// satisfied by *sim.Library.
+type SimChecker interface {
+	Has(name string) bool
+}
+
+// Validate checks every predicate of the function against the available
+// similarity functions and the schemas of the two tables.
+func Validate(f Function, sims SimChecker, a, b AttrChecker) error {
+	for _, r := range f.Rules {
+		if len(r.Preds) == 0 {
+			return fmt.Errorf("rule %q has no predicates", r.Name)
+		}
+		for _, p := range r.Preds {
+			if !sims.Has(p.Feature.Sim) {
+				return fmt.Errorf("rule %q: unknown similarity function %q", r.Name, p.Feature.Sim)
+			}
+			if _, ok := a.AttrIndex(p.Feature.AttrA); !ok {
+				return fmt.Errorf("rule %q: table A has no attribute %q", r.Name, p.Feature.AttrA)
+			}
+			if _, ok := b.AttrIndex(p.Feature.AttrB); !ok {
+				return fmt.Errorf("rule %q: table B has no attribute %q", r.Name, p.Feature.AttrB)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package rule
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustRule(t *testing.T, src string) Rule {
+	t.Helper()
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCanonicalizeMergesLowerBounds(t *testing.T) {
+	r := mustRule(t, "r: jaro(a, a) >= 0.5 and jaro(a, a) >= 0.8 and jaccard(b, b) >= 0.3")
+	c, err := Canonicalize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 2 {
+		t.Fatalf("canonical preds = %v", c.Preds)
+	}
+	if c.Preds[0].Threshold != 0.8 || c.Preds[0].Op != Ge {
+		t.Errorf("merged lower bound = %v", c.Preds[0])
+	}
+}
+
+func TestCanonicalizeMergesUpperBounds(t *testing.T) {
+	r := mustRule(t, "r: jaro(a, a) < 0.9 and jaro(a, a) <= 0.6")
+	c, err := Canonicalize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 1 || c.Preds[0].Threshold != 0.6 || c.Preds[0].Op != Le {
+		t.Errorf("merged upper bound = %v", c.Preds)
+	}
+}
+
+func TestCanonicalizeKeepsInterval(t *testing.T) {
+	r := mustRule(t, "r: jaro(a, a) >= 0.5 and jaro(a, a) < 0.9")
+	groups, err := GroupsOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0].Preds) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	// Lower bound first by construction.
+	if groups[0].Preds[0].Op != Ge || groups[0].Preds[1].Op != Lt {
+		t.Errorf("group order = %v", groups[0].Preds)
+	}
+}
+
+func TestCanonicalizeContradictions(t *testing.T) {
+	bad := []string{
+		"r: jaro(a, a) >= 0.9 and jaro(a, a) < 0.5",
+		"r: jaro(a, a) > 0.5 and jaro(a, a) < 0.5",
+		"r: jaro(a, a) >= 0.5 and jaro(a, a) < 0.5",
+		"r: jaro(a, a) == 0.5 and jaro(a, a) >= 0.9",
+		"r: jaro(a, a) == 0.5 and jaro(a, a) == 0.6",
+	}
+	for _, src := range bad {
+		_, err := Canonicalize(mustRule(t, src))
+		if !errors.Is(err, ErrAlwaysFalse) {
+			t.Errorf("%q: err = %v, want ErrAlwaysFalse", src, err)
+		}
+	}
+	// Touching bounds with inclusive ops are satisfiable.
+	if _, err := Canonicalize(mustRule(t, "r: jaro(a, a) >= 0.5 and jaro(a, a) <= 0.5")); err != nil {
+		t.Errorf("point interval rejected: %v", err)
+	}
+}
+
+func TestCanonicalizeEqSubsumesBounds(t *testing.T) {
+	r := mustRule(t, "r: jaro(a, a) == 0.7 and jaro(a, a) >= 0.5")
+	c, err := Canonicalize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 1 || c.Preds[0].Op != Eq {
+		t.Errorf("eq group = %v", c.Preds)
+	}
+}
+
+func TestCanonicalizePreservesGroupOrder(t *testing.T) {
+	r := mustRule(t, "r: jaccard(b, b) >= 0.3 and jaro(a, a) >= 0.5 and jaccard(b, b) < 0.9")
+	c, err := Canonicalize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-appearance order: jaccard group, then jaro.
+	if c.Preds[0].Feature.Sim != "jaccard" || c.Preds[2].Feature.Sim != "jaro" {
+		t.Errorf("group order = %v", c.Preds)
+	}
+}
+
+// Property: canonicalization preserves rule semantics on random feature
+// values, and never errors for satisfiable bound sets.
+func TestQuickCanonicalizeSemantics(t *testing.T) {
+	feats := []Feature{
+		{Sim: "f1", AttrA: "a", AttrB: "a"},
+		{Sim: "f2", AttrA: "b", AttrB: "b"},
+	}
+	evalRule := func(r Rule, vals map[string]float64) bool {
+		for _, p := range r.Preds {
+			if !p.Eval(vals[p.Feature.Key()]) {
+				return false
+			}
+		}
+		return true
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Rule
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			ops := []Op{Ge, Gt, Le, Lt}
+			r.Preds = append(r.Preds, Predicate{
+				Feature:   feats[rng.Intn(len(feats))],
+				Op:        ops[rng.Intn(len(ops))],
+				Threshold: float64(rng.Intn(11)) / 10,
+			})
+		}
+		c, err := Canonicalize(r)
+		if err != nil {
+			// Contradiction claimed: the original rule must be false
+			// everywhere on a grid of test values.
+			for v1 := 0.0; v1 <= 1.001; v1 += 0.05 {
+				for v2 := 0.0; v2 <= 1.001; v2 += 0.05 {
+					if evalRule(r, map[string]float64{feats[0].Key(): v1, feats[1].Key(): v2}) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for trial := 0; trial < 50; trial++ {
+			vals := map[string]float64{
+				feats[0].Key(): rng.Float64() * 1.2,
+				feats[1].Key(): rng.Float64() * 1.2,
+			}
+			if evalRule(r, vals) != evalRule(c, vals) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+type simSet map[string]bool
+
+func (s simSet) Has(n string) bool { return s[n] }
+
+type attrSet map[string]int
+
+func (a attrSet) AttrIndex(n string) (int, bool) {
+	i, ok := a[n]
+	return i, ok
+}
+
+func TestValidate(t *testing.T) {
+	sims := simSet{"jaro": true}
+	ta := attrSet{"name": 0}
+	tb := attrSet{"name": 0, "title": 1}
+	good, _ := ParseFunction("rule r1: jaro(name, name) >= 0.9")
+	if err := Validate(good, sims, ta, tb); err != nil {
+		t.Errorf("valid function rejected: %v", err)
+	}
+	cases := []string{
+		"rule r1: nope(name, name) >= 0.9",   // unknown sim
+		"rule r1: jaro(title, name) >= 0.9",  // attr missing in A
+		"rule r1: jaro(name, street) >= 0.9", // attr missing in B
+	}
+	for _, src := range cases {
+		f, _ := ParseFunction(src)
+		if err := Validate(f, sims, ta, tb); err == nil {
+			t.Errorf("%q: expected validation error", src)
+		}
+	}
+	if err := Validate(Function{Rules: []Rule{{Name: "empty"}}}, sims, ta, tb); err == nil {
+		t.Error("empty rule accepted")
+	}
+}

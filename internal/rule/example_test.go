@@ -1,0 +1,42 @@
+package rule_test
+
+import (
+	"fmt"
+
+	"rulematch/internal/rule"
+)
+
+func ExampleParseFunction() {
+	f, err := rule.ParseFunction(`
+# products matching, v2
+rule r1: jaro_winkler(modelno, modelno) >= 0.97 and cosine(title, title) >= 0.69
+rule r2: jaccard(title, title) < 0.4 and soft_tf_idf(title, title) >= 0.63
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(f.Rules), "rules,", f.NumPredicates(), "predicates,", len(f.Features()), "features")
+	fmt.Println(f.Rules[0].String())
+	// Output:
+	// 2 rules, 4 predicates, 4 features
+	// r1: jaro_winkler(modelno,modelno) >= 0.97 and cosine(title,title) >= 0.69
+}
+
+func ExampleCanonicalize() {
+	r, _ := rule.ParseRule("r: jaro(a, a) >= 0.5 and jaccard(b, b) >= 0.3 and jaro(a, a) >= 0.8")
+	canon, err := rule.Canonicalize(r)
+	if err != nil {
+		panic(err)
+	}
+	// The weaker jaro bound is subsumed; predicates group by feature.
+	fmt.Println(canon.String())
+	// Output:
+	// r: jaro(a,a) >= 0.8 and jaccard(b,b) >= 0.3
+}
+
+func ExamplePredicate_Eval() {
+	p, _ := rule.ParsePredicate("jaccard(title, title) >= 0.7")
+	fmt.Println(p.Eval(0.8), p.Eval(0.6))
+	// Output:
+	// true false
+}

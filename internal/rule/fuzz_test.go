@@ -1,0 +1,83 @@
+package rule
+
+import (
+	"testing"
+)
+
+// FuzzParseRule asserts the parser never panics and that successful
+// parses render/re-parse to a fixed point.
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		"rule r1: jaro(a, b) >= 0.9",
+		"rule r2: jaccard(title, title) < 0.4 and tf_idf(t, t) >= 0.55",
+		"jaro(a, b) >= 0.9 and jaro(a, b) < 1",
+		"name: f(a,b)>=1e-3",
+		"rule : broken",
+		": :: (((",
+		"rule r1: jaro(a, b) >= 0.9 and",
+		"rule \x00: jaro(a, b) >= 0.9",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRule(src)
+		if err != nil {
+			return
+		}
+		rendered := r.String()
+		r2, err := ParseRule(rendered)
+		if err != nil {
+			t.Fatalf("rendered rule does not re-parse: %q: %v", rendered, err)
+		}
+		if r2.String() != rendered {
+			t.Fatalf("render not a fixed point: %q vs %q", rendered, r2.String())
+		}
+	})
+}
+
+// FuzzParsePredicate asserts no panics on arbitrary predicate text.
+func FuzzParsePredicate(f *testing.F) {
+	for _, s := range []string{
+		"jaccard(title, title) >= 0.7",
+		"f(a,b)==-1",
+		"f(,) >= 0",
+		"((((",
+		"f(a, b) >= 99e999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePredicate(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParsePredicate(p.String()); err != nil {
+			t.Fatalf("rendered predicate does not re-parse: %q: %v", p.String(), err)
+		}
+	})
+}
+
+// FuzzCanonicalize asserts canonicalization never panics and is
+// idempotent on its own output.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add("rule r: jaro(a, a) >= 0.5 and jaro(a, a) < 0.9 and jaccard(b, b) >= 0.3")
+	f.Add("rule r: f(a, b) == 0.5 and f(a, b) >= 0.2")
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRule(src)
+		if err != nil {
+			return
+		}
+		c1, err := Canonicalize(r)
+		if err != nil {
+			return
+		}
+		c2, err := Canonicalize(c1)
+		if err != nil {
+			t.Fatalf("canonical rule failed re-canonicalization: %v", err)
+		}
+		if c1.String() != c2.String() {
+			t.Fatalf("canonicalization not idempotent: %q vs %q", c1.String(), c2.String())
+		}
+	})
+}

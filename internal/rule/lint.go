@@ -1,0 +1,158 @@
+package rule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lint finding kinds.
+const (
+	// LintDuplicate: two rules are semantically identical.
+	LintDuplicate = "duplicate"
+	// LintSubsumed: a rule can never add matches because an earlier,
+	// weaker-or-equal rule fires on every pair it would fire on.
+	LintSubsumed = "subsumed"
+	// LintAlwaysFalse: a rule's bounds are contradictory.
+	LintAlwaysFalse = "always_false"
+)
+
+// Finding is one rule-set lint diagnostic.
+type Finding struct {
+	Kind string
+	// Rule is the name of the flagged rule.
+	Rule string
+	// Other names the rule this finding is relative to, when relevant.
+	Other string
+}
+
+func (f Finding) String() string {
+	switch f.Kind {
+	case LintDuplicate:
+		return fmt.Sprintf("rule %s duplicates rule %s", f.Rule, f.Other)
+	case LintSubsumed:
+		return fmt.Sprintf("rule %s is subsumed by the weaker rule %s and can never add a match", f.Rule, f.Other)
+	case LintAlwaysFalse:
+		return fmt.Sprintf("rule %s is always false", f.Rule)
+	}
+	return fmt.Sprintf("%s: %s", f.Kind, f.Rule)
+}
+
+// interval is the satisfying set of one feature group: (lo, hi) with
+// openness flags; eq pins a point.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+}
+
+// intervalOf converts a canonical group to its satisfying interval.
+func intervalOf(g Group) interval {
+	iv := interval{lo: math.Inf(-1), hi: math.Inf(1)}
+	for _, p := range g.Preds {
+		switch p.Op {
+		case Ge:
+			iv.lo, iv.loOpen = p.Threshold, false
+		case Gt:
+			iv.lo, iv.loOpen = p.Threshold, true
+		case Le:
+			iv.hi, iv.hiOpen = p.Threshold, false
+		case Lt:
+			iv.hi, iv.hiOpen = p.Threshold, true
+		case Eq:
+			iv.lo, iv.hi = p.Threshold, p.Threshold
+			iv.loOpen, iv.hiOpen = false, false
+		}
+	}
+	return iv
+}
+
+// contains reports whether a's satisfying set contains b's.
+func (a interval) contains(b interval) bool {
+	loOK := a.lo < b.lo || (a.lo == b.lo && (!a.loOpen || b.loOpen))
+	hiOK := a.hi > b.hi || (a.hi == b.hi && (!a.hiOpen || b.hiOpen))
+	return loOK && hiOK
+}
+
+// Subsumes reports whether rule a fires on every pair rule b fires on —
+// i.e. a's constraints are weaker or equal: every feature a constrains
+// is also constrained by b, with b's interval inside a's. Both rules
+// must be satisfiable; contradictory rules return an error.
+func Subsumes(a, b Rule) (bool, error) {
+	ga, err := GroupsOf(a)
+	if err != nil {
+		return false, err
+	}
+	gb, err := GroupsOf(b)
+	if err != nil {
+		return false, err
+	}
+	bByFeat := make(map[string]interval, len(gb))
+	for _, g := range gb {
+		bByFeat[g.Feature.Key()] = intervalOf(g)
+	}
+	for _, g := range ga {
+		ivB, constrained := bByFeat[g.Feature.Key()]
+		if !constrained {
+			return false, nil // a constrains a feature b leaves free
+		}
+		if !intervalOf(g).contains(ivB) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Lint analyzes a matching function for dead weight: duplicate rules,
+// rules subsumed by other rules (they can never contribute a match, in
+// any evaluation order, since DNF output is order-independent), and
+// always-false rules. The analyst's rule sets accrete such rules during
+// long debugging sessions; Lint keeps them comprehensible.
+func Lint(f Function) []Finding {
+	var out []Finding
+	type entry struct {
+		name   string
+		ok     bool // satisfiable
+		groups []Group
+	}
+	entries := make([]entry, len(f.Rules))
+	for i, r := range f.Rules {
+		g, err := GroupsOf(r)
+		if err != nil {
+			out = append(out, Finding{Kind: LintAlwaysFalse, Rule: r.Name})
+			entries[i] = entry{name: r.Name}
+			continue
+		}
+		entries[i] = entry{name: r.Name, ok: true, groups: g}
+	}
+	reported := make(map[int]bool)
+	for i := range f.Rules {
+		if !entries[i].ok || reported[i] {
+			continue
+		}
+		for j := range f.Rules {
+			if i == j || !entries[j].ok || reported[j] {
+				continue
+			}
+			subIJ, err := Subsumes(f.Rules[i], f.Rules[j])
+			if err != nil {
+				continue
+			}
+			subJI, err := Subsumes(f.Rules[j], f.Rules[i])
+			if err != nil {
+				continue
+			}
+			switch {
+			case subIJ && subJI:
+				if j > i {
+					out = append(out, Finding{Kind: LintDuplicate, Rule: entries[j].name, Other: entries[i].name})
+					reported[j] = true
+				}
+			case subIJ:
+				// Rule i is weaker: whenever j fires, i fires too, so j
+				// never adds a match.
+				out = append(out, Finding{Kind: LintSubsumed, Rule: entries[j].name, Other: entries[i].name})
+				reported[j] = true
+			}
+		}
+	}
+	return out
+}

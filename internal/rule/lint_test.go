@@ -1,0 +1,206 @@
+package rule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) Function {
+	t.Helper()
+	f, err := ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSubsumesBasics(t *testing.T) {
+	weak := mustRule(t, "weak: jaro(a, a) >= 0.5")
+	strong := mustRule(t, "strong: jaro(a, a) >= 0.8")
+	got, err := Subsumes(weak, strong)
+	if err != nil || !got {
+		t.Errorf("weak should subsume strong: %v, %v", got, err)
+	}
+	got, err = Subsumes(strong, weak)
+	if err != nil || got {
+		t.Errorf("strong must not subsume weak: %v, %v", got, err)
+	}
+	// Extra conjunct makes the rule stronger.
+	extra := mustRule(t, "extra: jaro(a, a) >= 0.5 and jaccard(b, b) >= 0.2")
+	if ok, _ := Subsumes(weak, extra); !ok {
+		t.Error("dropping a conjunct should subsume")
+	}
+	if ok, _ := Subsumes(extra, weak); ok {
+		t.Error("adding a conjunct must not subsume")
+	}
+	// Disjoint features: no subsumption either way.
+	other := mustRule(t, "other: jaccard(b, b) >= 0.2")
+	if ok, _ := Subsumes(weak, other); ok {
+		t.Error("rules on different features must not subsume")
+	}
+}
+
+func TestSubsumesIntervalsAndOpenness(t *testing.T) {
+	wide := mustRule(t, "wide: jaro(a, a) >= 0.3 and jaro(a, a) <= 0.9")
+	narrow := mustRule(t, "narrow: jaro(a, a) >= 0.5 and jaro(a, a) < 0.7")
+	if ok, _ := Subsumes(wide, narrow); !ok {
+		t.Error("wide interval should subsume narrow")
+	}
+	if ok, _ := Subsumes(narrow, wide); ok {
+		t.Error("narrow must not subsume wide")
+	}
+	// Open vs closed at the same endpoint.
+	closed := mustRule(t, "closed: jaro(a, a) >= 0.5")
+	open := mustRule(t, "open: jaro(a, a) > 0.5")
+	if ok, _ := Subsumes(closed, open); !ok {
+		t.Error(">= 0.5 should subsume > 0.5")
+	}
+	if ok, _ := Subsumes(open, closed); ok {
+		t.Error("> 0.5 must not subsume >= 0.5")
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	f := mustParse(t, `
+rule broad: jaro(a, a) >= 0.5
+rule narrow: jaro(a, a) >= 0.8
+rule twin: jaro(a, a) >= 0.5
+rule ok: jaccard(b, b) >= 0.3
+`)
+	findings := Lint(f)
+	var kinds []string
+	for _, fd := range findings {
+		kinds = append(kinds, fd.Kind+":"+fd.Rule)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "subsumed:narrow") {
+		t.Errorf("narrow not flagged as subsumed: %v", findings)
+	}
+	if !strings.Contains(joined, "duplicate:twin") {
+		t.Errorf("twin not flagged as duplicate: %v", findings)
+	}
+	for _, fd := range findings {
+		if fd.Rule == "ok" {
+			t.Errorf("healthy rule flagged: %v", fd)
+		}
+		if fd.String() == "" {
+			t.Error("empty finding string")
+		}
+	}
+}
+
+func TestLintAlwaysFalse(t *testing.T) {
+	f := Function{Rules: []Rule{
+		mustRule(t, "bad: jaro(a, a) >= 0.9 and jaro(a, a) < 0.1"),
+		mustRule(t, "good: jaro(a, a) >= 0.5"),
+	}}
+	findings := Lint(f)
+	found := false
+	for _, fd := range findings {
+		if fd.Kind == LintAlwaysFalse && fd.Rule == "bad" {
+			found = true
+		}
+		if fd.Rule == "good" {
+			t.Errorf("good rule flagged: %v", fd)
+		}
+	}
+	if !found {
+		t.Errorf("always-false rule not flagged: %v", findings)
+	}
+}
+
+// Property: Subsumes(a, b) implies that on random feature values,
+// b true => a true.
+func TestQuickSubsumptionSemantics(t *testing.T) {
+	feats := []Feature{
+		{Sim: "f1", AttrA: "a", AttrB: "a"},
+		{Sim: "f2", AttrA: "b", AttrB: "b"},
+	}
+	randRule := func(rng *rand.Rand, name string) Rule {
+		r := Rule{Name: name}
+		n := 1 + rng.Intn(3)
+		ops := []Op{Ge, Gt, Le, Lt}
+		for i := 0; i < n; i++ {
+			r.Preds = append(r.Preds, Predicate{
+				Feature:   feats[rng.Intn(len(feats))],
+				Op:        ops[rng.Intn(len(ops))],
+				Threshold: float64(rng.Intn(11)) / 10,
+			})
+		}
+		return r
+	}
+	evalRule := func(r Rule, vals map[string]float64) bool {
+		for _, p := range r.Preds {
+			if !p.Eval(vals[p.Feature.Key()]) {
+				return false
+			}
+		}
+		return true
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRule(rng, "a")
+		b := randRule(rng, "b")
+		sub, err := Subsumes(a, b)
+		if err != nil || !sub {
+			return true // nothing claimed
+		}
+		for trial := 0; trial < 60; trial++ {
+			vals := map[string]float64{
+				feats[0].Key(): rng.Float64()*1.4 - 0.2,
+				feats[1].Key(): rng.Float64()*1.4 - 0.2,
+			}
+			if evalRule(b, vals) && !evalRule(a, vals) {
+				return false // b fired where a did not: subsumption lie
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: subsumption is reflexive and transitive on random rules.
+func TestQuickSubsumptionAlgebra(t *testing.T) {
+	feats := []Feature{
+		{Sim: "f1", AttrA: "a", AttrB: "a"},
+		{Sim: "f2", AttrA: "b", AttrB: "b"},
+	}
+	randRule := func(rng *rand.Rand, name string) Rule {
+		r := Rule{Name: name}
+		ops := []Op{Ge, Gt, Le, Lt}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			r.Preds = append(r.Preds, Predicate{
+				Feature:   feats[rng.Intn(len(feats))],
+				Op:        ops[rng.Intn(len(ops))],
+				Threshold: float64(rng.Intn(11)) / 10,
+			})
+		}
+		return r
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRule(rng, "a")
+		b := randRule(rng, "b")
+		c := randRule(rng, "c")
+		if ok, err := Subsumes(a, a); err == nil && !ok {
+			return false // reflexivity
+		}
+		ab, err1 := Subsumes(a, b)
+		bc, err2 := Subsumes(b, c)
+		ac, err3 := Subsumes(a, c)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return true
+		}
+		if ab && bc && !ac {
+			return false // transitivity
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+package rule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The rule DSL, one rule per line (blank lines and '#' comments allowed):
+//
+//	rule r1: jaro_winkler(modelno, modelno) >= 0.97 and cosine(title, title) >= 0.69
+//	rule r2: jaccard(title, title) < 0.4 and soft_tf_idf(title, title) >= 0.63
+//
+// The "rule" keyword and the name are optional for single-rule parses via
+// ParseRule. Predicate form: simfunc(attrA, attrB) OP number with OP one
+// of >=, >, <=, <, ==.
+
+// ParseFunction parses a multi-line DSL document into a Function.
+func ParseFunction(src string) (Function, error) {
+	var f Function
+	names := make(map[string]struct{})
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return Function{}, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if r.Name == "" {
+			r.Name = fmt.Sprintf("r%d", len(f.Rules)+1)
+		}
+		if _, dup := names[r.Name]; dup {
+			return Function{}, fmt.Errorf("line %d: duplicate rule name %q", ln+1, r.Name)
+		}
+		names[r.Name] = struct{}{}
+		f.Rules = append(f.Rules, r)
+	}
+	return f, nil
+}
+
+// ParseRule parses one rule, with or without the "rule name:" prefix.
+func ParseRule(line string) (Rule, error) {
+	p := &parser{src: line}
+	return p.rule()
+}
+
+// ParsePredicate parses a single predicate such as
+// "jaccard(title, title) >= 0.7".
+func ParsePredicate(s string) (Predicate, error) {
+	p := &parser{src: s}
+	pred, err := p.predicate()
+	if err != nil {
+		return Predicate{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Predicate{}, fmt.Errorf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return pred, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) rule() (Rule, error) {
+	var r Rule
+	p.skipSpace()
+	// Optional "rule" keyword and "name:" prefix.
+	save := p.pos
+	if id, ok := p.ident(); ok {
+		if id == "rule" {
+			save = p.pos
+			id, ok = p.ident()
+			if !ok {
+				return r, fmt.Errorf("expected rule name after 'rule'")
+			}
+		}
+		p.skipSpace()
+		if p.peek() == ':' {
+			p.pos++
+			r.Name = id
+		} else {
+			// Not a name prefix; the identifier begins a predicate.
+			p.pos = save
+		}
+	}
+	for {
+		pred, err := p.predicate()
+		if err != nil {
+			return r, err
+		}
+		r.Preds = append(r.Preds, pred)
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			break
+		}
+		kw, ok := p.ident()
+		if !ok || (kw != "and" && kw != "AND") {
+			return r, fmt.Errorf("expected 'and' at position %d, got %q", p.pos, p.rest())
+		}
+	}
+	if len(r.Preds) == 0 {
+		return r, fmt.Errorf("rule has no predicates")
+	}
+	return r, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	var pred Predicate
+	p.skipSpace()
+	sim, ok := p.ident()
+	if !ok {
+		return pred, fmt.Errorf("expected similarity function name at position %d, got %q", p.pos, p.rest())
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return pred, fmt.Errorf("expected '(' after %q", sim)
+	}
+	p.pos++
+	attrA, ok := p.ident()
+	if !ok {
+		return pred, fmt.Errorf("expected attribute name in %q(...)", sim)
+	}
+	p.skipSpace()
+	if p.peek() != ',' {
+		return pred, fmt.Errorf("expected ',' between attributes of %q", sim)
+	}
+	p.pos++
+	attrB, ok := p.ident()
+	if !ok {
+		return pred, fmt.Errorf("expected second attribute name in %q(...)", sim)
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return pred, fmt.Errorf("expected ')' to close %q(...)", sim)
+	}
+	p.pos++
+	op, err := p.operator()
+	if err != nil {
+		return pred, err
+	}
+	thr, err := p.number()
+	if err != nil {
+		return pred, err
+	}
+	pred.Feature = Feature{Sim: sim, AttrA: attrA, AttrB: attrB}
+	pred.Op = op
+	pred.Threshold = thr
+	return pred, nil
+}
+
+func (p *parser) operator() (Op, error) {
+	p.skipSpace()
+	two := ""
+	if p.pos+2 <= len(p.src) {
+		two = p.src[p.pos : p.pos+2]
+	}
+	switch two {
+	case ">=":
+		p.pos += 2
+		return Ge, nil
+	case "<=":
+		p.pos += 2
+		return Le, nil
+	case "==":
+		p.pos += 2
+		return Eq, nil
+	}
+	switch p.peek() {
+	case '>':
+		p.pos++
+		return Gt, nil
+	case '<':
+		p.pos++
+		return Lt, nil
+	case '=':
+		p.pos++
+		return Eq, nil
+	}
+	return 0, fmt.Errorf("expected comparison operator at position %d, got %q", p.pos, p.rest())
+}
+
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("expected number at position %d, got %q", p.pos, p.rest())
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", p.src[start:p.pos], err)
+	}
+	return v, nil
+}
+
+// ident scans an identifier [A-Za-z_][A-Za-z0-9_]*.
+func (p *parser) ident() (string, bool) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || r == '_' || (p.pos > start && unicode.IsDigit(r)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", false
+	}
+	return p.src[start:p.pos], true
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) rest() string {
+	if p.pos >= len(p.src) {
+		return ""
+	}
+	r := p.src[p.pos:]
+	if len(r) > 20 {
+		r = r[:20] + "..."
+	}
+	return r
+}

@@ -1,0 +1,207 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePredicate(t *testing.T) {
+	p, err := ParsePredicate("jaccard(title, title) >= 0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Feature.Sim != "jaccard" || p.Feature.AttrA != "title" || p.Feature.AttrB != "title" {
+		t.Errorf("feature = %+v", p.Feature)
+	}
+	if p.Op != Ge || p.Threshold != 0.7 {
+		t.Errorf("op/threshold = %v %v", p.Op, p.Threshold)
+	}
+}
+
+func TestParsePredicateOperators(t *testing.T) {
+	cases := []struct {
+		src string
+		op  Op
+		thr float64
+	}{
+		{"f(a, b) >= 0.5", Ge, 0.5},
+		{"f(a, b) > 0.5", Gt, 0.5},
+		{"f(a, b) <= .25", Le, 0.25},
+		{"f(a, b) < 1", Lt, 1},
+		{"f(a, b) == 1", Eq, 1},
+		{"f(a, b) = 1", Eq, 1},
+		{"f(a,b)>=0.97", Ge, 0.97},
+		{"f(a, b) >= 1e-3", Ge, 0.001},
+		{"f(a, b) >= -0.5", Ge, -0.5},
+	}
+	for _, c := range cases {
+		p, err := ParsePredicate(c.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.src, err)
+			continue
+		}
+		if p.Op != c.op || p.Threshold != c.thr {
+			t.Errorf("parse %q = %v %v, want %v %v", c.src, p.Op, p.Threshold, c.op, c.thr)
+		}
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"jaccard",
+		"jaccard(title)",
+		"jaccard(title, title)",
+		"jaccard(title, title) >=",
+		"jaccard(title, title) ~ 0.7",
+		"jaccard(title, title) >= abc",
+		"jaccard(title title) >= 0.7",
+		"jaccard(title, title) >= 0.7 extra",
+		"(title, title) >= 0.7",
+	}
+	for _, src := range bad {
+		if _, err := ParsePredicate(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("rule r7: jaro(m, m) >= 0.95 and tf_idf(m, t) < 0.25 and cosine(t, t) >= 0.69")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "r7" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if len(r.Preds) != 3 {
+		t.Fatalf("preds = %d", len(r.Preds))
+	}
+	if r.Preds[1].Op != Lt || r.Preds[1].Feature.Sim != "tf_idf" {
+		t.Errorf("pred[1] = %v", r.Preds[1])
+	}
+}
+
+func TestParseRuleWithoutPrefix(t *testing.T) {
+	r, err := ParseRule("jaro(m, m) >= 0.95 and exact_match(p, p) == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "" || len(r.Preds) != 2 {
+		t.Errorf("rule = %+v", r)
+	}
+	// Name without "rule" keyword.
+	r, err = ParseRule("myrule: jaro(m, m) >= 0.95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "myrule" {
+		t.Errorf("name = %q", r.Name)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"rule r1:",
+		"rule : jaro(a, b) >= 1",
+		"rule r1: jaro(a, b) >= 1 or jaro(b, c) >= 1",
+		"rule r1: jaro(a, b) >= 1 and",
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	src := `
+# product matching, v3
+rule r1: jaro_winkler(modelno, modelno) >= 0.97 and cosine(title, title) >= 0.69
+
+rule r2: jaccard(title, title) < 0.4 and soft_tf_idf(title, title) >= 0.63
+jaro(modelno, modelno) >= 0.9
+`
+	f, err := ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rules) != 3 {
+		t.Fatalf("rules = %d", len(f.Rules))
+	}
+	if f.Rules[0].Name != "r1" || f.Rules[1].Name != "r2" {
+		t.Errorf("names = %q %q", f.Rules[0].Name, f.Rules[1].Name)
+	}
+	// The anonymous third rule gets a generated name.
+	if f.Rules[2].Name != "r3" {
+		t.Errorf("generated name = %q", f.Rules[2].Name)
+	}
+}
+
+func TestParseFunctionDuplicateNames(t *testing.T) {
+	src := "rule a: jaro(x, y) >= 1\nrule a: jaro(x, y) >= 0.5"
+	if _, err := ParseFunction(src); err == nil {
+		t.Error("duplicate rule names accepted")
+	}
+}
+
+func TestFunctionStringRoundTrip(t *testing.T) {
+	src := `rule r1: jaro_winkler(modelno, modelno) >= 0.97 and tf_idf(modelno, title) < 0.25
+rule r2: jaccard(title, title) < 0.4 and levenshtein(modelno, modelno) >= 0.72`
+	f, err := ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ParseFunction(f.String())
+	if err != nil {
+		t.Fatalf("re-parse rendered function: %v\n%s", err, f.String())
+	}
+	if f.String() != f2.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", f.String(), f2.String())
+	}
+}
+
+func TestFunctionHelpers(t *testing.T) {
+	f, err := ParseFunction(`rule r1: jaro(a, a) >= 0.9 and jaccard(b, b) >= 0.5
+rule r2: jaro(a, a) >= 0.8 and tf_idf(b, b) >= 0.7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := f.Features()
+	if len(feats) != 3 {
+		t.Errorf("features = %v", feats)
+	}
+	if f.NumPredicates() != 4 {
+		t.Errorf("num predicates = %d", f.NumPredicates())
+	}
+	if f.RuleByName("r2") != 1 || f.RuleByName("zzz") != -1 {
+		t.Error("RuleByName wrong")
+	}
+	clone := f.Clone()
+	clone.Rules[0].Preds[0].Threshold = 0.1
+	if f.Rules[0].Preds[0].Threshold != 0.9 {
+		t.Error("Clone aliases predicates")
+	}
+}
+
+func TestOpCompare(t *testing.T) {
+	cases := []struct {
+		op   Op
+		v, t float64
+		want bool
+	}{
+		{Ge, 0.5, 0.5, true}, {Ge, 0.4, 0.5, false},
+		{Gt, 0.5, 0.5, false}, {Gt, 0.6, 0.5, true},
+		{Le, 0.5, 0.5, true}, {Le, 0.6, 0.5, false},
+		{Lt, 0.5, 0.5, false}, {Lt, 0.4, 0.5, true},
+		{Eq, 0.5, 0.5, true}, {Eq, 0.4, 0.5, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Compare(c.v, c.t); got != c.want {
+			t.Errorf("%v.Compare(%v,%v) = %v", c.op, c.v, c.t, got)
+		}
+	}
+	if !strings.Contains(Op(99).String(), "Op(") {
+		t.Error("invalid op String")
+	}
+}

@@ -1,0 +1,205 @@
+// Package rule defines the rule language of the matcher: features
+// (similarity function applied to an attribute pair), threshold
+// predicates, CNF rules, and DNF matching functions — plus a text DSL
+// parser and canonicalization.
+//
+// A matching function is in disjunctive normal form (paper Section 3):
+// a disjunction of rules, each rule a conjunction of predicates of the
+// form sim(a.attr, b.attr) OP threshold.
+package rule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a comparison operator of a predicate.
+type Op int
+
+// Comparison operators. The paper's rules use only Ge and Lt; the others
+// are supported for completeness.
+const (
+	Ge Op = iota // >=
+	Gt           // >
+	Le           // <=
+	Lt           // <
+	Eq           // ==
+)
+
+// String returns the DSL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	case Le:
+		return "<="
+	case Lt:
+		return "<"
+	case Eq:
+		return "=="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Compare applies the operator to value v and threshold t.
+func (o Op) Compare(v, t float64) bool {
+	switch o {
+	case Ge:
+		return v >= t
+	case Gt:
+		return v > t
+	case Le:
+		return v <= t
+	case Lt:
+		return v < t
+	case Eq:
+		return v == t
+	}
+	panic(fmt.Sprintf("rule: invalid operator %d", int(o)))
+}
+
+// Upper reports whether the operator bounds the feature from above
+// (Le/Lt) rather than below (Ge/Gt).
+func (o Op) Upper() bool { return o == Le || o == Lt }
+
+// Feature names a similarity function applied to one attribute of table
+// A and one of table B.
+type Feature struct {
+	Sim   string // similarity function name, e.g. "jaccard"
+	AttrA string // attribute of table A
+	AttrB string // attribute of table B
+}
+
+// Key returns the canonical feature key, e.g. "jaccard(title,title)".
+func (f Feature) Key() string { return f.Sim + "(" + f.AttrA + "," + f.AttrB + ")" }
+
+func (f Feature) String() string { return f.Key() }
+
+// Predicate compares a feature value against a threshold.
+type Predicate struct {
+	Feature   Feature
+	Op        Op
+	Threshold float64
+}
+
+// Eval applies the predicate to a computed feature value.
+func (p Predicate) Eval(v float64) bool { return p.Op.Compare(v, p.Threshold) }
+
+// Key returns a canonical textual form, also used as the predicate's
+// identity in selectivity estimates.
+func (p Predicate) Key() string {
+	return p.Feature.Key() + " " + p.Op.String() + " " + strconv.FormatFloat(p.Threshold, 'g', -1, 64)
+}
+
+func (p Predicate) String() string { return p.Key() }
+
+// Rule is a conjunction of predicates.
+type Rule struct {
+	Name  string
+	Preds []Predicate
+}
+
+// String renders the rule in DSL form. Unnamed rules render as a bare
+// conjunction, which re-parses to an unnamed rule.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Preds))
+	for i, p := range r.Preds {
+		parts[i] = p.String()
+	}
+	body := strings.Join(parts, " and ")
+	if r.Name == "" {
+		return body
+	}
+	return r.Name + ": " + body
+}
+
+// Clone returns a deep copy of the rule.
+func (r Rule) Clone() Rule {
+	c := Rule{Name: r.Name, Preds: make([]Predicate, len(r.Preds))}
+	copy(c.Preds, r.Preds)
+	return c
+}
+
+// Features returns the distinct features referenced by the rule, in
+// first-appearance order.
+func (r Rule) Features() []Feature {
+	seen := make(map[string]struct{}, len(r.Preds))
+	var out []Feature
+	for _, p := range r.Preds {
+		k := p.Feature.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, p.Feature)
+	}
+	return out
+}
+
+// Function is a DNF matching function: a disjunction of rules.
+type Function struct {
+	Rules []Rule
+}
+
+// Clone returns a deep copy of the function.
+func (f Function) Clone() Function {
+	c := Function{Rules: make([]Rule, len(f.Rules))}
+	for i, r := range f.Rules {
+		c.Rules[i] = r.Clone()
+	}
+	return c
+}
+
+// Features returns the distinct features referenced anywhere in the
+// function, in first-appearance order. These are the "used features" of
+// the matching task.
+func (f Function) Features() []Feature {
+	seen := make(map[string]struct{})
+	var out []Feature
+	for _, r := range f.Rules {
+		for _, p := range r.Preds {
+			k := p.Feature.Key()
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, p.Feature)
+		}
+	}
+	return out
+}
+
+// RuleByName returns the index of the named rule, or -1.
+func (f Function) RuleByName(name string) int {
+	for i, r := range f.Rules {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumPredicates returns the total predicate count across all rules.
+func (f Function) NumPredicates() int {
+	n := 0
+	for _, r := range f.Rules {
+		n += len(r.Preds)
+	}
+	return n
+}
+
+// String renders the function in DSL form, one rule per line.
+func (f Function) String() string {
+	var b strings.Builder
+	for i, r := range f.Rules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString("rule ")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

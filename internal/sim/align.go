@@ -1,0 +1,164 @@
+package sim
+
+// Sequence-alignment similarities: Hamming, Needleman-Wunsch (global
+// alignment) and Smith-Waterman (local alignment), plus a common-prefix
+// similarity. All normalized to [0,1].
+
+// Hamming is 1 - hammingDistance/maxLen, where positions beyond the
+// shorter string count as mismatches.
+type Hamming struct{}
+
+// Name implements Func.
+func (Hamming) Name() string { return "hamming" }
+
+// Sim implements Func.
+func (Hamming) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	maxLen := maxInt(len(ra), len(rb))
+	minLen := minInt(len(ra), len(rb))
+	dist := maxLen - minLen
+	for i := 0; i < minLen; i++ {
+		if ra[i] != rb[i] {
+			dist++
+		}
+	}
+	return 1 - float64(dist)/float64(maxLen)
+}
+
+// NeedlemanWunsch is the normalized global alignment similarity with
+// unit match reward and unit mismatch/gap penalties:
+// max(0, score) / maxLen. Identical strings score 1.
+type NeedlemanWunsch struct{}
+
+// Name implements Func.
+func (NeedlemanWunsch) Name() string { return "needleman_wunsch" }
+
+// Sim implements Func.
+func (NeedlemanWunsch) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	if lb > la {
+		ra, rb = rb, ra
+		la, lb = lb, la
+	}
+	row := make([]int, lb+1)
+	for j := range row {
+		row[j] = -j // leading gaps
+	}
+	for i := 1; i <= la; i++ {
+		prev := row[0]
+		row[0] = -i
+		for j := 1; j <= lb; j++ {
+			cur := row[j]
+			score := 1
+			if ra[i-1] != rb[j-1] {
+				score = -1
+			}
+			best := prev + score
+			if v := cur - 1; v > best {
+				best = v
+			}
+			if v := row[j-1] - 1; v > best {
+				best = v
+			}
+			row[j] = best
+			prev = cur
+		}
+	}
+	score := row[lb]
+	if score <= 0 {
+		return 0
+	}
+	return clamp01(float64(score) / float64(la))
+}
+
+// SmithWaterman is the normalized local alignment similarity: the best
+// local alignment score (unit match, unit mismatch/gap penalties)
+// divided by the length of the shorter string — 1 when one string
+// contains the other exactly.
+type SmithWaterman struct{}
+
+// Name implements Func.
+func (SmithWaterman) Name() string { return "smith_waterman" }
+
+// Sim implements Func.
+func (SmithWaterman) Sim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	if lb > la {
+		ra, rb = rb, ra
+		la, lb = lb, la
+	}
+	row := make([]int, lb+1)
+	best := 0
+	for i := 1; i <= la; i++ {
+		prev := row[0]
+		row[0] = 0
+		for j := 1; j <= lb; j++ {
+			cur := row[j]
+			score := 1
+			if ra[i-1] != rb[j-1] {
+				score = -1
+			}
+			v := prev + score
+			if up := cur - 1; up > v {
+				v = up
+			}
+			if left := row[j-1] - 1; left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+			if v > best {
+				best = v
+			}
+			prev = cur
+		}
+	}
+	return clamp01(float64(best) / float64(lb))
+}
+
+// PrefixSim is the length of the common prefix divided by the shorter
+// string's length — useful for code-like attributes where the prefix
+// carries the identity.
+type PrefixSim struct{}
+
+// Name implements Func.
+func (PrefixSim) Name() string { return "prefix_sim" }
+
+// Sim implements Func.
+func (PrefixSim) Sim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	minLen := minInt(len(ra), len(rb))
+	if minLen == 0 {
+		if len(ra) == len(rb) {
+			return 1
+		}
+		return 0
+	}
+	k := 0
+	for k < minLen && ra[k] == rb[k] {
+		k++
+	}
+	return float64(k) / float64(minLen)
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHamming(t *testing.T) {
+	f := Hamming{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"karolin", "kathrin", 1 - 3.0/7},
+		{"abc", "abc", 1},
+		{"abc", "abd", 1 - 1.0/3},
+		{"abc", "abcd", 0.75}, // length difference is one mismatch
+		{"", "", 1},
+		{"", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := f.Sim(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("hamming(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNeedlemanWunsch(t *testing.T) {
+	f := NeedlemanWunsch{}
+	if got := f.Sim("abcdef", "abcdef"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	// One substitution in six characters: score 5-1 = 4 of 6.
+	if got := f.Sim("abcdef", "abcdxf"); !almost(got, 4.0/6) {
+		t.Errorf("one substitution = %v, want %v", got, 4.0/6)
+	}
+	// Completely different strings floor at 0.
+	if got := f.Sim("aaaa", "zzzz"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	if f.Sim("", "abc") != 0 || f.Sim("", "") != 1 {
+		t.Error("empty handling wrong")
+	}
+}
+
+func TestSmithWaterman(t *testing.T) {
+	f := SmithWaterman{}
+	// Exact substring: local alignment covers the whole shorter string.
+	if got := f.Sim("the quick brown fox", "quick"); !almost(got, 1) {
+		t.Errorf("substring = %v, want 1", got)
+	}
+	if got := f.Sim("quick", "the quick brown fox"); !almost(got, 1) {
+		t.Errorf("substring reversed = %v, want 1", got)
+	}
+	if got := f.Sim("aaaa", "zzzz"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	v := f.Sim("respublica", "republic")
+	if v <= 0.5 || v > 1 {
+		t.Errorf("near match = %v, want in (0.5, 1]", v)
+	}
+}
+
+func TestPrefixSim(t *testing.T) {
+	f := PrefixSim{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"SD-4816K", "SD-4816X", 7.0 / 8},
+		{"abc", "abcdef", 1},
+		{"abc", "xbc", 0},
+		{"", "", 1},
+		{"", "x", 0},
+	}
+	for _, c := range cases {
+		if got := f.Sim(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("prefix_sim(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAlignSimsRangeAndIdentity(t *testing.T) {
+	funcs := []Func{Hamming{}, NeedlemanWunsch{}, SmithWaterman{}, PrefixSim{}}
+	prop := func(a, b string) bool {
+		for _, fn := range funcs {
+			v := fn.Sim(a, b)
+			if v < 0 || v > 1 {
+				return false
+			}
+			if fn.Sim(a, a) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

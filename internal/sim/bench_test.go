@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// Representative product-style inputs: short codes and medium titles.
+var benchInputs = []struct{ a, b string }{
+	{"SD-4816K", "SD-4816X"},
+	{"sony white lens VN-5653V", "soqy WN-5653V white lensVN-5653V"},
+	{"western digital portable drive WD-1021R", "w. digital drive WD1021R portable new"},
+	{"canon eos r5 camera", "nikon z6 camera body"},
+}
+
+// BenchmarkSimilarityFunctions times every standard similarity on mixed
+// inputs — the per-function μs behind Table 3.
+func BenchmarkSimilarityFunctions(b *testing.B) {
+	lib := Standard()
+	corpus := NewCorpus(nil)
+	for _, in := range benchInputs {
+		corpus.Add(in.a)
+		corpus.Add(in.b)
+	}
+	for _, name := range lib.Names() {
+		needs, err := lib.NeedsCorpus(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var c *Corpus
+		if needs {
+			c = corpus
+		}
+		fn, err := lib.Build(name, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				in := benchInputs[i%len(benchInputs)]
+				fn.Sim(in.a, in.b)
+			}
+		})
+	}
+}
+
+// BenchmarkTokenizers isolates tokenization cost from similarity logic.
+func BenchmarkTokenizers(b *testing.B) {
+	toks := []Tokenizer{Whitespace{}, QGram{Q: 3}, QGram{Q: 3, Pad: true}}
+	for _, tok := range toks {
+		b.Run(tok.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				in := benchInputs[i%len(benchInputs)]
+				tok.Tokens(in.b)
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Corpus holds document-frequency statistics used by TF-IDF style
+// similarities. Each attribute value added via Add counts as one
+// document.
+type Corpus struct {
+	tok  Tokenizer
+	df   map[string]int
+	docs int
+}
+
+// NewCorpus creates an empty corpus using the given tokenizer
+// (whitespace if nil).
+func NewCorpus(tok Tokenizer) *Corpus {
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	return &Corpus{tok: tok, df: make(map[string]int)}
+}
+
+// Add counts one document's tokens into the corpus.
+func (c *Corpus) Add(doc string) {
+	c.docs++
+	for t := range tokenSet(c.tok.Tokens(doc)) {
+		c.df[t]++
+	}
+}
+
+// AddAll counts each string in docs as one document.
+func (c *Corpus) AddAll(docs []string) {
+	for _, d := range docs {
+		c.Add(d)
+	}
+}
+
+// Docs returns the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/(1+df(t))) of token t.
+func (c *Corpus) IDF(token string) float64 {
+	if c.docs == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(c.docs)/float64(1+c.df[token]))
+}
+
+// weights computes the L2-normalized TF-IDF weight vector of s.
+func (c *Corpus) weights(s string) map[string]float64 {
+	counts := tokenCounts(c.tok.Tokens(s))
+	if len(counts) == 0 {
+		return nil
+	}
+	// Accumulate in sorted token order so float rounding is
+	// deterministic across runs (map order varies per process).
+	tokens := make([]string, 0, len(counts))
+	for t := range counts {
+		tokens = append(tokens, t)
+	}
+	sort.Strings(tokens)
+	w := make(map[string]float64, len(counts))
+	var norm float64
+	for _, t := range tokens {
+		v := (1 + math.Log(float64(counts[t]))) * c.IDF(t)
+		w[t] = v
+		norm += v * v
+	}
+	if norm == 0 {
+		return nil
+	}
+	norm = math.Sqrt(norm)
+	for t := range w {
+		w[t] /= norm
+	}
+	return w
+}
+
+// sortedKeys returns the map's keys in sorted order; summing in a fixed
+// order keeps float results deterministic across runs (map iteration
+// order would otherwise perturb low-order bits and flip threshold
+// comparisons).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TFIDF is the cosine similarity of corpus-weighted TF-IDF vectors.
+type TFIDF struct {
+	Corpus *Corpus
+	Label  string
+}
+
+// Name implements Func.
+func (t TFIDF) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return "tf_idf"
+}
+
+// Sim implements Func.
+func (t TFIDF) Sim(a, b string) float64 {
+	wa := t.Corpus.weights(a)
+	wb := t.Corpus.weights(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 1
+	}
+	if len(wa) == 0 || len(wb) == 0 {
+		return 0
+	}
+	if len(wb) < len(wa) {
+		wa, wb = wb, wa
+	}
+	var dot float64
+	for _, tok := range sortedKeys(wa) {
+		if y, ok := wb[tok]; ok {
+			dot += wa[tok] * y
+		}
+	}
+	return clamp01(dot)
+}
+
+// SoftTFIDF is the Soft TF-IDF similarity of Cohen, Ravikumar and
+// Fienberg: TF-IDF over token pairs whose secondary similarity
+// (Jaro-Winkler) exceeds Theta, weighted by that secondary similarity.
+type SoftTFIDF struct {
+	Corpus *Corpus
+	// Theta is the secondary-similarity threshold; 0 means 0.9.
+	Theta float64
+	Label string
+}
+
+// Name implements Func.
+func (s SoftTFIDF) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "soft_tf_idf"
+}
+
+// Sim implements Func.
+func (s SoftTFIDF) Sim(a, b string) float64 {
+	theta := s.Theta
+	if theta == 0 {
+		theta = 0.9
+	}
+	wa := s.Corpus.weights(a)
+	wb := s.Corpus.weights(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 1
+	}
+	if len(wa) == 0 || len(wb) == 0 {
+		return 0
+	}
+	var jw JaroWinkler
+	var total float64
+	tokensB := sortedKeys(wb)
+	for _, ta := range sortedKeys(wa) {
+		// Find the closest token in b; include it if over the threshold.
+		best := 0.0
+		var bestTok string
+		for _, tb := range tokensB {
+			if d := jw.Sim(ta, tb); d > best {
+				best = d
+				bestTok = tb
+			}
+		}
+		if best >= theta {
+			total += wa[ta] * wb[bestTok] * best
+		}
+	}
+	return clamp01(total)
+}
+
+// MongeElkan is the Monge-Elkan similarity: the average over tokens of a
+// of the maximum secondary similarity (Jaro-Winkler) to any token of b.
+type MongeElkan struct{}
+
+// Name implements Func.
+func (MongeElkan) Name() string { return "monge_elkan" }
+
+// Sim implements Func.
+func (MongeElkan) Sim(a, b string) float64 {
+	ta := Whitespace{}.Tokens(a)
+	tb := Whitespace{}.Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var jw JaroWinkler
+	var sum float64
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if d := jw.Sim(x, y); d > best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return clamp01(sum / float64(len(ta)))
+}

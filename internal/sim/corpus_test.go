@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func buildCorpus(docs ...string) *Corpus {
+	c := NewCorpus(nil)
+	c.AddAll(docs)
+	return c
+}
+
+func TestCorpusIDF(t *testing.T) {
+	c := buildCorpus("apple banana", "apple cherry", "apple banana cherry", "durian")
+	if c.Docs() != 4 {
+		t.Fatalf("docs = %d", c.Docs())
+	}
+	// apple appears in 3 docs, durian in 1: rarer token has higher IDF.
+	if c.IDF("durian") <= c.IDF("apple") {
+		t.Errorf("IDF(durian)=%v not > IDF(apple)=%v", c.IDF("durian"), c.IDF("apple"))
+	}
+	// Unknown tokens get the highest IDF of all.
+	if c.IDF("unknown") <= c.IDF("durian") {
+		t.Errorf("IDF(unknown)=%v not > IDF(durian)=%v", c.IDF("unknown"), c.IDF("durian"))
+	}
+	if (&Corpus{}).IDF("x") != 0 {
+		t.Error("empty corpus IDF not 0")
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	c := buildCorpus("the laptop", "the charger", "the dock", "the cable", "sony vaio laptop")
+	f := TFIDF{Corpus: c}
+	if got := f.Sim("sony vaio laptop", "sony vaio laptop"); !almost(got, 1) {
+		t.Errorf("identical tf_idf = %v, want 1", got)
+	}
+	if got := f.Sim("sony vaio", "dell inspiron"); got != 0 {
+		t.Errorf("disjoint tf_idf = %v, want 0", got)
+	}
+	// Shared rare token scores higher than shared common token.
+	rare := f.Sim("vaio x", "vaio y")
+	common := f.Sim("the x", "the y")
+	if rare <= common {
+		t.Errorf("rare-token sim %v not > common-token sim %v", rare, common)
+	}
+	if got := f.Sim("", ""); got != 1 {
+		t.Errorf("empty tf_idf = %v", got)
+	}
+	if got := f.Sim("a", ""); got != 0 {
+		t.Errorf("half-empty tf_idf = %v", got)
+	}
+}
+
+func TestSoftTFIDF(t *testing.T) {
+	c := buildCorpus("sony vaio laptop", "dell inspiron laptop", "hp pavilion laptop", "acer aspire")
+	hard := TFIDF{Corpus: c}
+	soft := SoftTFIDF{Corpus: c, Theta: 0.8} // JW("vaio","vayo") ≈ 0.87
+	// Typo in a token: hard TF-IDF finds no overlap on it, soft does.
+	h := hard.Sim("sony vaio", "sony vayo")
+	s := soft.Sim("sony vaio", "sony vayo")
+	if s <= h {
+		t.Errorf("soft_tf_idf %v not > tf_idf %v on near-token match", s, h)
+	}
+	if got := soft.Sim("sony vaio laptop", "sony vaio laptop"); got < 0.99 {
+		t.Errorf("identical soft_tf_idf = %v, want ~1", got)
+	}
+	if got := soft.Sim("", "x"); got != 0 {
+		t.Errorf("half-empty soft_tf_idf = %v", got)
+	}
+	// Tokens below the secondary threshold contribute nothing.
+	if got := soft.Sim("alpha", "zzzz"); got != 0 {
+		t.Errorf("dissimilar-token soft_tf_idf = %v, want 0", got)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	f := MongeElkan{}
+	if got := f.Sim("peter smith", "peter smith"); got != 1 {
+		t.Errorf("identical monge_elkan = %v", got)
+	}
+	// Asymmetric by construction (average over a's tokens).
+	ab := f.Sim("peter", "peter smith")
+	ba := f.Sim("peter smith", "peter")
+	if !almost(ab, 1) {
+		t.Errorf("subset monge_elkan = %v, want 1", ab)
+	}
+	if ba >= 1 {
+		t.Errorf("superset monge_elkan = %v, want < 1", ba)
+	}
+	if f.Sim("", "") != 1 || f.Sim("a", "") != 0 {
+		t.Error("empty handling wrong")
+	}
+}
+
+func TestTFIDFRange(t *testing.T) {
+	c := buildCorpus("a b c", "b c d", "c d e", "x y z")
+	for _, f := range []Func{TFIDF{Corpus: c}, SoftTFIDF{Corpus: c}} {
+		for _, pair := range [][2]string{{"a b", "b c"}, {"x", "x y"}, {"q", "r"}} {
+			v := f.Sim(pair[0], pair[1])
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Errorf("%s(%q,%q) = %v out of range", f.Name(), pair[0], pair[1], v)
+			}
+		}
+	}
+}
+
+func TestStandardLibrary(t *testing.T) {
+	lib := Standard()
+	names := lib.Names()
+	if len(names) != 20 {
+		t.Fatalf("standard library has %d functions: %v", len(names), names)
+	}
+	for _, n := range names {
+		needs, err := lib.NeedsCorpus(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var corpus *Corpus
+		if needs {
+			corpus = buildCorpus("a b", "b c")
+		}
+		f, err := lib.Build(n, corpus)
+		if err != nil {
+			t.Fatalf("build %q: %v", n, err)
+		}
+		if f.Name() != n {
+			t.Errorf("function %q reports name %q", n, f.Name())
+		}
+	}
+	if _, err := lib.Build("tf_idf", nil); err == nil {
+		t.Error("corpus-requiring build without corpus accepted")
+	}
+	if _, err := lib.Build("nope", nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := lib.Register("jaro", false, nil); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := lib.Register("", false, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+}

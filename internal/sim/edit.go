@@ -1,0 +1,162 @@
+package sim
+
+// Edit-distance-family similarities: exact match, Levenshtein, Jaro and
+// Jaro-Winkler. All operate on runes so multi-byte input behaves sanely.
+
+// ExactMatch returns 1 if the two strings are byte-identical, else 0.
+type ExactMatch struct{}
+
+// Name implements Func.
+func (ExactMatch) Name() string { return "exact_match" }
+
+// Sim implements Func.
+func (ExactMatch) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Levenshtein is the normalized Levenshtein similarity
+// 1 - dist(a,b)/max(|a|,|b|).
+type Levenshtein struct{}
+
+// Name implements Func.
+func (Levenshtein) Name() string { return "levenshtein" }
+
+// Sim implements Func.
+func (Levenshtein) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	d := levenshteinDistance(ra, rb)
+	return 1 - float64(d)/float64(maxInt(la, lb))
+}
+
+// levenshteinDistance computes edit distance with a rolling single-row DP.
+func levenshteinDistance(a, b []rune) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// b is the shorter string; row has len(b)+1 entries.
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[i-1][0]
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost           // substitute
+			if up := cur + 1; up < best { // delete
+				best = up
+			}
+			if left := row[j-1] + 1; left < best { // insert
+				best = left
+			}
+			row[j] = best
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}
+
+// Jaro is the Jaro string similarity.
+type Jaro struct{}
+
+// Name implements Func.
+func (Jaro) Name() string { return "jaro" }
+
+// Sim implements Func.
+func (Jaro) Sim(a, b string) float64 { return jaroSim([]rune(a), []rune(b)) }
+
+func jaroSim(a, b []rune) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if bMatched[j] || a[i] != b[j] {
+				continue
+			}
+			aMatched[i] = true
+			bMatched[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler is Jaro similarity boosted by a common-prefix bonus.
+type JaroWinkler struct {
+	// Prefix scaling factor; 0 means the standard 0.1.
+	Scale float64
+	// Maximum prefix length considered; 0 means the standard 4.
+	MaxPrefix int
+}
+
+// Name implements Func.
+func (JaroWinkler) Name() string { return "jaro_winkler" }
+
+// Sim implements Func.
+func (jw JaroWinkler) Sim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	j := jaroSim(ra, rb)
+	scale := jw.Scale
+	if scale == 0 {
+		scale = 0.1
+	}
+	maxPrefix := jw.MaxPrefix
+	if maxPrefix == 0 {
+		maxPrefix = 4
+	}
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < maxPrefix && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return clamp01(j + float64(prefix)*scale*(1-j))
+}

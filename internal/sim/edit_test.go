@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestExactMatch(t *testing.T) {
+	f := ExactMatch{}
+	if f.Sim("abc", "abc") != 1 {
+		t.Error("identical strings not 1")
+	}
+	if f.Sim("abc", "abd") != 0 {
+		t.Error("different strings not 0")
+	}
+	if f.Sim("", "") != 1 {
+		t.Error("empty strings not 1")
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	f := Levenshtein{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"kitten", "sitting", 1 - 3.0/7},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"a", "b", 0},
+		{"flaw", "lawn", 0.5},
+		{"日本語", "日本", 1 - 1.0/3}, // rune-aware
+	}
+	for _, c := range cases {
+		if got := f.Sim(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("levenshtein(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return almost(Levenshtein{}.Sim(a, b), Levenshtein{}.Sim(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	f := Jaro{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.944444444444},
+		{"dixon", "dicksonx", 0.766666666667},
+		{"jellyfish", "smellyfish", 0.896296296296},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"a", "", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := f.Sim(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("jaro(%q,%q) = %.12f, want %.12f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	f := JaroWinkler{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.961111111111},
+		{"dixon", "dicksonx", 0.813333333333},
+		{"trate", "trace", 0.906666666667},
+	}
+	for _, c := range cases {
+		if got := f.Sim(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("jaro_winkler(%q,%q) = %.12f, want %.12f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerAtLeastJaro(t *testing.T) {
+	f := func(a, b string) bool {
+		return JaroWinkler{}.Sim(a, b)+1e-12 >= Jaro{}.Sim(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every edit-family similarity stays in [0,1], is symmetric
+// where required, and gives 1 for identical strings.
+func TestEditSimRangeAndIdentity(t *testing.T) {
+	funcs := []Func{ExactMatch{}, Levenshtein{}, Jaro{}, JaroWinkler{}}
+	prop := func(a, b string) bool {
+		for _, fn := range funcs {
+			v := fn.Sim(a, b)
+			if v < 0 || v > 1 {
+				return false
+			}
+			if fn.Sim(a, a) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs a similarity Func, optionally using corpus
+// statistics over the attribute values the feature will see. Builders
+// that do not need a corpus must tolerate a nil corpus.
+type Builder func(c *Corpus) Func
+
+type libEntry struct {
+	build       Builder
+	needsCorpus bool
+}
+
+// Library is a registry of similarity functions by DSL name. A Library
+// describes the *pool* of functions an analyst may use in rules; the
+// "total features" of a matching task is this pool crossed with the
+// attribute pairs under consideration.
+type Library struct {
+	entries map[string]libEntry
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{entries: make(map[string]libEntry)}
+}
+
+// Register adds a named builder. needsCorpus declares whether the
+// builder requires corpus statistics (TF-IDF family).
+func (l *Library) Register(name string, needsCorpus bool, b Builder) error {
+	if name == "" {
+		return fmt.Errorf("sim: empty function name")
+	}
+	if _, dup := l.entries[name]; dup {
+		return fmt.Errorf("sim: duplicate function %q", name)
+	}
+	l.entries[name] = libEntry{build: b, needsCorpus: needsCorpus}
+	return nil
+}
+
+// Names returns all registered function names, sorted.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.entries))
+	for n := range l.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether name is registered.
+func (l *Library) Has(name string) bool {
+	_, ok := l.entries[name]
+	return ok
+}
+
+// NeedsCorpus reports whether the named function requires corpus
+// statistics.
+func (l *Library) NeedsCorpus(name string) (bool, error) {
+	e, ok := l.entries[name]
+	if !ok {
+		return false, fmt.Errorf("sim: unknown function %q", name)
+	}
+	return e.needsCorpus, nil
+}
+
+// Build instantiates the named function. corpus may be nil for functions
+// that do not need one.
+func (l *Library) Build(name string, corpus *Corpus) (Func, error) {
+	e, ok := l.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown function %q", name)
+	}
+	if e.needsCorpus && corpus == nil {
+		return nil, fmt.Errorf("sim: function %q requires a corpus", name)
+	}
+	return e.build(corpus), nil
+}
+
+// Standard returns a library with the full function pool used in the
+// paper's experiments (Table 3) plus a few extras.
+func Standard() *Library {
+	l := NewLibrary()
+	plain := func(f Func) Builder { return func(*Corpus) Func { return f } }
+	must := func(name string, needsCorpus bool, b Builder) {
+		if err := l.Register(name, needsCorpus, b); err != nil {
+			panic(err)
+		}
+	}
+	must("exact_match", false, plain(ExactMatch{}))
+	must("hamming", false, plain(Hamming{}))
+	must("needleman_wunsch", false, plain(NeedlemanWunsch{}))
+	must("smith_waterman", false, plain(SmithWaterman{}))
+	must("prefix_sim", false, plain(PrefixSim{}))
+	must("levenshtein", false, plain(Levenshtein{}))
+	must("jaro", false, plain(Jaro{}))
+	must("jaro_winkler", false, plain(JaroWinkler{}))
+	must("soundex", false, plain(Soundex{}))
+	must("trigram", false, plain(Trigram{}))
+	must("monge_elkan", false, plain(MongeElkan{}))
+	must("rel_diff", false, plain(RelDiff{}))
+	must("abs_diff", false, plain(AbsDiffWithin{Window: 1}))
+	must("jaccard", false, plain(Jaccard{Label: "jaccard"}))
+	must("jaccard_3gram", false, plain(Jaccard{Tok: QGram{Q: 3}, Label: "jaccard_3gram"}))
+	must("dice", false, plain(Dice{Label: "dice"}))
+	must("overlap", false, plain(Overlap{Label: "overlap"}))
+	must("cosine", false, plain(Cosine{Label: "cosine"}))
+	must("tf_idf", true, func(c *Corpus) Func { return TFIDF{Corpus: c, Label: "tf_idf"} })
+	must("soft_tf_idf", true, func(c *Corpus) Func { return SoftTFIDF{Corpus: c, Label: "soft_tf_idf"} })
+	return l
+}

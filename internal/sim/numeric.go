@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Numeric similarities for attributes such as price or year. Values that
+// do not parse as numbers yield similarity 0 (unless both are equal
+// strings, which yields 1 so exact matches always hold).
+
+// RelDiff is 1 - |x-y| / max(|x|,|y|), a scale-free numeric closeness.
+type RelDiff struct{}
+
+// Name implements Func.
+func (RelDiff) Name() string { return "rel_diff" }
+
+// Sim implements Func.
+func (RelDiff) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	x, okx := parseNum(a)
+	y, oky := parseNum(b)
+	if !okx || !oky {
+		return 0
+	}
+	if x == y {
+		return 1
+	}
+	denom := math.Max(math.Abs(x), math.Abs(y))
+	if denom == 0 {
+		return 1
+	}
+	return clamp01(1 - math.Abs(x-y)/denom)
+}
+
+// AbsDiffWithin scores 1 when |x-y| <= Window, decaying linearly to 0 at
+// 2*Window. It suits attributes like year where "close enough" is
+// additive rather than relative.
+type AbsDiffWithin struct {
+	Window float64
+	Label  string
+}
+
+// Name implements Func.
+func (a AbsDiffWithin) Name() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return "abs_diff"
+}
+
+// Sim implements Func.
+func (w AbsDiffWithin) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	x, okx := parseNum(a)
+	y, oky := parseNum(b)
+	if !okx || !oky {
+		return 0
+	}
+	win := w.Window
+	if win <= 0 {
+		win = 1
+	}
+	d := math.Abs(x - y)
+	if d <= win {
+		return 1
+	}
+	return clamp01(2 - d/win)
+}
+
+// parseNum parses a number out of a possibly decorated value like
+// "$1,299.99" or "1999 ".
+func parseNum(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	s = strings.ReplaceAll(s, ",", "")
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,105 @@
+package sim
+
+import "strings"
+
+// Soundex compares the American Soundex codes of the two strings. The
+// similarity is the fraction of tokens whose codes agree (1 for a full
+// phonetic match, 0 for none), so multi-word values degrade gracefully.
+type Soundex struct{}
+
+// Name implements Func.
+func (Soundex) Name() string { return "soundex" }
+
+// Sim implements Func.
+func (Soundex) Sim(a, b string) float64 {
+	ta := Whitespace{}.Tokens(a)
+	tb := Whitespace{}.Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	codesB := make(map[string]struct{}, len(tb))
+	for _, t := range tb {
+		codesB[SoundexCode(t)] = struct{}{}
+	}
+	match := 0
+	seen := make(map[string]struct{}, len(ta))
+	for _, t := range ta {
+		c := SoundexCode(t)
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		if _, ok := codesB[c]; ok {
+			match++
+		}
+	}
+	denom := len(seen) + len(codesB) - match
+	if denom == 0 {
+		return 1
+	}
+	return float64(match) / float64(denom)
+}
+
+// soundexDigit maps an upper-case ASCII letter to its Soundex digit, or
+// 0 for vowels and the ignored letters H, W, Y.
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return '1'
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return '2'
+	case 'D', 'T':
+		return '3'
+	case 'L':
+		return '4'
+	case 'M', 'N':
+		return '5'
+	case 'R':
+		return '6'
+	}
+	return 0
+}
+
+// SoundexCode computes the 4-character American Soundex code of a word.
+// Non-letter characters are skipped; an empty input yields "0000".
+func SoundexCode(word string) string {
+	word = strings.ToUpper(word)
+	var first byte
+	i := 0
+	for ; i < len(word); i++ {
+		c := word[i]
+		if c >= 'A' && c <= 'Z' {
+			first = c
+			break
+		}
+	}
+	if first == 0 {
+		return "0000"
+	}
+	code := [4]byte{first, '0', '0', '0'}
+	n := 1
+	prev := soundexDigit(first)
+	for i++; i < len(word) && n < 4; i++ {
+		c := word[i]
+		if c < 'A' || c > 'Z' {
+			continue
+		}
+		d := soundexDigit(c)
+		switch {
+		case d == 0:
+			// Vowels (and H/W/Y) reset adjacency unless the letter is H or W,
+			// which are transparent separators in standard Soundex.
+			if c != 'H' && c != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			code[n] = d
+			n++
+			prev = d
+		}
+	}
+	return string(code[:])
+}

@@ -1,0 +1,282 @@
+package sim
+
+import "math"
+
+// Profiler is implemented by similarity functions that can split their
+// work into a per-string profile (tokenization, set/count/weight
+// construction) and a profile-to-profile comparison. Record attribute
+// values are compared against many counterparts, so caching profiles
+// per record amortizes the per-string work across all its pairs.
+//
+// SimProfiles(Profile(a), Profile(b)) must equal Sim(a, b) exactly.
+type Profiler interface {
+	Func
+	// Profile precomputes the comparable form of one string.
+	Profile(s string) any
+	// SimProfiles compares two values returned by Profile.
+	SimProfiles(a, b any) float64
+}
+
+// tokenSetProfile is the profile of set-based similarities.
+type tokenSetProfile = map[string]struct{}
+
+// Profile implements Profiler.
+func (j Jaccard) Profile(s string) any {
+	tok := j.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	return tokenSet(tok.Tokens(s))
+}
+
+// SimProfiles implements Profiler.
+func (j Jaccard) SimProfiles(a, b any) float64 {
+	return jaccardSets(a.(tokenSetProfile), b.(tokenSetProfile))
+}
+
+// Profile implements Profiler.
+func (d Dice) Profile(s string) any {
+	tok := d.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	return tokenSet(tok.Tokens(s))
+}
+
+// SimProfiles implements Profiler.
+func (d Dice) SimProfiles(a, b any) float64 {
+	sa, sb := a.(tokenSetProfile), b.(tokenSetProfile)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}
+
+// Profile implements Profiler.
+func (o Overlap) Profile(s string) any {
+	tok := o.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	return tokenSet(tok.Tokens(s))
+}
+
+// SimProfiles implements Profiler.
+func (o Overlap) SimProfiles(a, b any) float64 {
+	sa, sb := a.(tokenSetProfile), b.(tokenSetProfile)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	small, large := sa, sb
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for t := range small {
+		if _, ok := large[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(small))
+}
+
+// Profile implements Profiler.
+func (Trigram) Profile(s string) any {
+	tok := QGram{Q: 3, Pad: true}
+	return tokenSet(tok.Tokens(s))
+}
+
+// SimProfiles implements Profiler.
+func (Trigram) SimProfiles(a, b any) float64 {
+	return jaccardSets(a.(tokenSetProfile), b.(tokenSetProfile))
+}
+
+// cosineProfile caches counts plus the vector norm.
+type cosineProfile struct {
+	counts map[string]int
+	norm   float64
+}
+
+// Profile implements Profiler.
+func (c Cosine) Profile(s string) any {
+	tok := c.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	counts := tokenCounts(tok.Tokens(s))
+	var norm float64
+	for _, x := range counts {
+		norm += float64(x) * float64(x)
+	}
+	return cosineProfile{counts: counts, norm: norm}
+}
+
+// SimProfiles implements Profiler.
+func (c Cosine) SimProfiles(a, b any) float64 {
+	pa, pb := a.(cosineProfile), b.(cosineProfile)
+	if len(pa.counts) == 0 && len(pb.counts) == 0 {
+		return 1
+	}
+	if len(pa.counts) == 0 || len(pb.counts) == 0 {
+		return 0
+	}
+	ca, cb := pa.counts, pb.counts
+	if len(cb) < len(ca) {
+		ca, cb = cb, ca
+	}
+	var dot float64
+	for t, x := range ca {
+		if y, ok := cb[t]; ok {
+			dot += float64(x) * float64(y)
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	return clamp01(dot / (math.Sqrt(pa.norm) * math.Sqrt(pb.norm)))
+}
+
+// weightsProfile caches the sorted tokens alongside the weight map so
+// profile comparisons iterate deterministically without re-sorting.
+type weightsProfile struct {
+	w      map[string]float64
+	sorted []string
+}
+
+func newWeightsProfile(w map[string]float64) weightsProfile {
+	return weightsProfile{w: w, sorted: sortedKeys(w)}
+}
+
+// Profile implements Profiler.
+func (t TFIDF) Profile(s string) any { return newWeightsProfile(t.Corpus.weights(s)) }
+
+// SimProfiles implements Profiler.
+func (t TFIDF) SimProfiles(a, b any) float64 {
+	pa, pb := a.(weightsProfile), b.(weightsProfile)
+	if len(pa.w) == 0 && len(pb.w) == 0 {
+		return 1
+	}
+	if len(pa.w) == 0 || len(pb.w) == 0 {
+		return 0
+	}
+	if len(pb.w) < len(pa.w) {
+		pa, pb = pb, pa
+	}
+	var dot float64
+	for _, tok := range pa.sorted {
+		if y, ok := pb.w[tok]; ok {
+			dot += pa.w[tok] * y
+		}
+	}
+	return clamp01(dot)
+}
+
+// Profile implements Profiler.
+func (s SoftTFIDF) Profile(str string) any { return newWeightsProfile(s.Corpus.weights(str)) }
+
+// SimProfiles implements Profiler.
+func (s SoftTFIDF) SimProfiles(a, b any) float64 {
+	pa, pb := a.(weightsProfile), b.(weightsProfile)
+	theta := s.Theta
+	if theta == 0 {
+		theta = 0.9
+	}
+	if len(pa.w) == 0 && len(pb.w) == 0 {
+		return 1
+	}
+	if len(pa.w) == 0 || len(pb.w) == 0 {
+		return 0
+	}
+	var jw JaroWinkler
+	var total float64
+	for _, ta := range pa.sorted {
+		best := 0.0
+		var bestTok string
+		for _, tb := range pb.sorted {
+			if d := jw.Sim(ta, tb); d > best {
+				best = d
+				bestTok = tb
+			}
+		}
+		if best >= theta {
+			total += pa.w[ta] * pb.w[bestTok] * best
+		}
+	}
+	return clamp01(total)
+}
+
+// Profile implements Profiler.
+func (MongeElkan) Profile(s string) any { return Whitespace{}.Tokens(s) }
+
+// SimProfiles implements Profiler.
+func (MongeElkan) SimProfiles(a, b any) float64 {
+	ta, tb := a.([]string), b.([]string)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var jw JaroWinkler
+	var sum float64
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if d := jw.Sim(x, y); d > best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return clamp01(sum / float64(len(ta)))
+}
+
+// soundexProfile caches the distinct codes of a value's tokens.
+type soundexProfile = map[string]struct{}
+
+// Profile implements Profiler.
+func (Soundex) Profile(s string) any {
+	toks := Whitespace{}.Tokens(s)
+	codes := make(soundexProfile, len(toks))
+	for _, t := range toks {
+		codes[SoundexCode(t)] = struct{}{}
+	}
+	return codes
+}
+
+// SimProfiles implements Profiler.
+func (Soundex) SimProfiles(a, b any) float64 {
+	ca, cb := a.(soundexProfile), b.(soundexProfile)
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	if len(ca) == 0 || len(cb) == 0 {
+		return 0
+	}
+	match := 0
+	for c := range ca {
+		if _, ok := cb[c]; ok {
+			match++
+		}
+	}
+	denom := len(ca) + len(cb) - match
+	if denom == 0 {
+		return 1
+	}
+	return float64(match) / float64(denom)
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// profiledFuncs returns every standard similarity that implements
+// Profiler, ready to compare against its string path.
+func profiledFuncs(t *testing.T) []Profiler {
+	t.Helper()
+	corpus := buildCorpus("sony vaio laptop", "dell inspiron laptop", "the quick brown fox", "a b c d")
+	candidates := []Func{
+		Jaccard{Label: "jaccard"},
+		Jaccard{Tok: QGram{Q: 3}, Label: "jaccard_3gram"},
+		Dice{Label: "dice"},
+		Overlap{Label: "overlap"},
+		Cosine{Label: "cosine"},
+		Trigram{},
+		Soundex{},
+		MongeElkan{},
+		TFIDF{Corpus: corpus},
+		SoftTFIDF{Corpus: corpus},
+	}
+	out := make([]Profiler, 0, len(candidates))
+	for _, f := range candidates {
+		pr, ok := f.(Profiler)
+		if !ok {
+			t.Fatalf("%s does not implement Profiler", f.Name())
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+// Property: SimProfiles(Profile(a), Profile(b)) == Sim(a, b), exactly.
+func TestQuickProfileEquivalence(t *testing.T) {
+	funcs := profiledFuncs(t)
+	prop := func(a, b string) bool {
+		for _, f := range funcs {
+			want := f.Sim(a, b)
+			got := f.SimProfiles(f.Profile(a), f.Profile(b))
+			if math.IsNaN(got) || got != want {
+				t.Logf("%s(%q,%q): profile %v, direct %v", f.Name(), a, b, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileEquivalenceOnRealisticInputs(t *testing.T) {
+	funcs := profiledFuncs(t)
+	inputs := []struct{ a, b string }{
+		{"sony vaio laptop", "sony vayo laptop"},
+		{"the quick brown fox", "quick fox"},
+		{"", ""},
+		{"", "a b"},
+		{"a b c", "c b a"},
+		{"SD-4816K", "sd 4816 k"},
+		{"robert smith", "rupert smyth"},
+	}
+	for _, f := range funcs {
+		for _, in := range inputs {
+			want := f.Sim(in.a, in.b)
+			got := f.SimProfiles(f.Profile(in.a), f.Profile(in.b))
+			if got != want {
+				t.Errorf("%s(%q,%q): profile %v, direct %v", f.Name(), in.a, in.b, got, want)
+			}
+		}
+	}
+}
+
+// Profiles are reusable: comparing the same profile against many
+// counterparts must not mutate it.
+func TestProfilesAreReusable(t *testing.T) {
+	for _, f := range profiledFuncs(t) {
+		pa := f.Profile("sony vaio laptop")
+		first := f.SimProfiles(pa, f.Profile("sony laptop"))
+		for _, other := range []string{"dell inspiron", "", "sony vaio laptop"} {
+			f.SimProfiles(pa, f.Profile(other))
+		}
+		again := f.SimProfiles(pa, f.Profile("sony laptop"))
+		if first != again {
+			t.Errorf("%s: profile mutated by reuse (%v vs %v)", f.Name(), first, again)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package sim
+
+import "math"
+
+// Set- and vector-based similarities over tokenized strings: Jaccard,
+// Dice, overlap coefficient, cosine, and trigram similarity.
+
+// Jaccard is |T(a) ∩ T(b)| / |T(a) ∪ T(b)| over unique tokens.
+type Jaccard struct {
+	// Tok is the tokenizer; nil means whitespace words.
+	Tok Tokenizer
+	// Label overrides the DSL name; empty derives it from the tokenizer.
+	Label string
+}
+
+// Name implements Func.
+func (j Jaccard) Name() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	if j.Tok == nil {
+		return "jaccard"
+	}
+	return "jaccard_" + j.Tok.Name()
+}
+
+// Sim implements Func.
+func (j Jaccard) Sim(a, b string) float64 {
+	tok := j.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	sa := tokenSet(tok.Tokens(a))
+	sb := tokenSet(tok.Tokens(b))
+	return jaccardSets(sa, sb)
+}
+
+func jaccardSets(sa, sb map[string]struct{}) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// Dice is 2|∩| / (|A|+|B|) over unique tokens.
+type Dice struct {
+	Tok   Tokenizer
+	Label string
+}
+
+// Name implements Func.
+func (d Dice) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	if d.Tok == nil {
+		return "dice"
+	}
+	return "dice_" + d.Tok.Name()
+}
+
+// Sim implements Func.
+func (d Dice) Sim(a, b string) float64 {
+	tok := d.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	sa := tokenSet(tok.Tokens(a))
+	sb := tokenSet(tok.Tokens(b))
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}
+
+// Overlap is the overlap coefficient |∩| / min(|A|,|B|).
+type Overlap struct {
+	Tok   Tokenizer
+	Label string
+}
+
+// Name implements Func.
+func (o Overlap) Name() string {
+	if o.Label != "" {
+		return o.Label
+	}
+	if o.Tok == nil {
+		return "overlap"
+	}
+	return "overlap_" + o.Tok.Name()
+}
+
+// Sim implements Func.
+func (o Overlap) Sim(a, b string) float64 {
+	tok := o.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	sa := tokenSet(tok.Tokens(a))
+	sb := tokenSet(tok.Tokens(b))
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	small, large := sa, sb
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for t := range small {
+		if _, ok := large[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(small))
+}
+
+// Cosine is the cosine similarity of raw token-count vectors.
+type Cosine struct {
+	Tok   Tokenizer
+	Label string
+}
+
+// Name implements Func.
+func (c Cosine) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	if c.Tok == nil {
+		return "cosine"
+	}
+	return "cosine_" + c.Tok.Name()
+}
+
+// Sim implements Func.
+func (c Cosine) Sim(a, b string) float64 {
+	tok := c.Tok
+	if tok == nil {
+		tok = Whitespace{}
+	}
+	ca := tokenCounts(tok.Tokens(a))
+	cb := tokenCounts(tok.Tokens(b))
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	if len(ca) == 0 || len(cb) == 0 {
+		return 0
+	}
+	if len(cb) < len(ca) {
+		ca, cb = cb, ca
+	}
+	var dot, na, nb float64
+	for t, x := range ca {
+		na += float64(x) * float64(x)
+		if y, ok := cb[t]; ok {
+			dot += float64(x) * float64(y)
+		}
+	}
+	for _, y := range cb {
+		nb += float64(y) * float64(y)
+	}
+	if dot == 0 {
+		return 0
+	}
+	return clamp01(dot / (math.Sqrt(na) * math.Sqrt(nb)))
+}
+
+// Trigram is Jaccard similarity over padded character trigrams, matching
+// the behaviour of classic trigram indexes.
+type Trigram struct{}
+
+// Name implements Func.
+func (Trigram) Name() string { return "trigram" }
+
+// Sim implements Func.
+func (Trigram) Sim(a, b string) float64 {
+	tok := QGram{Q: 3, Pad: true}
+	return jaccardSets(tokenSet(tok.Tokens(a)), tokenSet(tok.Tokens(b)))
+}

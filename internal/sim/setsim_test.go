@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWhitespaceTokenizer(t *testing.T) {
+	got := Whitespace{}.Tokens("  Hello, World-Wide  Web!! 42 ")
+	want := []string{"hello", "world", "wide", "web", "42"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+	if n := len(Whitespace{}.Tokens("")); n != 0 {
+		t.Errorf("empty string produced %d tokens", n)
+	}
+}
+
+func TestQGramTokenizer(t *testing.T) {
+	got := (QGram{Q: 3}).Tokens("ABcd")
+	want := []string{"abc", "bcd"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("3grams = %v, want %v", got, want)
+	}
+	// Shorter than q: single token of the whole string.
+	if got := (QGram{Q: 3}).Tokens("ab"); len(got) != 1 || got[0] != "ab" {
+		t.Errorf("short input grams = %v", got)
+	}
+	if got := (QGram{Q: 3}).Tokens(""); got != nil {
+		t.Errorf("empty input grams = %v", got)
+	}
+	// Padded: q-1 sentinels each side -> len+q-1 grams.
+	if got := (QGram{Q: 3, Pad: true}).Tokens("ab"); len(got) != 4 {
+		t.Errorf("padded grams of %q = %v (len %d), want 4", "ab", got, len(got))
+	}
+	if (QGram{Q: 3}).Name() != "3gram" || (QGram{Q: 2, Pad: true}).Name() != "2gramp" {
+		t.Error("tokenizer names wrong")
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	j := Jaccard{}
+	if got := j.Sim("a b c", "b c d"); !almost(got, 0.5) {
+		t.Errorf("jaccard = %v, want 0.5", got)
+	}
+	if got := j.Sim("x", "y"); got != 0 {
+		t.Errorf("disjoint jaccard = %v", got)
+	}
+	if got := j.Sim("", ""); got != 1 {
+		t.Errorf("empty jaccard = %v", got)
+	}
+	if got := j.Sim("a", ""); got != 0 {
+		t.Errorf("half-empty jaccard = %v", got)
+	}
+	// Multiset collapses: duplicates don't change the set.
+	if got := j.Sim("a a b", "a b"); got != 1 {
+		t.Errorf("duplicate-token jaccard = %v", got)
+	}
+}
+
+func TestDiceAndOverlap(t *testing.T) {
+	if got := (Dice{}).Sim("a b c", "b c d"); !almost(got, 2.0*2/6) {
+		t.Errorf("dice = %v, want %v", got, 2.0*2/6)
+	}
+	if got := (Overlap{}).Sim("a b", "a b c d"); !almost(got, 1) {
+		t.Errorf("overlap = %v, want 1 (subset)", got)
+	}
+	if got := (Overlap{}).Sim("a b c d", "a b"); !almost(got, 1) {
+		t.Errorf("overlap reversed = %v, want 1", got)
+	}
+}
+
+func TestCosineCounts(t *testing.T) {
+	c := Cosine{}
+	if got := c.Sim("a a b", "a b b"); !almost(got, 4.0/5) {
+		// vectors (2,1) and (1,2): dot 4, norms sqrt5 each.
+		t.Errorf("cosine = %v, want 0.8", got)
+	}
+	if got := c.Sim("a", "a"); !almost(got, 1) {
+		t.Errorf("identical cosine = %v", got)
+	}
+	if got := c.Sim("a", "b"); got != 0 {
+		t.Errorf("disjoint cosine = %v", got)
+	}
+}
+
+func TestTrigram(t *testing.T) {
+	tg := Trigram{}
+	if got := tg.Sim("abc", "abc"); got != 1 {
+		t.Errorf("identical trigram = %v", got)
+	}
+	v := tg.Sim("abcdef", "abcdxf")
+	if v <= 0 || v >= 1 {
+		t.Errorf("near-duplicate trigram = %v, want in (0,1)", v)
+	}
+	if got := tg.Sim("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint trigram = %v", got)
+	}
+}
+
+func TestSetSimsRangeSymmetryIdentity(t *testing.T) {
+	funcs := []Func{
+		Jaccard{}, Jaccard{Tok: QGram{Q: 3}}, Dice{}, Overlap{}, Cosine{}, Trigram{},
+		Soundex{}, MongeElkan{},
+	}
+	prop := func(a, b string) bool {
+		for _, fn := range funcs {
+			v := fn.Sim(a, b)
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return false
+			}
+			if fn.Sim(a, a) < 1-1e-9 { // float rounding in cosine norms
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoundexCode(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"},
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", "0000"},
+		{"123", "0000"},
+	}
+	for _, c := range cases {
+		if got := SoundexCode(c.in); got != c.want {
+			t.Errorf("SoundexCode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexSim(t *testing.T) {
+	s := Soundex{}
+	if got := s.Sim("robert smith", "rupert smyth"); got != 1 {
+		t.Errorf("phonetically-equal names = %v, want 1", got)
+	}
+	if got := s.Sim("robert", "washington"); got != 0 {
+		t.Errorf("unrelated names = %v, want 0", got)
+	}
+	if got := s.Sim("", ""); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestNumericSims(t *testing.T) {
+	rd := RelDiff{}
+	if got := rd.Sim("100", "90"); !almost(got, 0.9) {
+		t.Errorf("rel_diff(100,90) = %v, want 0.9", got)
+	}
+	if got := rd.Sim("$1,000.00", "1000"); !almost(got, 1) {
+		t.Errorf("rel_diff with formatting = %v, want 1", got)
+	}
+	if got := rd.Sim("abc", "100"); got != 0 {
+		t.Errorf("unparsable rel_diff = %v, want 0", got)
+	}
+	if got := rd.Sim("abc", "abc"); got != 1 {
+		t.Errorf("equal unparsable = %v, want 1", got)
+	}
+	ad := AbsDiffWithin{Window: 1}
+	if got := ad.Sim("1999", "2000"); got != 1 {
+		t.Errorf("abs_diff within window = %v, want 1", got)
+	}
+	if got := ad.Sim("1999", "2001"); got != 0 {
+		t.Errorf("abs_diff at 2 windows = %v, want 0", got)
+	}
+	if got := ad.Sim("1999", "2000.5"); !almost(got, 0.5) {
+		t.Errorf("abs_diff mid-decay = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,58 @@
+// Package sim implements the similarity-function substrate for rule-based
+// entity matching: string edit similarities, token/q-gram set similarities,
+// phonetic codes, and corpus-weighted similarities (TF-IDF, Soft TF-IDF,
+// Monge-Elkan), together with tokenizers and corpus (document frequency)
+// statistics.
+//
+// Every similarity returns a score in [0, 1], where 1 means identical.
+// This matches the predicate form used by the paper's rule language,
+// e.g. Jaccard(a.name, b.name) >= 0.7.
+package sim
+
+// Func computes a similarity score in [0,1] for a pair of attribute
+// values.
+type Func interface {
+	// Name returns the canonical lower_snake name used by the rule DSL,
+	// e.g. "jaro_winkler".
+	Name() string
+	// Sim returns the similarity of a and b in [0,1].
+	Sim(a, b string) float64
+}
+
+// funcOf adapts a plain function to Func.
+type funcOf struct {
+	name string
+	fn   func(a, b string) float64
+}
+
+func (f funcOf) Name() string            { return f.name }
+func (f funcOf) Sim(a, b string) float64 { return f.fn(a, b) }
+
+// FuncOf wraps fn as a named Func.
+func FuncOf(name string, fn func(a, b string) float64) Func {
+	return funcOf{name: name, fn: fn}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits a string into tokens.
+type Tokenizer interface {
+	// Name returns a short identifier, e.g. "ws" or "3gram".
+	Name() string
+	// Tokens returns the token multiset of s.
+	Tokens(s string) []string
+}
+
+// Whitespace tokenizes on runs of non-alphanumeric characters and
+// lowercases tokens. It is the default word tokenizer.
+type Whitespace struct{}
+
+// Name implements Tokenizer.
+func (Whitespace) Name() string { return "ws" }
+
+// Tokens implements Tokenizer.
+func (Whitespace) Tokens(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// QGram tokenizes into overlapping character q-grams of the lowercased
+// string. If Pad is true the string is padded with q-1 leading and
+// trailing sentinel characters, as in trigram indexes.
+type QGram struct {
+	Q   int
+	Pad bool
+}
+
+// Name implements Tokenizer.
+func (q QGram) Name() string {
+	if q.Pad {
+		return itoa(q.Q) + "gramp"
+	}
+	return itoa(q.Q) + "gram"
+}
+
+// Tokens implements Tokenizer.
+func (q QGram) Tokens(s string) []string {
+	n := q.Q
+	if n <= 0 {
+		n = 3
+	}
+	s = strings.ToLower(s)
+	if q.Pad {
+		pad := strings.Repeat("\x01", n-1)
+		s = pad + s + pad
+	}
+	r := []rune(s)
+	if len(r) < n {
+		if len(r) == 0 {
+			return nil
+		}
+		return []string{string(r)}
+	}
+	out := make([]string, 0, len(r)-n+1)
+	for i := 0; i+n <= len(r); i++ {
+		out = append(out, string(r[i:i+n]))
+	}
+	return out
+}
+
+// tokenSet returns the set (unique tokens) of the token multiset.
+func tokenSet(tokens []string) map[string]struct{} {
+	set := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// tokenCounts returns token -> multiplicity.
+func tokenCounts(tokens []string) map[string]int {
+	m := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		m[t]++
+	}
+	return m
+}
+
+// itoa is a minimal positive-int formatter, avoiding strconv in this
+// hot-adjacent path for no good reason other than keeping imports tight.
+func itoa(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,86 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV reads a table from CSV. The first row must be a header whose
+// first column is the record ID column; the remaining columns become
+// attributes.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("csv for table %q needs an id column plus at least one attribute", name)
+	}
+	t, err := New(name, header[1:])
+	if err != nil {
+		return nil, err
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("csv line %d: %d fields, want %d", line, len(row), len(header))
+		}
+		if err := t.Append(row[0], row[1:]...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile reads a table from a CSV file at path.
+func ReadCSVFile(path, name string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, name)
+}
+
+// WriteCSV writes the table as CSV with an "id" header column followed
+// by the attribute names.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"id"}, t.Attrs...)); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(t.Attrs)+1)
+	for _, r := range t.Records {
+		row = row[:0]
+		row = append(row, r.ID)
+		row = append(row, r.Values...)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table as CSV to the file at path.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

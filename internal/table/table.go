@@ -1,0 +1,109 @@
+// Package table provides the record/table substrate for entity matching:
+// typed tables of string-attribute records, candidate pairs, and CSV I/O.
+//
+// A matching task (paper Section 3) takes two tables A and B and a set of
+// candidate pairs (record index pairs) produced by a blocking step.
+package table
+
+import (
+	"fmt"
+)
+
+// Record is a single row. Values is parallel to the owning table's Attrs.
+type Record struct {
+	ID     string
+	Values []string
+}
+
+// Table is a named collection of records sharing a schema.
+type Table struct {
+	Name    string
+	Attrs   []string
+	Records []Record
+
+	attrIdx map[string]int
+	idIdx   map[string]int
+}
+
+// New creates an empty table with the given name and attribute names.
+// Attribute names must be unique.
+func New(name string, attrs []string) (*Table, error) {
+	t := &Table{Name: name, Attrs: append([]string(nil), attrs...), attrIdx: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := t.attrIdx[a]; dup {
+			return nil, fmt.Errorf("table %q: duplicate attribute %q", name, a)
+		}
+		t.attrIdx[a] = i
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; intended for tests and generators
+// with known-good schemas.
+func MustNew(name string, attrs []string) *Table {
+	t, err := New(name, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Append adds a record. The number of values must equal the number of
+// attributes.
+func (t *Table) Append(id string, values ...string) error {
+	if len(values) != len(t.Attrs) {
+		return fmt.Errorf("table %q: record %q has %d values, schema has %d attributes",
+			t.Name, id, len(values), len(t.Attrs))
+	}
+	t.Records = append(t.Records, Record{ID: id, Values: append([]string(nil), values...)})
+	t.idIdx = nil // invalidate
+	return nil
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.Records) }
+
+// AttrIndex returns the column index of the named attribute.
+func (t *Table) AttrIndex(name string) (int, bool) {
+	i, ok := t.attrIdx[name]
+	return i, ok
+}
+
+// Value returns the value of attribute column col for record rec.
+func (t *Table) Value(rec, col int) string { return t.Records[rec].Values[col] }
+
+// RecordByID returns the index of the record with the given ID.
+func (t *Table) RecordByID(id string) (int, bool) {
+	if t.idIdx == nil {
+		t.idIdx = make(map[string]int, len(t.Records))
+		for i, r := range t.Records {
+			t.idIdx[r.ID] = i
+		}
+	}
+	i, ok := t.idIdx[id]
+	return i, ok
+}
+
+// Column returns all values of the named attribute in record order.
+func (t *Table) Column(name string) ([]string, error) {
+	col, ok := t.attrIdx[name]
+	if !ok {
+		return nil, fmt.Errorf("table %q: no attribute %q", t.Name, name)
+	}
+	out := make([]string, len(t.Records))
+	for i, r := range t.Records {
+		out[i] = r.Values[col]
+	}
+	return out, nil
+}
+
+// Pair identifies one candidate record pair by record indices into
+// tables A and B.
+type Pair struct {
+	A, B int32
+}
+
+// PairKey is a compact unique key for a pair, usable as a map key.
+func (p Pair) PairKey() uint64 { return uint64(uint32(p.A))<<32 | uint64(uint32(p.B)) }
+
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }

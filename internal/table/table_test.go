@@ -1,0 +1,164 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewRejectsDuplicateAttrs(t *testing.T) {
+	if _, err := New("t", []string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	tb := MustNew("people", []string{"name", "phone"})
+	if err := tb.Append("p1", "alice", "555-0100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append("p2", "bob", "555-0199"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	col, ok := tb.AttrIndex("phone")
+	if !ok || col != 1 {
+		t.Fatalf("AttrIndex(phone) = %d, %v", col, ok)
+	}
+	if got := tb.Value(1, col); got != "555-0199" {
+		t.Errorf("Value = %q", got)
+	}
+	if _, ok := tb.AttrIndex("zip"); ok {
+		t.Error("unknown attribute found")
+	}
+}
+
+func TestAppendArityMismatch(t *testing.T) {
+	tb := MustNew("t", []string{"a", "b"})
+	if err := tb.Append("x", "only-one"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestRecordByID(t *testing.T) {
+	tb := MustNew("t", []string{"a"})
+	for _, id := range []string{"x", "y", "z"} {
+		if err := tb.Append(id, id+"-val"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i, ok := tb.RecordByID("y")
+	if !ok || i != 1 {
+		t.Fatalf("RecordByID(y) = %d, %v", i, ok)
+	}
+	if _, ok := tb.RecordByID("missing"); ok {
+		t.Error("missing id found")
+	}
+	// Index invalidated by Append.
+	if err := tb.Append("w", "w-val"); err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := tb.RecordByID("w"); !ok || i != 3 {
+		t.Fatalf("RecordByID(w) after append = %d, %v", i, ok)
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tb := MustNew("t", []string{"a", "b"})
+	tb.Append("1", "x", "p")
+	tb.Append("2", "y", "q")
+	col, err := tb.Column("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 2 || col[0] != "p" || col[1] != "q" {
+		t.Errorf("Column(b) = %v", col)
+	}
+	if _, err := tb.Column("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := MustNew("t", []string{"name", "notes"})
+	tb.Append("r1", "alice", `has "quotes", and commas`)
+	tb.Append("r2", "bob", "line\nbreak")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip len = %d", got.Len())
+	}
+	for i := range tb.Records {
+		if got.Records[i].ID != tb.Records[i].ID {
+			t.Errorf("row %d id %q != %q", i, got.Records[i].ID, tb.Records[i].ID)
+		}
+		for j := range tb.Attrs {
+			if got.Records[i].Values[j] != tb.Records[i].Values[j] {
+				t.Errorf("row %d col %d: %q != %q", i, j, got.Records[i].Values[j], tb.Records[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("id\n"), "t"); err == nil {
+		t.Error("header with no attributes accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("id,a\nx,1,2\n"), "t"); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	a := Pair{A: 1, B: 2}
+	b := Pair{A: 2, B: 1}
+	if a.PairKey() == b.PairKey() {
+		t.Error("asymmetric pairs collide")
+	}
+	if a.PairKey() != (Pair{A: 1, B: 2}).PairKey() {
+		t.Error("equal pairs differ")
+	}
+	if a.String() != "(1,2)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with duplicate attrs did not panic")
+		}
+	}()
+	MustNew("t", []string{"a", "a"})
+}
+
+func TestCSVFileErrors(t *testing.T) {
+	tb := MustNew("t", []string{"a"})
+	tb.Append("1", "x")
+	if err := tb.WriteCSVFile("/nonexistent-dir/x.csv"); err == nil {
+		t.Error("write to bad path accepted")
+	}
+	if _, err := ReadCSVFile("/nonexistent-dir/x.csv", "t"); err == nil {
+		t.Error("read from bad path accepted")
+	}
+	// Round trip through a real file.
+	path := t.TempDir() + "/t.csv"
+	if err := tb.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Records[0].ID != "1" {
+		t.Errorf("file round trip = %+v", got.Records)
+	}
+}
