@@ -23,16 +23,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|all)")
-		dataset = flag.String("dataset", "products", "dataset domain for the figure experiments")
-		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
-		rules   = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
-		draws   = flag.Int("draws", 3, "random rule-set draws per Figure 3 data point")
-		trials  = flag.Int("trials", 100, "random changes per Figure 6 change type")
-		maxK    = flag.Int("maxk", 0, "max rules for the Figure 5C growth (0 = all)")
+		exp      = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|all)")
+		dataset  = flag.String("dataset", "products", "dataset domain for the figure experiments")
+		scale    = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
+		rules    = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
+		draws    = flag.Int("draws", 3, "random rule-set draws per Figure 3 data point")
+		trials   = flag.Int("trials", 100, "random changes per Figure 6 change type")
+		maxK     = flag.Int("maxk", 0, "max rules for the Figure 5C growth (0 = all)")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the Figure 5C session bootstrap (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*exp, *dataset, *scale, *rules, *draws, *trials, *maxK); err != nil {
+	if err := run(*exp, *dataset, *scale, *rules, *draws, *trials, *maxK, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "embench:", err)
 		os.Exit(1)
 	}
@@ -70,7 +71,7 @@ var knownExperiments = map[string]bool{
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
 }
 
-func run(exp, dataset string, scale float64, rules, draws, trials, maxK int) error {
+func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int) error {
 	exp = strings.ToLower(exp)
 	if !knownExperiments[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
@@ -164,7 +165,7 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK int) err
 		tbl.Print(out)
 	}
 	if exp == "fig5c" || exp == "all" {
-		tbl, _, err := bench.Fig5C(task, maxK)
+		tbl, _, err := bench.Fig5C(task, maxK, parallel)
 		if err != nil {
 			return err
 		}

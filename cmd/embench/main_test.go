@@ -41,10 +41,10 @@ func TestDomainByName(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("bogus", "products", 0.01, 0, 1, 1, 1); err == nil {
+	if err := run("bogus", "products", 0.01, 0, 1, 1, 1, 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig3a", "nope", 0.01, 0, 1, 1, 1); err == nil {
+	if err := run("fig3a", "nope", 0.01, 0, 1, 1, 1, 1); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }
@@ -53,7 +53,7 @@ func TestRunTable3Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generates a dataset")
 	}
-	if err := run("table3", "products", 0.01, 0, 1, 1, 1); err != nil {
+	if err := run("table3", "products", 0.01, 0, 1, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -62,7 +62,7 @@ func TestRunMemoryQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mines rules")
 	}
-	if err := run("memory", "books", 0.02, 5, 1, 1, 1); err != nil {
+	if err := run("memory", "books", 0.02, 5, 1, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,10 +71,10 @@ func TestRunFig4AndReplayQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mines rules")
 	}
-	if err := run("fig4", "books", 0.02, 5, 1, 5, 1); err != nil {
+	if err := run("fig4", "books", 0.02, 5, 1, 5, 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("replay", "books", 0.02, 8, 1, 5, 1); err != nil {
+	if err := run("replay", "books", 0.02, 8, 1, 5, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -25,11 +25,12 @@ import (
 
 // debugger holds one interactive debugging session.
 type debugger struct {
-	out  io.Writer
-	task *bench.Task
-	sess *incremental.Session
-	last time.Duration // duration of the most recent state-changing op
-	undo [][]byte      // session snapshots, most recent last
+	out     io.Writer
+	task    *bench.Task
+	sess    *incremental.Session
+	workers int           // shard workers for full runs and sweeps (1 = serial)
+	last    time.Duration // duration of the most recent state-changing op
+	undo    [][]byte      // session snapshots, most recent last
 }
 
 // maxUndo bounds the in-memory undo stack.
@@ -68,7 +69,17 @@ func (d *debugger) undoLast() error {
 	return nil
 }
 
-func newDebugger(out io.Writer) *debugger { return &debugger{out: out} }
+func newDebugger(out io.Writer) *debugger { return &debugger{out: out, workers: 1} }
+
+// runFull bootstraps (or re-runs) the session, sharding the
+// materializing run over the configured workers when more than one.
+func (d *debugger) runFull() {
+	if d.workers != 1 {
+		d.sess.RunFullParallel(d.workers)
+		return
+	}
+	d.sess.RunFull()
+}
 
 // load generates the synthetic dataset and starts a session with either
 // the domain's hand-written sample rules or the mined pool.
@@ -103,14 +114,22 @@ func (d *debugger) load(dataset string, scale float64, mined bool) error {
 	}
 	c.EnableProfileCache() // interactive sessions want the fastest cold run
 	d.sess = incremental.NewSession(c, task.Pairs())
-	runDur := timeOp(func() { d.sess.RunFull() })
+	runDur := timeOp(func() { d.runFull() })
 	d.last = runDur
 	fmt.Fprintf(d.out, "loaded %s: %d + %d records, %d candidate pairs, %d gold matches (prepared in %v)\n",
 		dataset, task.DS.A.Len(), task.DS.B.Len(), len(task.Pairs()), len(task.DS.Gold),
 		time.Since(start).Round(time.Millisecond))
-	fmt.Fprintf(d.out, "initial run: %d matches in %v with %d rules\n",
-		d.sess.MatchCount(), runDur.Round(time.Microsecond), len(c.Rules))
+	fmt.Fprintf(d.out, "initial run%s: %d matches in %v with %d rules\n",
+		d.workersTag(), d.sess.MatchCount(), runDur.Round(time.Microsecond), len(c.Rules))
 	return nil
+}
+
+// workersTag annotates run reports when the session is sharded.
+func (d *debugger) workersTag() string {
+	if d.workers == 1 {
+		return ""
+	}
+	return fmt.Sprintf(" (%d workers)", d.workers)
 }
 
 func timeOp(fn func()) time.Duration {
@@ -155,11 +174,11 @@ func (d *debugger) loadCSV(dir, blockAttr string) error {
 	c.EnableProfileCache()
 	d.task = &bench.Task{DS: ds, Lib: lib, Rules: f.Rules}
 	d.sess = incremental.NewSession(c, ds.Pairs)
-	d.last = timeOp(func() { d.sess.RunFull() })
+	d.last = timeOp(func() { d.runFull() })
 	fmt.Fprintf(d.out, "loaded %s: %d + %d records, %d candidate pairs, %d gold matches\n",
 		dir, a.Len(), b.Len(), len(ds.Pairs), len(ds.Gold))
-	fmt.Fprintf(d.out, "initial run: %d matches in %v with %d rules\n",
-		d.sess.MatchCount(), d.last.Round(time.Microsecond), len(c.Rules))
+	fmt.Fprintf(d.out, "initial run%s: %d matches in %v with %d rules\n",
+		d.workersTag(), d.sess.MatchCount(), d.last.Round(time.Microsecond), len(c.Rules))
 	return nil
 }
 
@@ -254,9 +273,16 @@ func (d *debugger) exec(line string) (quit bool, err error) {
 			fmt.Fprintln(d.out, fd.String())
 		}
 	case "run":
-		dur := timeOp(func() { d.sess.RunFullWithMemo() })
+		dur := timeOp(func() {
+			if d.workers != 1 {
+				d.sess.RunFullParallel(d.workers)
+			} else {
+				d.sess.RunFullWithMemo()
+			}
+		})
 		d.last = dur
-		fmt.Fprintf(d.out, "full re-run: %d matches in %v\n", d.sess.MatchCount(), dur.Round(time.Microsecond))
+		fmt.Fprintf(d.out, "full re-run%s: %d matches in %v\n",
+			d.workersTag(), d.sess.MatchCount(), dur.Round(time.Microsecond))
 	case "quality":
 		d.printQuality()
 	case "stats":
@@ -351,7 +377,7 @@ func (d *debugger) printRules() {
 // sweep prints the what-if match counts and quality across candidate
 // thresholds for one predicate, powered by the warm memo.
 func (d *debugger) sweep(ri, pj int) error {
-	points, err := d.sess.SweepThreshold(ri, pj, incremental.DefaultSweep(9))
+	points, err := d.sess.SweepThresholdParallel(ri, pj, incremental.DefaultSweep(9), d.workers)
 	if err != nil {
 		return err
 	}

@@ -219,3 +219,37 @@ func TestDebuggerLint(t *testing.T) {
 		t.Errorf("duplicate rule not flagged:\n%s", out)
 	}
 }
+
+// A parallel debugger session must produce the same results as a serial
+// one: same match counts, working sweeps and incremental ops.
+func TestDebuggerParallelWorkers(t *testing.T) {
+	serialOut := run(t, "quality")
+	var sb strings.Builder
+	d := newDebugger(&sb)
+	d.workers = 3
+	dir := writeTask(t)
+	if err := d.loadCSV(dir, "cat"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(3 workers)") {
+		t.Errorf("workers tag missing from load banner:\n%s", sb.String())
+	}
+	for _, cmd := range []string{"quality", "sweep 0 0", "run", "set 0 0 0.9"} {
+		if _, err := d.exec(cmd); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+	if err := d.sess.VerifyDeep(); err != nil {
+		t.Fatal(err)
+	}
+	// The quality line (P/R/F1 before any edit) matches the serial run.
+	want := ""
+	for _, line := range strings.Split(serialOut, "\n") {
+		if strings.Contains(line, "precision") {
+			want = line
+		}
+	}
+	if want == "" || !strings.Contains(sb.String(), want) {
+		t.Errorf("parallel quality differs from serial:\nwant %q in\n%s", want, sb.String())
+	}
+}

@@ -17,16 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "", "dataset to load on startup")
-		scale   = flag.Float64("scale", 0.02, "scale for -dataset")
-		mined   = flag.Bool("mined", false, "start from the mined rule pool instead of the sample rules")
+		dataset  = flag.String("dataset", "", "dataset to load on startup")
+		scale    = flag.Float64("scale", 0.02, "scale for -dataset")
+		mined    = flag.Bool("mined", false, "start from the mined rule pool instead of the sample rules")
+		parallel = flag.Int("parallel", 1, "shard workers for full runs and sweeps (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	d := newDebugger(os.Stdout)
+	d.workers = *parallel
+	if d.workers < 1 {
+		d.workers = runtime.GOMAXPROCS(0)
+	}
 	if *dataset != "" {
 		if err := d.load(*dataset, *scale, *mined); err != nil {
 			fmt.Fprintln(os.Stderr, "emdebug:", err)

@@ -22,7 +22,9 @@ import (
 	"rulematch/internal/core"
 	"rulematch/internal/costmodel"
 	"rulematch/internal/estimate"
+	"rulematch/internal/incremental"
 	"rulematch/internal/order"
+	"rulematch/internal/persist"
 	"rulematch/internal/quality"
 	"rulematch/internal/rule"
 	"rulematch/internal/sim"
@@ -36,6 +38,7 @@ type options struct {
 	blockTokens    string // token-overlap blocking attribute (alternative)
 	goldFile       string
 	outFile        string
+	saveFile       string
 	ordering       string
 	sampleFrac     float64
 	parallel       int
@@ -53,9 +56,10 @@ func main() {
 	flag.StringVar(&o.blockTokens, "blocktokens", "", "token-overlap blocking attribute (alternative to -block)")
 	flag.StringVar(&o.goldFile, "gold", "", "optional gold labels CSV (idA,idB header) for quality metrics")
 	flag.StringVar(&o.outFile, "out", "-", "output CSV of matched id pairs ('-' = stdout)")
+	flag.StringVar(&o.saveFile, "save", "", "snapshot the materialized session to this file for emdebug")
 	flag.StringVar(&o.ordering, "order", "alg6", "rule ordering: none|random|theorem1|alg5|alg6|conditional")
 	flag.Float64Var(&o.sampleFrac, "sample", estimate.DefaultFraction, "estimation sample fraction for ordering")
-	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines (>1 disables state materialization)")
+	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines (0 = GOMAXPROCS); with -save the full state is materialized in parallel shards")
 	flag.BoolVar(&o.valueCache, "valuecache", false, "enable the attribute-value-level cache")
 	flag.BoolVar(&o.profiles, "profiles", true, "precompute per-record token profiles for set-based similarities")
 	flag.BoolVar(&o.stats, "stats", false, "print work counters to stderr")
@@ -133,17 +137,41 @@ func run(o options, diag io.Writer) error {
 	}
 	orderTime := time.Since(start)
 
-	m := core.NewMatcher(c, pairs)
-	m.CheckCacheFirst = true
-	m.ValueCache = o.valueCache
+	var (
+		m       *core.Matcher
+		matched *bitmap.Bits
+		sess    *incremental.Session
+	)
 	start = time.Now()
-	var matched *bitmap.Bits
-	if o.parallel > 1 {
-		matched = m.MatchParallel(o.parallel)
+	if o.saveFile != "" {
+		// The snapshot path materializes the full incremental state
+		// (sharded across workers when -parallel != 1) so emdebug can
+		// resume from a warm session.
+		sess = incremental.NewSession(c, pairs)
+		sess.M.ValueCache = o.valueCache
+		if o.parallel != 1 {
+			sess.RunFullParallel(o.parallel)
+		} else {
+			sess.RunFull()
+		}
+		m = sess.M
+		matched = sess.St.Matched
 	} else {
-		matched = m.Match().Matched
+		m = core.NewMatcher(c, pairs)
+		m.CheckCacheFirst = true
+		m.ValueCache = o.valueCache
+		if o.parallel != 1 {
+			matched = m.MatchParallel(o.parallel)
+		} else {
+			matched = m.Match().Matched
+		}
 	}
 	matchTime := time.Since(start)
+	if sess != nil {
+		if err := persist.SaveFile(o.saveFile, sess); err != nil {
+			return fmt.Errorf("save session: %w", err)
+		}
+	}
 
 	out := os.Stdout
 	if o.outFile != "-" {
@@ -179,6 +207,11 @@ func run(o options, diag io.Writer) error {
 		fmt.Fprintf(diag, "matching: %d matches in %v\n", count, matchTime.Round(time.Millisecond))
 		fmt.Fprintf(diag, "work: %d feature computes, %d memo hits, %d value-cache hits, %d predicate evals\n",
 			m.Stats.FeatureComputes, m.Stats.MemoHits, m.Stats.ValueCacheHits, m.Stats.PredEvals)
+		if sess != nil {
+			memo, bitmaps := sess.MemoryBytes()
+			fmt.Fprintf(diag, "session: %s snapshot saved to %s (%d memo bytes, %d bitmap bytes)\n",
+				sess.LastOp.Op, o.saveFile, memo, bitmaps)
+		}
 	}
 	if o.goldFile != "" {
 		gold, err := readGold(o.goldFile, a, b)

@@ -6,7 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"rulematch/internal/sim"
 	"rulematch/internal/table"
+
+	"rulematch/internal/persist"
 )
 
 // writeInputs creates CSV tables and a rules file in a temp dir.
@@ -101,6 +104,57 @@ func TestRunOrderingsAndParallelAgree(t *testing.T) {
 		if outputs[i] != outputs[0] {
 			t.Errorf("config %d output differs:\n%s\nvs\n%s", i, outputs[i], outputs[0])
 		}
+	}
+}
+
+// -save materializes the session (in parallel shards here) and writes a
+// snapshot emdebug can restore; the CSV output must agree with the
+// plain batch path.
+func TestRunSaveSessionParallel(t *testing.T) {
+	dir := writeInputs(t)
+	snapPath := filepath.Join(dir, "session.gob")
+	outPath := filepath.Join(dir, "m.csv")
+	var diag strings.Builder
+	err := run(options{
+		tableA:     filepath.Join(dir, "a.csv"),
+		tableB:     filepath.Join(dir, "b.csv"),
+		rulesFile:  filepath.Join(dir, "rules.dsl"),
+		blockAttr:  "cat",
+		outFile:    outPath,
+		saveFile:   snapPath,
+		ordering:   "alg6",
+		sampleFrac: 0.5,
+		parallel:   3,
+		stats:      true,
+	}, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(outPath)
+	if !strings.Contains(string(data), "a0,b0") || !strings.Contains(string(data), "a2,b2") {
+		t.Errorf("matches missing from -save run:\n%s", data)
+	}
+	if !strings.Contains(diag.String(), "snapshot saved to") {
+		t.Errorf("snapshot stat line missing:\n%s", diag.String())
+	}
+	// The snapshot restores to a verifiable session.
+	a, err := table.ReadCSVFile(filepath.Join(dir, "a.csv"), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := table.ReadCSVFile(filepath.Join(dir, "b.csv"), "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := persist.LoadFile(snapPath, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.VerifyDeep(); err != nil {
+		t.Fatalf("restored session invalid: %v", err)
+	}
+	if sess.MatchCount() != 2 {
+		t.Errorf("restored session has %d matches, want 2", sess.MatchCount())
 	}
 }
 

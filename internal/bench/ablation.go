@@ -180,7 +180,10 @@ func AblationValueCache(task *Task) (*Table, error) {
 	return out, nil
 }
 
-// AblationParallel measures MatchParallel speedup over worker counts.
+// AblationParallel measures the sharded execution paths over worker
+// counts against the serial materializing baseline: MatchParallel
+// (match marks only) and MatchStateParallel (full incremental state,
+// the Fig 5C cold-start task).
 func AblationParallel(task *Task) (*Table, error) {
 	c, err := task.CompileSubset(len(task.Rules))
 	if err != nil {
@@ -189,12 +192,21 @@ func AblationParallel(task *Task) (*Table, error) {
 	pairs := task.Pairs()
 	out := &Table{
 		Title:  fmt.Sprintf("Ablation: parallel matching workers, %s", task.DS.Name),
-		Header: []string{"Workers", "runtime ms"},
+		Header: []string{"Workers", "marks-only ms", "materialize ms", "materialize speedup"},
 	}
+	mSer := core.NewMatcher(c, pairs)
+	serial := timeIt(func() { mSer.Match() })
+	out.AddRow("serial", "-", ms(serial), "1.00x")
 	for _, w := range []int{1, 2, 4, 8} {
 		m := core.NewMatcher(c, pairs)
-		d := timeIt(func() { m.MatchParallel(w) })
-		out.AddRow(fmt.Sprint(w), ms(d))
+		dMarks := timeIt(func() { m.MatchParallel(w) })
+		mSt := core.NewMatcher(c, pairs)
+		dState := timeIt(func() { mSt.MatchStateParallel(w) })
+		speedup := "-"
+		if dState > 0 {
+			speedup = fmt.Sprintf("%.2fx", serial.Seconds()/dState.Seconds())
+		}
+		out.AddRow(fmt.Sprint(w), ms(dMarks), ms(dState), speedup)
 	}
 	out.Notes = append(out.Notes,
 		fmt.Sprintf("machine has %d CPU(s) (GOMAXPROCS %d); speedup requires more cores",

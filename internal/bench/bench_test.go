@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 
+	"rulematch/internal/core"
 	"rulematch/internal/datagen"
 	"rulematch/internal/rule"
 )
@@ -213,7 +216,7 @@ func TestFig5BMonotone(t *testing.T) {
 
 func TestFig5CIncrementalWins(t *testing.T) {
 	task := tinyTask(t, 30)
-	_, results, err := Fig5C(task, 30)
+	_, results, err := Fig5C(task, 30, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,6 +232,26 @@ func TestFig5CIncrementalWins(t *testing.T) {
 	}
 	if incSum >= preSum {
 		t.Errorf("incremental total %d not below precompute total %d", incSum, preSum)
+	}
+}
+
+func TestFig5CParallelBootstrap(t *testing.T) {
+	task := tinyTask(t, 10)
+	tbl, results, err := Fig5C(task, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("points = %d", len(results))
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "cold start sharded over 2 workers") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing cold-start comparison note, have %q", tbl.Notes)
 	}
 }
 
@@ -291,6 +314,40 @@ func TestAblations(t *testing.T) {
 	}
 	if _, err := AblationProfileCache(task); err != nil {
 		t.Errorf("profile cache: %v", err)
+	}
+}
+
+// BenchmarkParallelMaterialize measures the sharded materializing run
+// (MatchStateParallel) against the serial Match baseline — the Fig 5C
+// k=1 cold-start cost. A fresh matcher per iteration keeps the memo
+// cold.
+func BenchmarkParallelMaterialize(b *testing.B) {
+	task, err := PrepareTask(datagen.Products(), 0.02, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := task.CompileSubset(len(task.Rules))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := task.Pairs()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := core.NewMatcher(c, pairs)
+			m.Match()
+		}
+	})
+	workers := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		workers = append(workers, g)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := core.NewMatcher(c, pairs)
+				m.MatchStateParallel(w)
+			}
+		})
 	}
 }
 

@@ -83,6 +83,65 @@ func (b *Bits) AndNot(other *Bits) {
 	}
 }
 
+// OrRange ORs all bits of src into b starting at bit offset at, so bit
+// i of src lands on bit at+i of b. The merge is word-level: an aligned
+// offset (at % 64 == 0) ORs whole words; an unaligned one shift-merges
+// each source word into two destination words. Shard stitching uses
+// this to place a shard-local bitset into the full pair range.
+func (b *Bits) OrRange(src *Bits, at int) {
+	b.checkRange(src, at)
+	if src.n == 0 {
+		return
+	}
+	wi := at >> 6
+	shift := uint(at) & 63
+	if shift == 0 {
+		for i, w := range src.words {
+			b.words[wi+i] |= w
+		}
+		return
+	}
+	var carry uint64
+	for i, w := range src.words {
+		b.words[wi+i] |= w<<shift | carry
+		carry = w >> (64 - shift)
+	}
+	// The unused high bits of src's last word are zero by invariant, so
+	// any carry holds valid bits below at+src.n and the word exists.
+	if carry != 0 {
+		b.words[wi+len(src.words)] |= carry
+	}
+}
+
+// CopyRange overwrites bits [at, at+src.Len()) of b with the contents
+// of src, word-level: the range is cleared with boundary masks, then
+// src is OR-merged in. Bits of b outside the range are untouched.
+func (b *Bits) CopyRange(src *Bits, at int) {
+	b.checkRange(src, at)
+	b.clearRange(at, at+src.n)
+	b.OrRange(src, at)
+}
+
+// clearRange zeroes bits [lo, hi) word-level: partial boundary words
+// are masked, interior words are assigned zero.
+func (b *Bits) clearRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)          // bits >= lo within loWord
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63)) // bits <= hi-1 within hiWord
+	if loWord == hiWord {
+		b.words[loWord] &^= loMask & hiMask
+		return
+	}
+	b.words[loWord] &^= loMask
+	for w := loWord + 1; w < hiWord; w++ {
+		b.words[w] = 0
+	}
+	b.words[hiWord] &^= hiMask
+}
+
 // Equal reports whether two bitsets have identical length and contents.
 func (b *Bits) Equal(other *Bits) bool {
 	if b.n != other.n {
@@ -132,5 +191,11 @@ func (b *Bits) check(i int) {
 func (b *Bits) checkLen(other *Bits) {
 	if b.n != other.n {
 		panic(fmt.Sprintf("bitmap: length mismatch %d vs %d", b.n, other.n))
+	}
+}
+
+func (b *Bits) checkRange(src *Bits, at int) {
+	if at < 0 || at+src.n > b.n {
+		panic(fmt.Sprintf("bitmap: range [%d,%d) out of bounds [0,%d)", at, at+src.n, b.n))
 	}
 }

@@ -229,3 +229,134 @@ func TestGobRoundTrip(t *testing.T) {
 		t.Error("truncated gob accepted")
 	}
 }
+
+// orRangeNaive is the bit-at-a-time reference for OrRange.
+func orRangeNaive(dst, src *Bits, at int) {
+	for i := 0; i < src.Len(); i++ {
+		if src.Get(i) {
+			dst.Set(at + i)
+		}
+	}
+}
+
+func TestOrRangeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Sizes and offsets straddle word boundaries: aligned, off-by-one,
+	// sub-word, multi-word with ragged tails.
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		srcLen := rng.Intn(n + 1)
+		at := 0
+		if n-srcLen > 0 {
+			at = rng.Intn(n - srcLen + 1)
+		}
+		src := New(srcLen)
+		for i := 0; i < srcLen; i++ {
+			if rng.Intn(2) == 0 {
+				src.Set(i)
+			}
+		}
+		got := New(n)
+		want := New(n)
+		// Pre-populate the destination so the merge must preserve bits.
+		for i := 0; i < n; i += 5 {
+			got.Set(i)
+			want.Set(i)
+		}
+		got.OrRange(src, at)
+		orRangeNaive(want, src, at)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: OrRange(len=%d, at=%d) diverges from naive", trial, srcLen, at)
+		}
+	}
+}
+
+func TestOrRangeBoundaries(t *testing.T) {
+	for _, tc := range []struct{ n, srcLen, at int }{
+		{128, 64, 64}, // aligned whole words
+		{128, 64, 1},  // unaligned, carry into next word
+		{128, 63, 65}, // unaligned, ends exactly at n
+		{130, 70, 3},  // multi-word src, ragged tail
+		{64, 64, 0},   // exact single word
+		{65, 1, 64},   // last bit only
+		{200, 0, 50},  // empty source is a no-op
+	} {
+		src := New(tc.srcLen)
+		for i := 0; i < tc.srcLen; i++ {
+			src.Set(i)
+		}
+		dst := New(tc.n)
+		dst.OrRange(src, tc.at)
+		if dst.Count() != tc.srcLen {
+			t.Errorf("OrRange(n=%d, srcLen=%d, at=%d): count = %d, want %d",
+				tc.n, tc.srcLen, tc.at, dst.Count(), tc.srcLen)
+		}
+		for i := 0; i < tc.srcLen; i++ {
+			if !dst.Get(tc.at + i) {
+				t.Fatalf("bit %d not set after OrRange(at=%d)", tc.at+i, tc.at)
+			}
+		}
+	}
+}
+
+func TestOrRangeOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range OrRange did not panic")
+		}
+	}()
+	New(64).OrRange(New(32), 40)
+}
+
+func TestCopyRangeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		srcLen := rng.Intn(n + 1)
+		at := 0
+		if n-srcLen > 0 {
+			at = rng.Intn(n - srcLen + 1)
+		}
+		src := New(srcLen)
+		for i := 0; i < srcLen; i++ {
+			if rng.Intn(2) == 0 {
+				src.Set(i)
+			}
+		}
+		got := New(n)
+		want := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				got.Set(i)
+				want.Set(i)
+			}
+		}
+		got.CopyRange(src, at)
+		// Naive: bits inside the window mirror src, outside stay put.
+		for i := 0; i < srcLen; i++ {
+			if src.Get(i) {
+				want.Set(at + i)
+			} else {
+				want.Clear(at + i)
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: CopyRange(len=%d, at=%d) diverges from naive", trial, srcLen, at)
+		}
+	}
+}
+
+func TestCopyRangeClearsStaleBits(t *testing.T) {
+	dst := New(192)
+	for i := 0; i < 192; i++ {
+		dst.Set(i)
+	}
+	src := New(70) // bits all clear, unaligned placement
+	dst.CopyRange(src, 33)
+	for i := 0; i < 192; i++ {
+		inWindow := i >= 33 && i < 103
+		if dst.Get(i) == inWindow {
+			t.Fatalf("bit %d = %v after clearing copy", i, dst.Get(i))
+		}
+	}
+}

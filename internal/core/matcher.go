@@ -26,50 +26,6 @@ func (s *Stats) Add(other Stats) {
 	s.PairEvals += other.PairEvals
 }
 
-// MatchState is the materialized output of a matching run used for
-// incremental matching (paper §6.1): the match marks, per-rule true
-// sets, and per-predicate false sets.
-type MatchState struct {
-	// Matched marks candidate pairs the function declared a match.
-	Matched *bitmap.Bits
-	// RuleTrue[ri] marks pairs for which rule ri evaluated true.
-	// Under early exit a pair appears in at most one rule's set: the
-	// first rule that matched it.
-	RuleTrue []*bitmap.Bits
-	// PredFalse[ri][pj] marks pairs for which predicate pj of rule ri
-	// evaluated false.
-	PredFalse [][]*bitmap.Bits
-}
-
-// NewMatchState allocates empty state for the given rule shapes.
-func NewMatchState(numPairs int, rules []CompiledRule) *MatchState {
-	st := &MatchState{
-		Matched:   bitmap.New(numPairs),
-		RuleTrue:  make([]*bitmap.Bits, len(rules)),
-		PredFalse: make([][]*bitmap.Bits, len(rules)),
-	}
-	for ri, r := range rules {
-		st.RuleTrue[ri] = bitmap.New(numPairs)
-		st.PredFalse[ri] = make([]*bitmap.Bits, len(r.Preds))
-		for pj := range r.Preds {
-			st.PredFalse[ri][pj] = bitmap.New(numPairs)
-		}
-	}
-	return st
-}
-
-// Bytes returns the approximate memory footprint of the bitmaps.
-func (st *MatchState) Bytes() int64 {
-	b := st.Matched.Bytes()
-	for ri := range st.RuleTrue {
-		b += st.RuleTrue[ri].Bytes()
-		for _, pb := range st.PredFalse[ri] {
-			b += pb.Bytes()
-		}
-	}
-	return b
-}
-
 // Matcher evaluates a compiled matching function over candidate pairs.
 // Configure Memo (nil disables memoization) and CheckCacheFirst (the
 // §5.4.3 runtime predicate reordering) before calling a Match method.
@@ -95,6 +51,11 @@ type Matcher struct {
 
 	scratch   []int // reused predicate-order buffer for CheckCacheFirst
 	valueMemo map[valueKey]float64
+	// sharedVals, when non-nil, replaces valueMemo with a concurrency-
+	// safe compute-once store shared across shard matchers, so B records
+	// repeating across shards still hit the value cache. Installed by
+	// the parallel paths and kept for later serial operations.
+	sharedVals *sharedValueCache
 }
 
 type valueKey struct {
@@ -134,6 +95,9 @@ func (m *Matcher) computeRaw(fi, pi int) float64 {
 	f := &m.C.Features[fi]
 	p := m.Pairs[pi]
 	k := valueKey{fi: fi, a: m.C.A.Value(int(p.A), f.ColA), b: m.C.B.Value(int(p.B), f.ColB)}
+	if m.sharedVals != nil {
+		return m.sharedVals.resolve(f.Fn, k, &m.Stats)
+	}
 	if v, ok := m.valueMemo[k]; ok {
 		m.Stats.ValueCacheHits++
 		return v
@@ -197,15 +161,13 @@ func (m *Matcher) cacheFirstOrder(r *CompiledRule, pi int) []int {
 			order = append(order, pj)
 		}
 	}
-	cached := len(order)
-	if cached < len(r.Preds) {
+	if len(order) < len(r.Preds) {
 		for pj := range r.Preds {
 			if !m.Memo.Has(r.Preds[pj].Feat, pi) {
 				order = append(order, pj)
 			}
 		}
 	}
-	_ = cached
 	m.scratch = order
 	return order
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"rulematch/internal/bitmap"
 )
 
@@ -83,6 +85,108 @@ func (m *ArrayMemo) Bytes() int64 {
 
 // Entries implements Memo.
 func (m *ArrayMemo) Entries() int64 { return m.entries }
+
+// AbsorbRange merges a shard memo src — built over the contiguous pair
+// range [at, at+srcPairs) of m's pair space, locally indexed from 0 —
+// into m at that offset. Presence bitmaps merge word-level
+// (bitmap.OrRange); values are copied entry-wise, so warm entries of m
+// outside src's presence set are preserved.
+func (m *ArrayMemo) AbsorbRange(src *ArrayMemo, at int) {
+	if at < 0 || at+src.numPairs > m.numPairs {
+		panic(fmt.Sprintf("core: memo absorb range [%d,%d) out of bounds [0,%d)",
+			at, at+src.numPairs, m.numPairs))
+	}
+	for fi := range src.vals {
+		if src.vals[fi] == nil {
+			continue
+		}
+		m.grow(fi)
+		before := m.present[fi].Count()
+		m.present[fi].OrRange(src.present[fi], at)
+		m.entries += int64(m.present[fi].Count() - before)
+		vals := m.vals[fi]
+		srcVals := src.vals[fi]
+		src.present[fi].ForEach(func(pi int) bool {
+			vals[at+pi] = srcVals[pi]
+			return true
+		})
+	}
+}
+
+// forEachEntry visits every stored (feature, pair, value) triple.
+func (m *ArrayMemo) forEachEntry(fn func(fi, pi int, v float64)) {
+	for fi := range m.vals {
+		if m.vals[fi] == nil {
+			continue
+		}
+		vals := m.vals[fi]
+		m.present[fi].ForEach(func(pi int) bool {
+			fn(fi, pi, vals[pi])
+			return true
+		})
+	}
+}
+
+// AbsorbMemoRange merges a shard memo (over the pair range [at,
+// at+shard pairs) of dst's space) into any Memo implementation, taking
+// the word-level ArrayMemo fast path when both sides allow it.
+func AbsorbMemoRange(dst Memo, src *ArrayMemo, at int) {
+	if am, ok := dst.(*ArrayMemo); ok {
+		am.AbsorbRange(src, at)
+		return
+	}
+	src.forEachEntry(func(fi, pi int, v float64) {
+		dst.Put(fi, at+pi, v)
+	})
+}
+
+// OverlayMemo presents a base memo shifted by a pair offset, with all
+// writes diverted to a private shard-local overlay. Shard workers use
+// it to read a warm session memo concurrently without synchronizing:
+// the base is never written during the parallel phase, and each
+// worker's misses land in its own overlay, absorbed into the base after
+// the workers join.
+type OverlayMemo struct {
+	base Memo
+	off  int
+	over *ArrayMemo
+}
+
+// NewOverlayMemo wraps base (may be nil for a cold start) at pair
+// offset off with a private overlay sized for numPairs local pairs.
+func NewOverlayMemo(base Memo, off, numPairs int) *OverlayMemo {
+	return &OverlayMemo{base: base, off: off, over: NewArrayMemo(numPairs)}
+}
+
+// Overlay returns the private write store, for absorbing into the base
+// once the parallel phase is over.
+func (m *OverlayMemo) Overlay() *ArrayMemo { return m.over }
+
+// Get implements Memo.
+func (m *OverlayMemo) Get(fi, pi int) (float64, bool) {
+	if v, ok := m.over.Get(fi, pi); ok {
+		return v, ok
+	}
+	if m.base == nil {
+		return 0, false
+	}
+	return m.base.Get(fi, pi+m.off)
+}
+
+// Has implements Memo.
+func (m *OverlayMemo) Has(fi, pi int) bool {
+	return m.over.Has(fi, pi) || (m.base != nil && m.base.Has(fi, pi+m.off))
+}
+
+// Put implements Memo: writes go to the overlay only.
+func (m *OverlayMemo) Put(fi, pi int, v float64) { m.over.Put(fi, pi, v) }
+
+// Bytes implements Memo, counting only the overlay (the base is shared
+// across workers and would be multiply counted).
+func (m *OverlayMemo) Bytes() int64 { return m.over.Bytes() }
+
+// Entries implements Memo, counting only the overlay.
+func (m *OverlayMemo) Entries() int64 { return m.over.Entries() }
 
 // HashMemo stores values in a hash map keyed by (feature, pair). It uses
 // memory proportional to the number of *computed* values — the

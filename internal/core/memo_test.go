@@ -90,3 +90,89 @@ func TestQuickMemosAgree(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestArrayMemoAbsorbRange(t *testing.T) {
+	full := NewArrayMemo(200)
+	// Warm entries outside and inside the absorbed range.
+	full.Put(0, 5, 0.5)
+	full.Put(1, 70, 0.7)      // inside range, absent from shard: must survive
+	full.Put(0, 66, 0.1)      // inside range, present in shard: overwritten
+	shard := NewArrayMemo(80) // covers pairs [65, 145)
+	shard.Put(0, 1, 0.9)      // global pair 66
+	shard.Put(2, 79, 0.3)     // global pair 144
+	full.AbsorbRange(shard, 65)
+	for _, tc := range []struct {
+		fi, pi int
+		v      float64
+	}{{0, 5, 0.5}, {1, 70, 0.7}, {0, 66, 0.9}, {2, 144, 0.3}} {
+		if v, ok := full.Get(tc.fi, tc.pi); !ok || v != tc.v {
+			t.Errorf("Get(%d,%d) = %v,%v want %v", tc.fi, tc.pi, v, ok, tc.v)
+		}
+	}
+	if full.Entries() != 4 {
+		t.Errorf("entries = %d, want 4", full.Entries())
+	}
+	if full.Has(2, 79) {
+		t.Error("shard-local index leaked without offset")
+	}
+}
+
+func TestArrayMemoAbsorbRangeBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range absorb did not panic")
+		}
+	}()
+	NewArrayMemo(10).AbsorbRange(NewArrayMemo(8), 5)
+}
+
+func TestAbsorbMemoRangeHashFallback(t *testing.T) {
+	dst := NewHashMemo()
+	shard := NewArrayMemo(16)
+	shard.Put(1, 3, 0.25)
+	shard.Put(0, 15, 0.75)
+	AbsorbMemoRange(dst, shard, 32)
+	if v, ok := dst.Get(1, 35); !ok || v != 0.25 {
+		t.Errorf("hash absorb Get(1,35) = %v,%v", v, ok)
+	}
+	if v, ok := dst.Get(0, 47); !ok || v != 0.75 {
+		t.Errorf("hash absorb Get(0,47) = %v,%v", v, ok)
+	}
+	if dst.Entries() != 2 {
+		t.Errorf("entries = %d", dst.Entries())
+	}
+}
+
+func TestOverlayMemo(t *testing.T) {
+	base := NewArrayMemo(100)
+	base.Put(0, 42, 0.42) // global pair 42 = local pair 2 at offset 40
+	om := NewOverlayMemo(base, 40, 30)
+	if v, ok := om.Get(0, 2); !ok || v != 0.42 {
+		t.Errorf("base read through overlay = %v,%v", v, ok)
+	}
+	if !om.Has(0, 2) || om.Has(0, 3) {
+		t.Error("overlay Has wrong")
+	}
+	om.Put(1, 5, 0.9)
+	if v, ok := om.Get(1, 5); !ok || v != 0.9 {
+		t.Errorf("overlay write-read = %v,%v", v, ok)
+	}
+	// Writes never touch the base.
+	if base.Has(1, 45) {
+		t.Error("overlay write leaked into base")
+	}
+	if om.Entries() != 1 {
+		t.Errorf("overlay entries = %d (base must not be counted)", om.Entries())
+	}
+	// Overlay wins over base on double-put.
+	om.Put(0, 2, 0.1)
+	if v, _ := om.Get(0, 2); v != 0.1 {
+		t.Errorf("overlay did not shadow base: %v", v)
+	}
+	// Nil base: pure shard-local memo.
+	cold := NewOverlayMemo(nil, 0, 10)
+	if _, ok := cold.Get(0, 0); ok {
+		t.Error("cold overlay has a value")
+	}
+	testMemoBasics(t, NewOverlayMemo(nil, 0, 16))
+}

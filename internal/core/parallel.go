@@ -5,67 +5,227 @@ import (
 	"sync"
 
 	"rulematch/internal/bitmap"
+	"rulematch/internal/sim"
 )
 
+// Range is a contiguous half-open pair range [Lo, Hi) owned by one
+// shard worker.
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of pairs in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// ShardRanges splits n pairs into at most workers contiguous ranges of
+// near-equal size. It returns nil when n is 0.
+func ShardRanges(n, workers int) []Range {
+	if n <= 0 || workers <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	ranges := make([]Range, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, Range{Lo: lo, Hi: hi})
+	}
+	return ranges
+}
+
+// sharedValueCache is the concurrency-safe variant of the value-level
+// cache (Algorithm 2's storage scheme): a compute-once map keyed by
+// (feature, attribute values). sync.Once per entry guarantees each
+// distinct key is computed exactly once across all shard workers, so
+// parallel runs lose no value-cache hits relative to a serial run.
+type sharedValueCache struct {
+	m sync.Map // valueKey -> *sharedValue
+}
+
+type sharedValue struct {
+	once sync.Once
+	v    float64
+}
+
+// resolve returns the cached similarity for k, computing it (exactly
+// once across all workers) on first request. Stats are attributed to
+// the caller: the computing worker counts a feature compute, everyone
+// else a value-cache hit.
+func (c *sharedValueCache) resolve(fn sim.Func, k valueKey, stats *Stats) float64 {
+	ei, ok := c.m.Load(k)
+	if !ok {
+		ei, _ = c.m.LoadOrStore(k, &sharedValue{})
+	}
+	e := ei.(*sharedValue)
+	computed := false
+	e.once.Do(func() {
+		e.v = fn.Sim(k.a, k.b)
+		computed = true
+	})
+	if computed {
+		stats.FeatureComputes++
+	} else {
+		stats.ValueCacheHits++
+	}
+	return e.v
+}
+
+// shardMatcher returns the reusable shard evaluator: a Matcher that
+// evaluates the parent's compiled function over the pair range rg with
+// private mutable state. The compiled function, profile cache and
+// shared value cache are shared read-only; the memo (when the parent
+// memoizes) is an OverlayMemo reading the parent's warm memo at the
+// range offset and writing to a private shard store.
+func (m *Matcher) shardMatcher(rg Range) *Matcher {
+	sm := &Matcher{
+		C:               m.C,
+		Pairs:           m.Pairs[rg.Lo:rg.Hi],
+		CheckCacheFirst: m.CheckCacheFirst,
+		ValueCache:      m.ValueCache,
+		sharedVals:      m.sharedVals,
+	}
+	if m.Memo != nil {
+		sm.Memo = NewOverlayMemo(m.Memo, rg.Lo, rg.Len())
+	}
+	return sm
+}
+
+// ShardEvaluator returns a shard matcher over the pair range rg,
+// evaluating the compiled function c (nil = the parent's own), sharing
+// the parent's value cache and reading its warm memo at the range
+// offset through a private overlay. Pass a CloneForEval'd c when the
+// shard will mutate thresholds (parallel what-if sweeps). Call from one
+// goroutine before launching workers: it installs the shared value
+// cache on the parent.
+func (m *Matcher) ShardEvaluator(rg Range, c *Compiled) *Matcher {
+	m.ensureSharedValues()
+	sm := m.shardMatcher(rg)
+	if c != nil {
+		sm.C = c
+	}
+	return sm
+}
+
+// ensureSharedValues installs the concurrency-safe value cache before a
+// parallel phase, migrating any entries the serial map already holds.
+func (m *Matcher) ensureSharedValues() {
+	if !m.ValueCache || m.sharedVals != nil {
+		return
+	}
+	m.sharedVals = &sharedValueCache{}
+	for k, v := range m.valueMemo {
+		e := &sharedValue{v: v}
+		e.once.Do(func() {}) // mark resolved so workers see it as a hit
+		m.sharedVals.m.Store(k, e)
+	}
+	m.valueMemo = nil
+}
+
 // MatchParallel evaluates the function over the pairs with early exit
-// and dynamic memoing across `workers` goroutines (0 = GOMAXPROCS).
-// Because the memo is keyed per (feature, pair), sharding the pair set
-// loses no memo hits; each worker owns a private memo over its shard.
-// The result is equivalent to Match but returns only the match marks —
-// incremental sessions need the single-threaded Match, whose
-// materialized state assumes one evaluation order.
+// and dynamic memoing across `workers` goroutines (0 = GOMAXPROCS),
+// returning only the match marks — the cheapest parallel path when the
+// materialized state is not needed (batch matching). Use
+// MatchStateParallel when the full incremental state should survive.
 //
 // The Compiled function must not be mutated during the call. The
-// matcher's Stats are incremented by the aggregate work of all workers;
-// its own Memo is not consulted or filled.
+// matcher's Stats are incremented by the aggregate work of all
+// workers. With ValueCache enabled, workers share one compute-once
+// value store, so attribute values repeating across shards are still
+// computed only once.
 func (m *Matcher) MatchParallel(workers int) *bitmap.Bits {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := len(m.Pairs)
-	if workers > n {
-		workers = n
-	}
 	matched := bitmap.New(n)
 	if n == 0 {
 		return matched
 	}
+	m.ensureSharedValues()
+	ranges := ShardRanges(n, workers)
+	type shardOut struct {
+		bits  *bitmap.Bits
+		stats Stats
+	}
+	outs := make([]shardOut, len(ranges))
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
+	for i, rg := range ranges {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(i int, rg Range) {
 			defer wg.Done()
-			local := &Matcher{
-				C:               m.C,
-				Pairs:           m.Pairs[lo:hi],
-				Memo:            NewArrayMemo(hi - lo),
-				CheckCacheFirst: m.CheckCacheFirst,
-				ValueCache:      m.ValueCache,
-			}
-			bits := make([]bool, hi-lo)
+			local := m.shardMatcher(rg)
+			bits := bitmap.New(rg.Len())
 			for pi := range local.Pairs {
-				bits[pi] = local.EvalPair(pi, nil)
-			}
-			mu.Lock()
-			for pi, ok := range bits {
-				if ok {
-					matched.Set(lo + pi)
+				if local.EvalPair(pi, nil) {
+					bits.Set(pi)
 				}
 			}
-			m.Stats.Add(local.Stats)
-			mu.Unlock()
-		}(lo, hi)
+			outs[i] = shardOut{bits: bits, stats: local.Stats}
+		}(i, rg)
 	}
 	wg.Wait()
+	for i, rg := range ranges {
+		matched.OrRange(outs[i].bits, rg.Lo)
+		m.Stats.Add(outs[i].stats)
+	}
 	return matched
+}
+
+// MatchStateParallel is the sharded materializing run: each worker
+// evaluates a contiguous pair range into a shard of MatchState plus a
+// range-offset memo, and the shards are stitched into one full state
+// with word-level bitmap merges. The result feeds incremental sessions:
+// Matched and RuleTrue are byte-identical to a serial Match, and the
+// per-predicate false sets are deterministic across worker counts
+// because predicates are evaluated in their static order during
+// materialization (check-cache-first is suspended for the run; the
+// cache-first order depends on per-worker memo history and would make
+// the recorded exit points nondeterministic).
+//
+// On return the matcher's Memo (when non-nil) has absorbed every shard
+// memo, so the caller continues on fully warm state; a warm memo is
+// also read (not written) by the workers, making parallel re-runs
+// cheap. Stats aggregate the work of all workers.
+func (m *Matcher) MatchStateParallel(workers int) *MatchState {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(m.Pairs)
+	st := NewMatchState(n, m.C.Rules)
+	if n == 0 {
+		return st
+	}
+	m.ensureSharedValues()
+	ranges := ShardRanges(n, workers)
+	type shardOut struct {
+		st    *MatchState
+		memo  *OverlayMemo
+		stats Stats
+	}
+	outs := make([]shardOut, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rg Range) {
+			defer wg.Done()
+			local := m.shardMatcher(rg)
+			// Static predicate order: deterministic false bits.
+			local.CheckCacheFirst = false
+			shardSt := local.Match()
+			om, _ := local.Memo.(*OverlayMemo)
+			outs[i] = shardOut{st: shardSt, memo: om, stats: local.Stats}
+		}(i, rg)
+	}
+	wg.Wait()
+	for i, rg := range ranges {
+		st.MergeAt(outs[i].st, rg.Lo)
+		if m.Memo != nil && outs[i].memo != nil {
+			AbsorbMemoRange(m.Memo, outs[i].memo.Overlay(), rg.Lo)
+		}
+		m.Stats.Add(outs[i].stats)
+	}
+	return st
 }

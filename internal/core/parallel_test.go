@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"rulematch/internal/rule"
@@ -165,6 +166,166 @@ func TestProfileCacheAgreesAndHelps(t *testing.T) {
 	for pi := range pairs {
 		if got.Get(pi) != want.Get(pi) {
 			t.Fatalf("parallel+profiles disagrees at pair %d", pi)
+		}
+	}
+}
+
+// TestMatchStateParallelMatchesSerial is the seeded property test for
+// the sharded materializing run: over random rule sets, every worker
+// count must produce Matched/RuleTrue byte-equal to the serial Match,
+// PredFalse byte-equal to a static-order serial Match, a memo with
+// identical contents, and state passing Validate.
+func TestMatchStateParallelMatchesSerial(t *testing.T) {
+	a, b, pairs := fixture(t)
+	lib := sim.Standard()
+	sims := []string{"jaro", "jaro_winkler", "levenshtein", "jaccard", "exact_match", "tf_idf", "trigram"}
+	attrs := []string{"name", "phone", "city"}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var f rule.Function
+		numRules := 1 + rng.Intn(4)
+		for ri := 0; ri < numRules; ri++ {
+			var r rule.Rule
+			r.Name = fmt.Sprintf("r%d", ri+1)
+			numPreds := 1 + rng.Intn(3)
+			for pj := 0; pj < numPreds; pj++ {
+				attr := attrs[rng.Intn(len(attrs))]
+				op := rule.Ge
+				if rng.Intn(3) == 0 {
+					op = rule.Lt
+				}
+				r.Preds = append(r.Preds, rule.Predicate{
+					Feature:   rule.Feature{Sim: sims[rng.Intn(len(sims))], AttrA: attr, AttrB: attr},
+					Op:        op,
+					Threshold: float64(rng.Intn(10)) / 10,
+				})
+			}
+			f.Rules = append(f.Rules, r)
+		}
+		c, err := Compile(f, lib, a, b)
+		if err != nil {
+			continue // contradictory random rule: fine
+		}
+		// Serial baseline in static predicate order (what the sharded
+		// run materializes), plus a cache-first serial run for the
+		// order-independent sets.
+		serial := NewMatcher(c, pairs)
+		want := serial.Match()
+		cacheFirst := NewMatcher(c, pairs)
+		cacheFirst.CheckCacheFirst = true
+		wantCF := cacheFirst.Match()
+		for _, workers := range []int{1, 2, 3, 8} {
+			m := NewMatcher(c, pairs)
+			got := m.MatchStateParallel(workers)
+			if !got.Matched.Equal(want.Matched) {
+				t.Fatalf("trial %d workers=%d: Matched diverges from serial\n%s", trial, workers, f.String())
+			}
+			for ri := range c.Rules {
+				if !got.RuleTrue[ri].Equal(want.RuleTrue[ri]) {
+					t.Fatalf("trial %d workers=%d: RuleTrue[%d] diverges", trial, workers, ri)
+				}
+				if !got.RuleTrue[ri].Equal(wantCF.RuleTrue[ri]) {
+					t.Fatalf("trial %d workers=%d: RuleTrue[%d] diverges from cache-first serial", trial, workers, ri)
+				}
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d workers=%d: PredFalse diverges from static-order serial", trial, workers)
+			}
+			if err := got.Validate(c, pairs); err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			// The stitched memo holds exactly the serial memo's values.
+			for fi := range c.Features {
+				for pi := range pairs {
+					sv, sok := serial.Memo.Get(fi, pi)
+					pv, pok := m.Memo.Get(fi, pi)
+					if sok != pok || sv != pv {
+						t.Fatalf("trial %d workers=%d: memo (%d,%d) = %v,%v want %v,%v",
+							trial, workers, fi, pi, pv, pok, sv, sok)
+					}
+				}
+			}
+			if m.Stats.PairEvals != int64(len(pairs)) {
+				t.Errorf("trial %d workers=%d: %d pair evals, want %d", trial, workers, m.Stats.PairEvals, len(pairs))
+			}
+		}
+	}
+}
+
+func TestMatchStateParallelEmpty(t *testing.T) {
+	c, _ := mustCompile(t, testFunc)
+	m := &Matcher{C: c, Pairs: nil, Memo: NewArrayMemo(0)}
+	st := m.MatchStateParallel(4)
+	if st.Matched.Len() != 0 || len(st.RuleTrue) != len(c.Rules) {
+		t.Errorf("empty parallel state malformed")
+	}
+}
+
+// TestSharedValueCacheHitParity asserts the cross-shard fix: with the
+// shared compute-once store, a parallel materializing run loses no
+// value-cache hits relative to the serial run — B records repeating
+// across shard boundaries are still computed exactly once.
+func TestSharedValueCacheHitParity(t *testing.T) {
+	c, pairs := dupFixture(t)
+	serial := NewMatcher(c, pairs)
+	serial.ValueCache = true
+	serial.Match()
+	if serial.Stats.ValueCacheHits == 0 {
+		t.Fatal("fixture has no repeated attribute values")
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		par := NewMatcher(c, pairs)
+		par.ValueCache = true
+		st := par.MatchStateParallel(workers)
+		if st.Matched.Count() == 0 {
+			t.Fatal("degenerate fixture: nothing matched")
+		}
+		if par.Stats.FeatureComputes != serial.Stats.FeatureComputes {
+			t.Errorf("workers=%d: %d feature computes, serial %d — cross-shard value hits lost",
+				workers, par.Stats.FeatureComputes, serial.Stats.FeatureComputes)
+		}
+		if par.Stats.ValueCacheHits != serial.Stats.ValueCacheHits {
+			t.Errorf("workers=%d: %d value-cache hits, serial %d",
+				workers, par.Stats.ValueCacheHits, serial.Stats.ValueCacheHits)
+		}
+	}
+	// MatchParallel (bits-only path) shares the same store.
+	par := NewMatcher(c, pairs)
+	par.ValueCache = true
+	par.MatchParallel(4)
+	if par.Stats.FeatureComputes != serial.Stats.FeatureComputes {
+		t.Errorf("MatchParallel: %d feature computes, serial %d",
+			par.Stats.FeatureComputes, serial.Stats.FeatureComputes)
+	}
+	// Serial continuation after a parallel run keeps hitting the shared
+	// store: a full re-match resolves every value without recomputing.
+	par.ResetStats()
+	par.Memo = NewArrayMemo(len(pairs)) // drop the pair memo, keep values
+	par.Match()
+	if par.Stats.FeatureComputes != 0 {
+		t.Errorf("serial re-run after parallel recomputed %d features", par.Stats.FeatureComputes)
+	}
+}
+
+func TestShardRanges(t *testing.T) {
+	for _, tc := range []struct{ n, workers, want int }{
+		{10, 3, 3}, {10, 1, 1}, {3, 8, 3}, {0, 4, 0}, {64, 4, 4},
+	} {
+		ranges := ShardRanges(tc.n, tc.workers)
+		if len(ranges) != tc.want {
+			t.Errorf("ShardRanges(%d,%d) = %d ranges, want %d", tc.n, tc.workers, len(ranges), tc.want)
+		}
+		covered := 0
+		prev := 0
+		for _, rg := range ranges {
+			if rg.Lo != prev {
+				t.Errorf("ShardRanges(%d,%d): gap at %d", tc.n, tc.workers, rg.Lo)
+			}
+			covered += rg.Len()
+			prev = rg.Hi
+		}
+		if covered != tc.n {
+			t.Errorf("ShardRanges(%d,%d) covers %d pairs", tc.n, tc.workers, covered)
 		}
 	}
 }

@@ -76,6 +76,25 @@ func (s *Session) RunFullWithMemo() {
 	s.LastOp.Op = "full_memo"
 }
 
+// RunFullParallel is the sharded materializing run: workers goroutines
+// (0 = GOMAXPROCS) each evaluate a contiguous pair range into a shard
+// of state plus a range-offset memo, stitched into the same full
+// MatchState and memo a serial RunFull produces. This removes the
+// paper's slow cold-start iteration (Fig 5C, k=1) from the interactive
+// loop; Algorithms 7–10 then operate on the warm merged state exactly
+// as after a serial run.
+//
+// Materialization uses the static predicate order so the recorded
+// false bits are deterministic across worker counts (check-cache-first
+// resumes for the incremental operations that follow). A warm memo is
+// reused read-only by the workers, so parallel re-runs are cheap too.
+func (s *Session) RunFullParallel(workers int) {
+	before := s.M.Stats
+	s.St = s.M.MatchStateParallel(workers)
+	s.owners = nil // rebuilt lazily from the fresh state
+	s.LastOp = OpReport{Op: "full_parallel", PairsExamined: len(s.M.Pairs), Stats: diffStats(before, s.M.Stats)}
+}
+
 // Matched returns whether pair pi currently matches.
 func (s *Session) Matched(pi int) bool { return s.St.Matched.Get(pi) }
 
@@ -86,6 +105,7 @@ func diffStats(before, after core.Stats) core.Stats {
 	return core.Stats{
 		FeatureComputes: after.FeatureComputes - before.FeatureComputes,
 		MemoHits:        after.MemoHits - before.MemoHits,
+		ValueCacheHits:  after.ValueCacheHits - before.ValueCacheHits,
 		PredEvals:       after.PredEvals - before.PredEvals,
 		RuleEvals:       after.RuleEvals - before.RuleEvals,
 		PairEvals:       after.PairEvals - before.PairEvals,
@@ -175,74 +195,15 @@ func (s *Session) Verify() error {
 }
 
 // VerifyDeep checks, beyond Verify, the three state invariants the
-// incremental algorithms rely on (see the package comment): single
-// first-true-rule ownership, witness bits for every unmatched pair and
-// rule, and soundness of every recorded false bit. It is O(pairs ×
-// predicates) of memo lookups; intended for tests.
+// incremental algorithms rely on (see the package comment) by
+// delegating to core.MatchState.Validate, which also checks bitmap
+// shapes. It is O(pairs × predicates) similarity computations; intended
+// for tests.
 func (s *Session) VerifyDeep() error {
 	if err := s.Verify(); err != nil {
 		return err
 	}
-	c := s.M.C
-	evalPred := func(ri, pj, pi int) bool {
-		p := &c.Rules[ri].Preds[pj]
-		return p.Eval(c.ComputeFeature(p.Feat, s.M.Pairs[pi]))
-	}
-	evalRule := func(ri, pi int) bool {
-		for pj := range c.Rules[ri].Preds {
-			if !evalPred(ri, pj, pi) {
-				return false
-			}
-		}
-		return true
-	}
-	for pi := range s.M.Pairs {
-		owners := 0
-		for ri := range c.Rules {
-			if s.St.RuleTrue[ri].Get(pi) {
-				owners++
-				// Invariant 1: the owner fires and every earlier rule
-				// does not.
-				if !evalRule(ri, pi) {
-					return fmt.Errorf("incremental: pair %d owned by rule %d which is false", pi, ri)
-				}
-				for rj := 0; rj < ri; rj++ {
-					if evalRule(rj, pi) {
-						return fmt.Errorf("incremental: pair %d owned by rule %d but earlier rule %d fires", pi, ri, rj)
-					}
-				}
-			}
-			// Invariant 3: recorded false bits are sound.
-			for pj := range c.Rules[ri].Preds {
-				if s.St.PredFalse[ri][pj].Get(pi) && evalPred(ri, pj, pi) {
-					return fmt.Errorf("incremental: pair %d has stale false bit on rule %d predicate %d", pi, ri, pj)
-				}
-			}
-		}
-		if s.St.Matched.Get(pi) {
-			if owners != 1 {
-				return fmt.Errorf("incremental: matched pair %d has %d owners", pi, owners)
-			}
-			continue
-		}
-		if owners != 0 {
-			return fmt.Errorf("incremental: unmatched pair %d has %d owners", pi, owners)
-		}
-		// Invariant 2: every rule has a currently-false recorded witness.
-		for ri := range c.Rules {
-			witness := false
-			for pj := range c.Rules[ri].Preds {
-				if s.St.PredFalse[ri][pj].Get(pi) && !evalPred(ri, pj, pi) {
-					witness = true
-					break
-				}
-			}
-			if !witness {
-				return fmt.Errorf("incremental: unmatched pair %d lacks a witness in rule %d", pi, ri)
-			}
-		}
-	}
-	return nil
+	return s.St.Validate(s.M.C, s.M.Pairs)
 }
 
 // bindPredicate compiles a source-level predicate against the session's

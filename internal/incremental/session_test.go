@@ -453,6 +453,153 @@ func TestSweepThreshold(t *testing.T) {
 	}
 }
 
+func TestRunFullParallelMatchesSerial(t *testing.T) {
+	serial := newSession(t, baseFunc)
+	// A static-order serial run is the byte-level reference for the
+	// full state (PredFalse included).
+	staticRef := newSessionNoRun(t, baseFunc)
+	staticRef.M.CheckCacheFirst = false
+	staticRef.RunFull()
+	for _, workers := range []int{1, 2, 3, 8} {
+		s := newSessionNoRun(t, baseFunc)
+		s.RunFullParallel(workers)
+		if s.LastOp.Op != "full_parallel" {
+			t.Fatalf("workers=%d: op = %q", workers, s.LastOp.Op)
+		}
+		if s.LastOp.PairsExamined != len(s.M.Pairs) {
+			t.Fatalf("workers=%d: examined %d pairs", workers, s.LastOp.PairsExamined)
+		}
+		if !s.St.Matched.Equal(serial.St.Matched) {
+			t.Fatalf("workers=%d: Matched differs from serial RunFull", workers)
+		}
+		for ri := range s.St.RuleTrue {
+			if !s.St.RuleTrue[ri].Equal(serial.St.RuleTrue[ri]) {
+				t.Fatalf("workers=%d: RuleTrue[%d] differs from serial RunFull", workers, ri)
+			}
+		}
+		if !s.St.Equal(staticRef.St) {
+			t.Fatalf("workers=%d: state differs from static-order serial run", workers)
+		}
+		if err := s.VerifyDeep(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// newSessionNoRun is newSession without the initial RunFull.
+func newSessionNoRun(t testing.TB, src string) *Session {
+	t.Helper()
+	a, b, pairs := fixture(t)
+	f, err := rule.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(c, pairs)
+}
+
+// Incremental operations must behave identically after a parallel
+// bootstrap: check-cache-first resumes and all invariants hold through
+// an op sequence.
+func TestIncrementalOpsAfterParallelBootstrap(t *testing.T) {
+	s := newSessionNoRun(t, baseFunc)
+	s.RunFullParallel(4)
+	if err := s.VerifyDeep(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := rule.ParseRule("r4: soundex(name, name) >= 0.6 and exact_match(city, city) >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyDeep(); err != nil {
+		t.Fatalf("after AddRule: %v", err)
+	}
+	if err := s.SetThreshold(2, 0, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyDeep(); err != nil {
+		t.Fatalf("after tighten: %v", err)
+	}
+	if err := s.SetThreshold(2, 0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyDeep(); err != nil {
+		t.Fatalf("after relax: %v", err)
+	}
+	if err := s.RemoveRule(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyDeep(); err != nil {
+		t.Fatalf("after RemoveRule: %v", err)
+	}
+	// A parallel re-run on the now-warm memo recomputes nothing for
+	// memoized features and still validates.
+	s.RunFullParallel(3)
+	if err := s.VerifyDeep(); err != nil {
+		t.Fatalf("after warm parallel re-run: %v", err)
+	}
+}
+
+func TestSweepThresholdParallelMatchesSerial(t *testing.T) {
+	serial := newSession(t, baseFunc)
+	thresholds := DefaultSweep(9)
+	want, err := serial.SweepThreshold(2, 0, thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		s := newSession(t, baseFunc)
+		stateBefore := s.St.Matched.Clone()
+		thrBefore := s.M.C.Rules[2].Preds[0].Threshold
+		got, err := s.SweepThresholdParallel(2, 0, thresholds, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Threshold != want[i].Threshold || !got[i].Matched.Equal(want[i].Matched) {
+				t.Fatalf("workers=%d: point %d (thr=%v) differs from serial sweep",
+					workers, i, got[i].Threshold)
+			}
+		}
+		// The sweep is a read-only what-if: state and threshold restored.
+		if !s.St.Matched.Equal(stateBefore) {
+			t.Fatalf("workers=%d: sweep mutated session state", workers)
+		}
+		if s.M.C.Rules[2].Preds[0].Threshold != thrBefore {
+			t.Fatalf("workers=%d: sweep left threshold mutated", workers)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestSweepThresholdParallelValidation(t *testing.T) {
+	s := newSession(t, baseFunc)
+	if _, err := s.SweepThresholdParallel(99, 0, DefaultSweep(3), 2); err == nil {
+		t.Error("bad rule index accepted")
+	}
+	if _, err := s.SweepThresholdParallel(0, 99, DefaultSweep(3), 2); err == nil {
+		t.Error("bad predicate index accepted")
+	}
+	pts, err := s.SweepThresholdParallel(0, 0, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 0 {
+		t.Errorf("empty sweep returned %d points", len(pts))
+	}
+}
+
 func TestSweepThresholdValidation(t *testing.T) {
 	s := newSession(t, baseFunc)
 	if _, err := s.SweepThreshold(99, 0, DefaultSweep(3)); err == nil {

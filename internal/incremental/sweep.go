@@ -2,8 +2,11 @@ package incremental
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"rulematch/internal/bitmap"
+	"rulematch/internal/core"
 )
 
 // SweepPoint is the outcome of evaluating the function with one
@@ -42,6 +45,82 @@ func (s *Session) SweepThreshold(ri, pj int, thresholds []float64) ([]SweepPoint
 			}
 		}
 		out = append(out, SweepPoint{Threshold: thr, Matched: matched})
+	}
+	return out, nil
+}
+
+// SweepThresholdParallel is SweepThreshold sharded over workers
+// goroutines (0 = GOMAXPROCS, 1 = the serial path): each worker
+// evaluates every candidate threshold over a contiguous pair range on a
+// private clone of the compiled function (core.Compiled.CloneForEval),
+// reading the session memo through a range-offset overlay. Per-
+// threshold match sets are stitched with word-level merges and are
+// bit-identical to the serial sweep; feature values the workers had to
+// compute are absorbed into the session memo afterwards, so the sweep
+// leaves the memo at least as warm as the serial one would.
+func (s *Session) SweepThresholdParallel(ri, pj int, thresholds []float64, workers int) ([]SweepPoint, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return s.SweepThreshold(ri, pj, thresholds)
+	}
+	if err := s.checkState(); err != nil {
+		return nil, err
+	}
+	if err := s.checkPred(ri, pj); err != nil {
+		return nil, err
+	}
+	n := len(s.M.Pairs)
+	out := make([]SweepPoint, len(thresholds))
+	for ti, thr := range thresholds {
+		out[ti] = SweepPoint{Threshold: thr, Matched: bitmap.New(n)}
+	}
+	if n == 0 || len(thresholds) == 0 {
+		return out, nil
+	}
+	ranges := core.ShardRanges(n, workers)
+	type shardOut struct {
+		local *core.Matcher
+		bits  []*bitmap.Bits
+	}
+	outs := make([]shardOut, len(ranges))
+	for i, rg := range ranges {
+		// Each worker owns a clone of the function so threshold
+		// mutation needs no synchronization.
+		outs[i] = shardOut{
+			local: s.M.ShardEvaluator(rg, s.M.C.CloneForEval()),
+			bits:  make([]*bitmap.Bits, len(thresholds)),
+		}
+	}
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rg core.Range) {
+			defer wg.Done()
+			local := outs[i].local
+			p := &local.C.Rules[ri].Preds[pj]
+			for ti, thr := range thresholds {
+				p.Threshold = thr
+				bits := bitmap.New(rg.Len())
+				for pi := range local.Pairs {
+					if local.EvalPair(pi, nil) {
+						bits.Set(pi)
+					}
+				}
+				outs[i].bits[ti] = bits
+			}
+		}(i, rg)
+	}
+	wg.Wait()
+	for i, rg := range ranges {
+		for ti := range thresholds {
+			out[ti].Matched.OrRange(outs[i].bits[ti], rg.Lo)
+		}
+		if om, ok := outs[i].local.Memo.(*core.OverlayMemo); ok && s.M.Memo != nil {
+			core.AbsorbMemoRange(s.M.Memo, om.Overlay(), rg.Lo)
+		}
+		s.M.Stats.Add(outs[i].local.Stats)
 	}
 	return out, nil
 }

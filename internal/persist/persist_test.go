@@ -106,6 +106,56 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// A session bootstrapped in parallel must survive the snapshot
+// round-trip exactly like a serial one: same state bytes, warm memo,
+// and full invariant validation on the restored session.
+func TestSaveLoadParallelBuiltSession(t *testing.T) {
+	a, b, pairs := buildTables(t)
+	f, err := rule.ParseFunction(sessionFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := incremental.NewSession(c, pairs)
+	s.RunFullParallel(4)
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.St.Equal(s.St) {
+		t.Error("restored state differs from parallel-built state")
+	}
+	if err := got.VerifyDeep(); err != nil {
+		t.Fatalf("restored session invalid: %v", err)
+	}
+	// Memo restored warm: a re-run computes nothing.
+	before := got.M.Stats
+	got.RunFullWithMemo()
+	if computed := got.M.Stats.FeatureComputes - before.FeatureComputes; computed != 0 {
+		t.Errorf("restored session recomputed %d features", computed)
+	}
+	// And the restored session accepts another parallel run plus
+	// incremental ops.
+	got.RunFullParallel(2)
+	if !got.St.Equal(s.St) {
+		t.Error("parallel re-run on restored session changed state")
+	}
+	r, _ := rule.ParseRule("r3: soundex(name, name) >= 0.5")
+	if err := got.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.VerifyDeep(); err != nil {
+		t.Fatalf("after incremental op on restored session: %v", err)
+	}
+}
+
 func TestSaveRequiresRun(t *testing.T) {
 	a, b, pairs := buildTables(t)
 	f, _ := rule.ParseFunction(sessionFunc)
