@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"rulematch/internal/bench"
+	"rulematch/internal/core"
 	"rulematch/internal/datagen"
 )
 
@@ -31,8 +32,12 @@ func main() {
 		trials   = flag.Int("trials", 100, "random changes per Figure 6 change type")
 		maxK     = flag.Int("maxk", 0, "max rules for the Figure 5C growth (0 = all)")
 		parallel = flag.Int("parallel", 1, "worker goroutines for the Figure 5C session bootstrap (0 = GOMAXPROCS)")
+		batch    = flag.Bool("batch", true, "use the columnar batch execution engine for full runs (false = scalar pair-at-a-time)")
 	)
 	flag.Parse()
+	if !*batch {
+		core.SetDefaultEngine(core.EngineScalar)
+	}
 	if err := run(*exp, *dataset, *scale, *rules, *draws, *trials, *maxK, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "embench:", err)
 		os.Exit(1)
@@ -201,6 +206,7 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 			func() (*bench.Table, error) { return bench.AblationAlphaVariants(task, counts) },
 			func() (*bench.Table, error) { return bench.AblationValueCache(task) },
 			func() (*bench.Table, error) { return bench.AblationParallel(task) },
+			func() (*bench.Table, error) { return bench.AblationBatch(task) },
 			func() (*bench.Table, error) { return bench.AblationAdaptive(task) },
 			func() (*bench.Table, error) { return bench.AblationProfileCache(task) },
 		} {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+
+	"rulematch/internal/core"
 )
 
 func main() {
@@ -26,8 +28,12 @@ func main() {
 		scale    = flag.Float64("scale", 0.02, "scale for -dataset")
 		mined    = flag.Bool("mined", false, "start from the mined rule pool instead of the sample rules")
 		parallel = flag.Int("parallel", 1, "shard workers for full runs and sweeps (0 = GOMAXPROCS)")
+		batch    = flag.Bool("batch", true, "use the columnar batch execution engine for full runs and sweeps (false = scalar pair-at-a-time)")
 	)
 	flag.Parse()
+	if !*batch {
+		core.SetDefaultEngine(core.EngineScalar)
+	}
 	d := newDebugger(os.Stdout)
 	d.workers = *parallel
 	if d.workers < 1 {

@@ -44,6 +44,7 @@ type options struct {
 	parallel       int
 	valueCache     bool
 	profiles       bool
+	batch          bool
 	stats          bool
 }
 
@@ -62,6 +63,7 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines (0 = GOMAXPROCS); with -save the full state is materialized in parallel shards")
 	flag.BoolVar(&o.valueCache, "valuecache", false, "enable the attribute-value-level cache")
 	flag.BoolVar(&o.profiles, "profiles", true, "precompute per-record token profiles for set-based similarities")
+	flag.BoolVar(&o.batch, "batch", true, "use the columnar batch execution engine (false = scalar pair-at-a-time)")
 	flag.BoolVar(&o.stats, "stats", false, "print work counters to stderr")
 	flag.Parse()
 	if err := run(o, os.Stderr); err != nil {
@@ -137,6 +139,10 @@ func run(o options, diag io.Writer) error {
 	}
 	orderTime := time.Since(start)
 
+	engine := core.EngineBatch
+	if !o.batch {
+		engine = core.EngineScalar
+	}
 	var (
 		m       *core.Matcher
 		matched *bitmap.Bits
@@ -149,6 +155,7 @@ func run(o options, diag io.Writer) error {
 		// resume from a warm session.
 		sess = incremental.NewSession(c, pairs)
 		sess.M.ValueCache = o.valueCache
+		sess.M.Engine = engine
 		if o.parallel != 1 {
 			sess.RunFullParallel(o.parallel)
 		} else {
@@ -160,10 +167,13 @@ func run(o options, diag io.Writer) error {
 		m = core.NewMatcher(c, pairs)
 		m.CheckCacheFirst = true
 		m.ValueCache = o.valueCache
+		m.Engine = engine
 		if o.parallel != 1 {
 			matched = m.MatchParallel(o.parallel)
 		} else {
-			matched = m.Match().Matched
+			// Marks-only run: the output needs the match set, not the
+			// materialized per-predicate state.
+			matched = m.MatchBits()
 		}
 	}
 	matchTime := time.Since(start)

@@ -309,6 +309,15 @@ func TestAblations(t *testing.T) {
 	if _, err := AblationParallel(task); err != nil {
 		t.Errorf("parallel: %v", err)
 	}
+	if tbl, err := AblationBatch(task); err != nil {
+		t.Errorf("batch: %v", err)
+	} else {
+		for _, row := range tbl.Rows {
+			if row[len(row)-1] == "DIVERGED" {
+				t.Errorf("batch engine diverged from scalar: %v", row)
+			}
+		}
+	}
 	if _, err := AblationAdaptive(task); err != nil {
 		t.Errorf("adaptive: %v", err)
 	}

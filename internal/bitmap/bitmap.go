@@ -75,6 +75,33 @@ func (b *Bits) Or(other *Bits) {
 	}
 }
 
+// And sets b = b & other in place. The two sets must have equal length.
+func (b *Bits) And(other *Bits) {
+	b.checkLen(other)
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// SetAll sets every bit. The unused high bits of the last word stay
+// clear, preserving the invariant OrRange and Count rely on.
+func (b *Bits) SetAll() {
+	if b.n == 0 {
+		return
+	}
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.words[len(b.words)-1] = ^uint64(0) >> (uint(len(b.words)*64-b.n) & 63)
+}
+
+// CopyFrom overwrites b with the contents of src. The two sets must
+// have equal length.
+func (b *Bits) CopyFrom(src *Bits) {
+	b.checkLen(src)
+	copy(b.words, src.words)
+}
+
 // AndNot sets b = b &^ other. The two sets must have equal length.
 func (b *Bits) AndNot(other *Bits) {
 	b.checkLen(other)
@@ -165,6 +192,65 @@ func (b *Bits) ForEach(fn func(i int) bool) {
 				return
 			}
 			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the position of the first set bit at or after from,
+// or -1 when no such bit exists. It allocates nothing, making
+//
+//	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) { ... }
+//
+// the iteration of choice on hot paths (Indices allocates the full
+// index slice up front). A from below 0 starts at 0; a from at or past
+// Len() returns -1.
+func (b *Bits) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= b.n {
+		return -1
+	}
+	wi := from >> 6
+	// Mask off the bits below from within the first word.
+	w := b.words[wi] >> (uint(from) & 63)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// Filter clears from b every set bit i for which keep(i) reports false,
+// recording the cleared bits in removed when it is non-nil (removed
+// must have b's length; its existing bits are preserved and ORed with
+// the cleared ones). The scan is word-level with one write-back per
+// dirty word — the tight kernel the batch matching engine uses to
+// AndNot a predicate's failures out of the active pair set.
+func (b *Bits) Filter(keep func(i int) bool, removed *Bits) {
+	if removed != nil {
+		b.checkLen(removed)
+	}
+	for wi, w := range b.words {
+		if w == 0 {
+			continue
+		}
+		var rm uint64
+		for t := w; t != 0; t &= t - 1 {
+			tz := bits.TrailingZeros64(t)
+			if !keep(wi<<6 + tz) {
+				rm |= 1 << uint(tz)
+			}
+		}
+		if rm != 0 {
+			b.words[wi] = w &^ rm
+			if removed != nil {
+				removed.words[wi] |= rm
+			}
 		}
 	}
 }

@@ -360,3 +360,160 @@ func TestCopyRangeClearsStaleBits(t *testing.T) {
 		}
 	}
 }
+
+// TestNextSetBoundaries pins the word-edge cases of the zero-alloc
+// iterator.
+func TestNextSetBoundaries(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 63, 64, 127, 128, 199} {
+		b.Set(i)
+	}
+	for _, tc := range []struct{ from, want int }{
+		{-5, 0}, {0, 0}, {1, 63}, {63, 63}, {64, 64}, {65, 127},
+		{128, 128}, {129, 199}, {199, 199}, {200, -1}, {500, -1},
+	} {
+		if got := b.NextSet(tc.from); got != tc.want {
+			t.Errorf("NextSet(%d) = %d, want %d", tc.from, got, tc.want)
+		}
+	}
+	empty := New(130)
+	if got := empty.NextSet(0); got != -1 {
+		t.Errorf("empty NextSet(0) = %d", got)
+	}
+	zero := New(0)
+	if got := zero.NextSet(0); got != -1 {
+		t.Errorf("zero-length NextSet(0) = %d", got)
+	}
+}
+
+// TestNextSetAgainstNaive sweeps random bitsets and compares full
+// NextSet iteration against Indices.
+func TestNextSetAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(300)
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				b.Set(i)
+			}
+		}
+		var got []int
+		for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		want := b.Indices()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: NextSet found %d bits, Indices %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: position %d: NextSet %d, Indices %d", trial, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestAndAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(260)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		want := New(n)
+		for i := 0; i < n; i++ {
+			if a.Get(i) && b.Get(i) {
+				want.Set(i)
+			}
+		}
+		got := a.Clone()
+		got.And(b)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: And diverges from naive", trial)
+		}
+	}
+}
+
+func TestSetAllAndCopyFrom(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		b := New(n)
+		b.SetAll()
+		if b.Count() != n {
+			t.Errorf("SetAll(len %d): count %d", n, b.Count())
+		}
+		// The tail invariant must hold so OrRange carries stay valid.
+		if n > 0 {
+			other := New(n + 64)
+			other.OrRange(b, 37%(n+1))
+			if other.Count() != n {
+				t.Errorf("SetAll(len %d): OrRange spilled to %d bits", n, other.Count())
+			}
+		}
+		c := New(n)
+		c.CopyFrom(b)
+		if !c.Equal(b) {
+			t.Errorf("CopyFrom(len %d) not equal", n)
+		}
+		b.Reset()
+		if c.Count() != n {
+			t.Errorf("CopyFrom aliased the source words")
+		}
+	}
+}
+
+// TestFilterAgainstNaive drives the kernel with a random keep set and
+// checks both the surviving bits and the removed record.
+func TestFilterAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(260)
+		b := New(n)
+		keep := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+			keep[i] = rng.Intn(2) == 0
+		}
+		wantKept, wantRemoved := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if !b.Get(i) {
+				continue
+			}
+			if keep[i] {
+				wantKept.Set(i)
+			} else {
+				wantRemoved.Set(i)
+			}
+		}
+		removed := New(n)
+		if n > 0 {
+			removed.Set(0) // pre-existing bits must survive the OR
+			if !wantRemoved.Get(0) {
+				wantRemoved.Set(0)
+			}
+		}
+		b.Filter(func(i int) bool { return keep[i] }, removed)
+		if !b.Equal(wantKept) {
+			t.Fatalf("trial %d: Filter kept wrong bits", trial)
+		}
+		if !removed.Equal(wantRemoved) {
+			t.Fatalf("trial %d: Filter removed record wrong", trial)
+		}
+		// nil removed: same survivors, no recording required.
+		b2 := wantKept.Clone()
+		b2.Filter(func(i int) bool { return i%2 == 0 }, nil)
+		for i := b2.NextSet(0); i >= 0; i = b2.NextSet(i + 1) {
+			if i%2 != 0 {
+				t.Fatalf("trial %d: nil-removed Filter kept odd bit %d", trial, i)
+			}
+		}
+	}
+}

@@ -46,6 +46,18 @@ type Matcher struct {
 	// attribute values (the same B record appears in many pairs), so
 	// identical inputs are computed once across all pairs.
 	ValueCache bool
+	// Engine selects the whole-run execution strategy for MatchState,
+	// MatchBits and the parallel paths: EngineAuto (the package
+	// default, normally the columnar batch engine), EngineBatch or
+	// EngineScalar. Per-pair entry points (Match, EvalPair, EvalRule,
+	// FeatureValue) are always scalar.
+	Engine Engine
+	// BlockSize is the batch engine's pairs-per-block (0 =
+	// DefaultBlockSize). Rounded up to a multiple of 64 so block
+	// boundaries fall on bitmap words. Results are identical for every
+	// block size; the knob trades cache residency against per-block
+	// bookkeeping.
+	BlockSize int
 	// Stats accumulates work counters across Match calls.
 	Stats Stats
 

@@ -86,6 +86,21 @@ func (m *ArrayMemo) Bytes() int64 {
 // Entries implements Memo.
 func (m *ArrayMemo) Entries() int64 { return m.entries }
 
+// column returns feature fi's value row and presence bitmap for bulk
+// access by the batch engine. When the row is unallocated it returns
+// nils unless alloc is set — callers defer allocation until the first
+// write so an all-hit column never grows the memo.
+func (m *ArrayMemo) column(fi int, alloc bool) ([]float64, *bitmap.Bits) {
+	if fi < len(m.vals) && m.vals[fi] != nil {
+		return m.vals[fi], m.present[fi]
+	}
+	if !alloc {
+		return nil, nil
+	}
+	m.grow(fi)
+	return m.vals[fi], m.present[fi]
+}
+
 // AbsorbRange merges a shard memo src — built over the contiguous pair
 // range [at, at+srcPairs) of m's pair space, locally indexed from 0 —
 // into m at that offset. Presence bitmaps merge word-level
@@ -218,8 +233,33 @@ func (m *HashMemo) Has(fi, pi int) bool {
 // Put implements Memo.
 func (m *HashMemo) Put(fi, pi int, v float64) { m.m[hashKey(fi, pi)] = v }
 
-// Bytes implements Memo. Map overhead is approximated at 2x payload.
-func (m *HashMemo) Bytes() int64 { return int64(len(m.m)) * (8 + 8) * 2 }
+// Go map bucket geometry for map[uint64]float64: 8 slots per bucket,
+// each bucket holding 8 tophash/control bytes, 8 uint64 keys, 8 float64
+// values and an overflow pointer; the runtime doubles the bucket array
+// once the load factor passes ~6.5 entries per bucket.
+const (
+	hashMapHeaderBytes = 48
+	hashBucketBytes    = 8 + 8*8 + 8*8 + 8
+	hashMaxLoadFactor  = 6.5
+)
+
+// Bytes implements Memo, modelling the real footprint of the Go map
+// rather than the raw 16-byte payload: entries live in fixed 8-slot
+// buckets whose array doubles at load factor ~6.5, so capacity
+// overshoots the entry count and each entry effectively costs ~23-47
+// bytes depending on fill. Overflow buckets from collisions are not
+// modelled, so this is a slight underestimate at high load.
+func (m *HashMemo) Bytes() int64 {
+	n := int64(len(m.m))
+	if n == 0 {
+		return hashMapHeaderBytes
+	}
+	buckets := int64(1)
+	for float64(n) > hashMaxLoadFactor*float64(buckets) {
+		buckets *= 2
+	}
+	return hashMapHeaderBytes + buckets*hashBucketBytes
+}
 
 // Entries implements Memo.
 func (m *HashMemo) Entries() int64 { return int64(len(m.m)) }

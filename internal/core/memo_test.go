@@ -91,6 +91,66 @@ func TestQuickMemosAgree(t *testing.T) {
 	}
 }
 
+// TestHashMemoFootprint is the regression test for HashMemo.Bytes: the
+// model must charge real Go map overhead (8-slot buckets, doubling
+// bucket array), not the raw 16-byte key+value payload, so the §7.4
+// ArrayMemo/HashMemo trade-off in MemoryReport reflects reality.
+func TestHashMemoFootprint(t *testing.T) {
+	m := NewHashMemo()
+	if m.Bytes() != hashMapHeaderBytes {
+		t.Errorf("empty hash memo = %d bytes, want header %d", m.Bytes(), hashMapHeaderBytes)
+	}
+	for pi := 0; pi < 1000; pi++ {
+		m.Put(0, pi, float64(pi))
+	}
+	perEntry := float64(m.Bytes()) / 1000
+	// Lower bound: strictly more than the raw payload (8B key + 8B value).
+	if perEntry <= 16 {
+		t.Errorf("per-entry cost %.1fB does not exceed the raw payload", perEntry)
+	}
+	// Upper bound: buckets double, so capacity at most ~2x entries plus
+	// slack — the per-entry cost stays under 64B for a full map.
+	if perEntry > 64 {
+		t.Errorf("per-entry cost %.1fB implausibly high", perEntry)
+	}
+	// Monotone in entry count.
+	small := NewHashMemo()
+	for pi := 0; pi < 10; pi++ {
+		small.Put(0, pi, 1)
+	}
+	if small.Bytes() >= m.Bytes() {
+		t.Errorf("10 entries (%dB) not cheaper than 1000 (%dB)", small.Bytes(), m.Bytes())
+	}
+}
+
+// TestMemoFootprintTradeOff pins the §7.4 trade-off both ways: with a
+// sparse memo (early exit touched few pairs) the hash layout wins; with
+// a dense memo the array layout wins. Before the Bytes fix the hash
+// memo claimed 16B/entry and appeared to beat the array even when
+// nearly every pair was computed.
+func TestMemoFootprintTradeOff(t *testing.T) {
+	const numPairs = 10000
+	fill := func(m Memo, every int) {
+		for pi := 0; pi < numPairs; pi += every {
+			m.Put(0, pi, 0.5)
+		}
+	}
+	// Sparse: 1% of pairs memoized.
+	sa, sh := NewArrayMemo(numPairs), NewHashMemo()
+	fill(sa, 100)
+	fill(sh, 100)
+	if sh.Bytes() >= sa.Bytes() {
+		t.Errorf("sparse: hash %dB not below array %dB", sh.Bytes(), sa.Bytes())
+	}
+	// Dense: every pair memoized.
+	da, dh := NewArrayMemo(numPairs), NewHashMemo()
+	fill(da, 1)
+	fill(dh, 1)
+	if da.Bytes() >= dh.Bytes() {
+		t.Errorf("dense: array %dB not below hash %dB", da.Bytes(), dh.Bytes())
+	}
+}
+
 func TestArrayMemoAbsorbRange(t *testing.T) {
 	full := NewArrayMemo(200)
 	// Warm entries outside and inside the absorbed range.

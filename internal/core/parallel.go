@@ -85,6 +85,8 @@ func (m *Matcher) shardMatcher(rg Range) *Matcher {
 		Pairs:           m.Pairs[rg.Lo:rg.Hi],
 		CheckCacheFirst: m.CheckCacheFirst,
 		ValueCache:      m.ValueCache,
+		Engine:          m.Engine,
+		BlockSize:       m.BlockSize,
 		sharedVals:      m.sharedVals,
 	}
 	if m.Memo != nil {
@@ -156,14 +158,10 @@ func (m *Matcher) MatchParallel(workers int) *bitmap.Bits {
 		wg.Add(1)
 		go func(i int, rg Range) {
 			defer wg.Done()
+			// Each shard runs the configured engine over its range (the
+			// batch engine blocks within the shard).
 			local := m.shardMatcher(rg)
-			bits := bitmap.New(rg.Len())
-			for pi := range local.Pairs {
-				if local.EvalPair(pi, nil) {
-					bits.Set(pi)
-				}
-			}
-			outs[i] = shardOut{bits: bits, stats: local.Stats}
+			outs[i] = shardOut{bits: local.MatchBits(), stats: local.Stats}
 		}(i, rg)
 	}
 	wg.Wait()
@@ -212,9 +210,11 @@ func (m *Matcher) MatchStateParallel(workers int) *MatchState {
 		go func(i int, rg Range) {
 			defer wg.Done()
 			local := m.shardMatcher(rg)
-			// Static predicate order: deterministic false bits.
+			// Static predicate order: deterministic false bits. (The
+			// batch engine materializes in static order by construction;
+			// this pins the scalar engine too.)
 			local.CheckCacheFirst = false
-			shardSt := local.Match()
+			shardSt := local.MatchState()
 			om, _ := local.Memo.(*OverlayMemo)
 			outs[i] = shardOut{st: shardSt, memo: om, stats: local.Stats}
 		}(i, rg)

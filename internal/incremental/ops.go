@@ -60,8 +60,11 @@ func (s *Session) AddPredicate(ri int, p rule.Predicate) error {
 	s.St.PredFalse[ri] = append(s.St.PredFalse[ri], bitmap.New(len(s.M.Pairs)))
 
 	examined := 0
-	owned := s.St.RuleTrue[ri].Indices()
-	for _, pi := range owned {
+	// Live NextSet iteration is safe: the loop body only clears the
+	// *current* bit of RuleTrue[ri] (never a later one) and reEvalAfter
+	// writes to other rules' bitmaps.
+	owned := s.St.RuleTrue[ri]
+	for pi := owned.NextSet(0); pi >= 0; pi = owned.NextSet(pi + 1) {
 		examined++
 		v := s.M.FeatureValue(cp.Feat, pi)
 		s.M.Stats.PredEvals++
@@ -110,8 +113,10 @@ func (s *Session) TightenPredicate(ri, pj int, newThreshold float64) error {
 	p.Threshold = newThreshold
 
 	examined := 0
-	owned := s.St.RuleTrue[ri].Indices()
-	for _, pi := range owned {
+	// Safe live iteration: only the current bit is ever cleared (see
+	// AddPredicate).
+	owned := s.St.RuleTrue[ri]
+	for pi := owned.NextSet(0); pi >= 0; pi = owned.NextSet(pi + 1) {
 		examined++
 		v := s.M.FeatureValue(p.Feat, pi)
 		s.M.Stats.PredEvals++
@@ -150,8 +155,11 @@ func (s *Session) RelaxPredicate(ri, pj int, newThreshold float64) error {
 	p.Threshold = newThreshold
 
 	examined, moves := 0, 0
-	falseSet := s.St.PredFalse[ri][pj].Indices()
-	for _, pi := range falseSet {
+	// Safe live iteration: the body clears only the current bit of this
+	// false set (evalRuleRecordFalse touches pair pi alone, and the
+	// relaxed predicate evaluates true for it, so the bit stays clear).
+	falseSet := s.St.PredFalse[ri][pj]
+	for pi := falseSet.NextSet(0); pi >= 0; pi = falseSet.NextSet(pi + 1) {
 		examined++
 		v := s.M.FeatureValue(p.Feat, pi)
 		s.M.Stats.PredEvals++
@@ -200,12 +208,15 @@ func (s *Session) RemovePredicate(ri, pj int) error {
 		return fmt.Errorf("incremental: cannot remove the only predicate of rule %q; remove the rule instead", r.Name)
 	}
 	before := s.M.Stats
-	falseSet := s.St.PredFalse[ri][pj].Indices()
+	// Capture the spliced-out false set before removing it from the
+	// state: the loop below iterates it live while evalRuleRecordFalse
+	// mutates only the *remaining* predicates' bitmaps.
+	falseSet := s.St.PredFalse[ri][pj]
 	r.Preds = append(r.Preds[:pj], r.Preds[pj+1:]...)
 	s.St.PredFalse[ri] = append(s.St.PredFalse[ri][:pj], s.St.PredFalse[ri][pj+1:]...)
 
 	examined, moves := 0, 0
-	for _, pi := range falseSet {
+	for pi := falseSet.NextSet(0); pi >= 0; pi = falseSet.NextSet(pi + 1) {
 		examined++
 		if !s.St.Matched.Get(pi) {
 			if s.evalRuleRecordFalse(ri, pi) {
@@ -238,7 +249,10 @@ func (s *Session) RemoveRule(ri int) error {
 		return err
 	}
 	before := s.M.Stats
-	orphans := s.St.RuleTrue[ri].Indices()
+	// Capture the removed rule's match set before splicing it out of the
+	// state; reEvalAfter writes only to the surviving rules' bitmaps, so
+	// live NextSet iteration is safe.
+	orphans := s.St.RuleTrue[ri]
 	s.M.C.RemoveRule(ri)
 	s.St.RuleTrue = append(s.St.RuleTrue[:ri], s.St.RuleTrue[ri+1:]...)
 	s.St.PredFalse = append(s.St.PredFalse[:ri], s.St.PredFalse[ri+1:]...)
@@ -249,7 +263,7 @@ func (s *Session) RemoveRule(ri int) error {
 		}
 	}
 	examined := 0
-	for _, pi := range orphans {
+	for pi := orphans.NextSet(0); pi >= 0; pi = orphans.NextSet(pi + 1) {
 		examined++
 		s.St.Matched.Clear(pi)
 		s.setOwner(pi, -1)

@@ -61,9 +61,16 @@ func NewSession(c *core.Compiled, pairs []table.Pair) *Session {
 // RunFull evaluates the function from scratch (with memoing) and
 // materializes the state. Call once before incremental operations; the
 // memo persists, so later full runs are cheaper too.
+//
+// The run goes through the matcher's configured execution engine
+// (normally the columnar batch engine), which materializes in static
+// predicate order — the recorded false bits are therefore
+// deterministic and identical across RunFull, RunFullParallel and
+// every block size. Check-cache-first resumes for the per-pair
+// incremental operations that follow.
 func (s *Session) RunFull() {
 	before := s.M.Stats
-	s.St = s.M.Match()
+	s.St = s.M.MatchState()
 	s.owners = nil // rebuilt lazily from the fresh state
 	s.LastOp = OpReport{Op: "full", PairsExamined: len(s.M.Pairs), Stats: diffStats(before, s.M.Stats)}
 }

@@ -36,15 +36,11 @@ func (s *Session) SweepThreshold(ri, pj int, thresholds []float64) ([]SweepPoint
 	out := make([]SweepPoint, 0, len(thresholds))
 	for _, thr := range thresholds {
 		p.Threshold = thr
-		matched := bitmap.New(len(s.M.Pairs))
-		for pi := range s.M.Pairs {
-			// Evaluate with early exit and the warm memo, recording no
-			// state (the sweep is a read-only what-if).
-			if s.M.EvalPair(pi, nil) {
-				matched.Set(pi)
-			}
-		}
-		out = append(out, SweepPoint{Threshold: thr, Matched: matched})
+		// Marks-only run on the configured engine with early exit and the
+		// warm memo, recording no state (the sweep is a read-only
+		// what-if). The batch engine scans each memo column once per
+		// block, so a warm sweep point is a handful of bitmap kernels.
+		out = append(out, SweepPoint{Threshold: thr, Matched: s.M.MatchBits()})
 	}
 	return out, nil
 }
@@ -102,13 +98,8 @@ func (s *Session) SweepThresholdParallel(ri, pj int, thresholds []float64, worke
 			p := &local.C.Rules[ri].Preds[pj]
 			for ti, thr := range thresholds {
 				p.Threshold = thr
-				bits := bitmap.New(rg.Len())
-				for pi := range local.Pairs {
-					if local.EvalPair(pi, nil) {
-						bits.Set(pi)
-					}
-				}
-				outs[i].bits[ti] = bits
+				// Marks-only run on the shard's engine over its range.
+				outs[i].bits[ti] = local.MatchBits()
 			}
 		}(i, rg)
 	}

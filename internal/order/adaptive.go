@@ -20,9 +20,13 @@ import (
 // with empirical α).
 //
 // Because the evaluation order varies across pairs, no MatchState is
-// materialized — adaptive matching is for batch runs; incremental
-// sessions need the fixed-order Match. Results are recorded against
-// stable rule indices, so the returned match marks equal Match's.
+// materialized — adaptive matching is for marks-only runs; incremental
+// sessions need the fixed-order MatchState. Results are recorded
+// against stable rule indices, so the returned match marks equal
+// Match's. This path deliberately stays on the scalar per-pair engine:
+// its re-ranking decisions are driven by per-pair memo history, the
+// granularity the columnar batch engine trades away (the batch engine
+// has its own per-block cache-first reorder in core).
 func MatchAdaptive(m *core.Matcher, model *costmodel.Model, every int) *bitmap.Bits {
 	n := len(m.Pairs)
 	matched := bitmap.New(n)

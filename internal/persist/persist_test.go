@@ -156,6 +156,63 @@ func TestSaveLoadParallelBuiltSession(t *testing.T) {
 	}
 }
 
+// TestSaveLoadEngineInvariant pins that the snapshot is independent of
+// the execution engine that built the session: a batch-built session
+// and a scalar-built session produce equal state, and a round-tripped
+// batch session replays cleanly on the scalar engine (and vice versa)
+// with a fully warm memo.
+func TestSaveLoadEngineInvariant(t *testing.T) {
+	build := func(e core.Engine) *incremental.Session {
+		a, b, pairs := buildTables(t)
+		f, err := rule.ParseFunction(sessionFunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Compile(f, sim.Standard(), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := incremental.NewSession(c, pairs)
+		s.M.Engine = e
+		s.RunFull()
+		return s
+	}
+	batch := build(core.EngineBatch)
+	scalar := build(core.EngineScalar)
+	if !batch.St.Equal(scalar.St) {
+		t.Fatal("batch-built and scalar-built session state differ")
+	}
+
+	a, b, _ := buildTables(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.St.Equal(scalar.St) {
+		t.Error("restored batch-built state differs from scalar-built state")
+	}
+	// Replay the restored snapshot on the opposite engine: the warm memo
+	// satisfies every lookup, so zero recomputes either way.
+	for _, e := range []core.Engine{core.EngineScalar, core.EngineBatch} {
+		got.M.Engine = e
+		before := got.M.Stats
+		got.RunFullWithMemo()
+		if computed := got.M.Stats.FeatureComputes - before.FeatureComputes; computed != 0 {
+			t.Errorf("engine %v: restored session recomputed %d features", e, computed)
+		}
+		if !got.St.Equal(scalar.St) {
+			t.Errorf("engine %v: replay changed state", e)
+		}
+	}
+	if err := got.VerifyDeep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSaveRequiresRun(t *testing.T) {
 	a, b, pairs := buildTables(t)
 	f, _ := rule.ParseFunction(sessionFunc)
