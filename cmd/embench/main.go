@@ -8,7 +8,7 @@
 //	embench -exp fig6 -trials 100
 //
 // Experiments: table2, table3, fig3a, fig3b, fig3c, fig4, fig5a,
-// fig5b, fig5c, fig6, replay, memory, ablations, all.
+// fig5b, fig5c, fig6, replay, memory, ablations, kernels, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|all)")
+		exp      = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|all)")
 		dataset  = flag.String("dataset", "products", "dataset domain for the figure experiments")
 		scale    = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
 		rules    = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
@@ -33,12 +33,15 @@ func main() {
 		maxK     = flag.Int("maxk", 0, "max rules for the Figure 5C growth (0 = all)")
 		parallel = flag.Int("parallel", 1, "worker goroutines for the Figure 5C session bootstrap (0 = GOMAXPROCS)")
 		batch    = flag.Bool("batch", true, "use the columnar batch execution engine for full runs (false = scalar pair-at-a-time)")
+		dictProf = flag.Bool("dictprofiles", true, "cache dictionary-encoded similarity profiles (false = map profiles)")
+		jsonOut  = flag.String("json", "", "write kernel benchmark results as JSON to this path (kernels experiment)")
 	)
 	flag.Parse()
 	if !*batch {
 		core.SetDefaultEngine(core.EngineScalar)
 	}
-	if err := run(*exp, *dataset, *scale, *rules, *draws, *trials, *maxK, *parallel); err != nil {
+	core.SetDefaultDictProfiles(*dictProf)
+	if err := run(*exp, *dataset, *scale, *rules, *draws, *trials, *maxK, *parallel, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "embench:", err)
 		os.Exit(1)
 	}
@@ -74,14 +77,33 @@ var knownExperiments = map[string]bool{
 	"fig3a": true, "fig3b": true, "fig3c": true, "fig4": true,
 	"fig5a": true, "fig5b": true, "fig5c": true,
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
+	"kernels": true,
 }
 
-func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int) error {
+func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int, jsonOut string) error {
 	exp = strings.ToLower(exp)
 	if !knownExperiments[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	out := os.Stdout
+
+	if exp == "kernels" || exp == "all" {
+		tbl, results := bench.AblationKernels()
+		tbl.Print(out)
+		if jsonOut != "" {
+			data, err := bench.KernelResultsJSON(results)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "kernel results written to %s\n\n", jsonOut)
+		}
+		if exp == "kernels" {
+			return nil
+		}
+	}
 
 	if exp == "table2" || exp == "all" {
 		tbl, err := bench.Table2(scale)

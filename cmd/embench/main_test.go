@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rulematch/internal/bench"
+)
 
 func TestRuleCounts(t *testing.T) {
 	cases := []struct {
@@ -41,11 +48,37 @@ func TestDomainByName(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("bogus", "products", 0.01, 0, 1, 1, 1, 1); err == nil {
+	if err := run("bogus", "products", 0.01, 0, 1, 1, 1, 1, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig3a", "nope", 0.01, 0, 1, 1, 1, 1); err == nil {
+	if err := run("fig3a", "nope", 0.01, 0, 1, 1, 1, 1, ""); err == nil {
 		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunKernelsWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs micro-benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	if err := run("kernels", "products", 0.01, 0, 1, 1, 1, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []bench.KernelResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("JSON artifact does not parse: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no kernel results recorded")
+	}
+	for _, r := range results {
+		if r.Kernel == "" || r.Variant == "" || r.NsPerOp <= 0 {
+			t.Errorf("malformed result %+v", r)
+		}
 	}
 }
 
@@ -53,7 +86,7 @@ func TestRunTable3Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generates a dataset")
 	}
-	if err := run("table3", "products", 0.01, 0, 1, 1, 1, 1); err != nil {
+	if err := run("table3", "products", 0.01, 0, 1, 1, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -62,7 +95,7 @@ func TestRunMemoryQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mines rules")
 	}
-	if err := run("memory", "books", 0.02, 5, 1, 1, 1, 1); err != nil {
+	if err := run("memory", "books", 0.02, 5, 1, 1, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,10 +104,10 @@ func TestRunFig4AndReplayQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mines rules")
 	}
-	if err := run("fig4", "books", 0.02, 5, 1, 5, 1, 1); err != nil {
+	if err := run("fig4", "books", 0.02, 5, 1, 5, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("replay", "books", 0.02, 8, 1, 5, 1, 1); err != nil {
+	if err := run("replay", "books", 0.02, 8, 1, 5, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }

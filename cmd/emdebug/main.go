@@ -29,11 +29,13 @@ func main() {
 		mined    = flag.Bool("mined", false, "start from the mined rule pool instead of the sample rules")
 		parallel = flag.Int("parallel", 1, "shard workers for full runs and sweeps (0 = GOMAXPROCS)")
 		batch    = flag.Bool("batch", true, "use the columnar batch execution engine for full runs and sweeps (false = scalar pair-at-a-time)")
+		dictProf = flag.Bool("dictprofiles", true, "cache dictionary-encoded similarity profiles (false = map profiles)")
 	)
 	flag.Parse()
 	if !*batch {
 		core.SetDefaultEngine(core.EngineScalar)
 	}
+	core.SetDefaultDictProfiles(*dictProf)
 	d := newDebugger(os.Stdout)
 	d.workers = *parallel
 	if d.workers < 1 {

@@ -44,6 +44,7 @@ type options struct {
 	parallel       int
 	valueCache     bool
 	profiles       bool
+	dictProfiles   bool
 	batch          bool
 	stats          bool
 }
@@ -63,6 +64,7 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines (0 = GOMAXPROCS); with -save the full state is materialized in parallel shards")
 	flag.BoolVar(&o.valueCache, "valuecache", false, "enable the attribute-value-level cache")
 	flag.BoolVar(&o.profiles, "profiles", true, "precompute per-record token profiles for set-based similarities")
+	flag.BoolVar(&o.dictProfiles, "dictprofiles", true, "dictionary-encode cached profiles (integer token IDs, merge-intersection kernels; false = map profiles)")
 	flag.BoolVar(&o.batch, "batch", true, "use the columnar batch execution engine (false = scalar pair-at-a-time)")
 	flag.BoolVar(&o.stats, "stats", false, "print work counters to stderr")
 	flag.Parse()
@@ -113,6 +115,7 @@ func run(o options, diag io.Writer) error {
 	if err != nil {
 		return err
 	}
+	c.SetDictProfiles(o.dictProfiles)
 	if o.profiles {
 		c.EnableProfileCache()
 	}

@@ -54,8 +54,11 @@ type Compiled struct {
 	featIdx map[string]int
 	corpora map[string]*sim.Corpus // keyed by attrA + "\x00" + attrB
 
-	profilesOn bool
-	profiles   []*featureProfiles // parallel to Features when enabled
+	profilesOn   bool
+	profiles     []*featureProfiles // parallel to Features when enabled
+	dictProfiles bool               // encode profiles against shared dictionaries
+	dicts        map[string]*sim.Dict
+	sharedSides  map[string]*[2][]any // encoded profile sets keyed by kind|colA|colB
 }
 
 // Compile binds a matching function to two tables using the similarity
@@ -66,11 +69,14 @@ func Compile(f rule.Function, lib *sim.Library, a, b *table.Table) (*Compiled, e
 		return nil, err
 	}
 	c := &Compiled{
-		A:       a,
-		B:       b,
-		Lib:     lib,
-		featIdx: make(map[string]int),
-		corpora: make(map[string]*sim.Corpus),
+		A:            a,
+		B:            b,
+		Lib:          lib,
+		featIdx:      make(map[string]int),
+		corpora:      make(map[string]*sim.Corpus),
+		dictProfiles: DefaultDictProfiles(),
+		dicts:        make(map[string]*sim.Dict),
+		sharedSides:  make(map[string]*[2][]any),
 	}
 	for _, r := range f.Rules {
 		if err := c.AddRule(r); err != nil {

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"strconv"
+	"sync/atomic"
+
 	"rulematch/internal/sim"
 )
 
@@ -11,6 +14,24 @@ import (
 // of them. Profiles are built eagerly when the cache is enabled (and
 // for features bound afterwards), so matching — including MatchParallel
 // — only reads them.
+//
+// Similarities that additionally implement sim.DictProfiler are cached
+// in dictionary-encoded form when dictionary profiles are enabled (the
+// default): a per-column-pair token dictionary interns tokens to dense
+// uint32 IDs, and profiles become sorted integer slices compared by
+// merge intersection. Encoded and map profiles score bit-identically,
+// so toggling the representation never changes a match result.
+//
+// Two levels of sharing cut the build cost and footprint:
+//
+//   - Dictionaries are shared across features whose profiles draw from
+//     the same token space (sim.ProfileSpec.Space) over the same column
+//     pair — e.g. whitespace-tokenized Jaccard, Cosine and TF-IDF over
+//     name×name all use one dictionary.
+//   - Whole profile sets are shared across features with the same
+//     profile kind (sim.ProfileSpec.Kind) over the same column pair —
+//     e.g. Jaccard and Dice both cache one sorted-ID set per record,
+//     and TF-IDF and Soft TF-IDF share their weight vectors.
 
 // featureProfiles holds the cached per-record profiles of one bound
 // feature: [0] indexes table A records, [1] table B records. nil when
@@ -18,7 +39,30 @@ import (
 type featureProfiles struct {
 	fn   sim.Profiler
 	side [2][]any
+	// shareKey is non-empty for dictionary-encoded profiles; features
+	// with equal shareKey alias the same side slices, and ProfileBytes
+	// counts each shared set once.
+	shareKey string
+	// dict is the sealed dictionary the profiles are encoded against;
+	// nil for map profiles.
+	dict *sim.Dict
 }
+
+// dictProfilesDefault is what newly compiled functions use for their
+// dictionary-profile setting; atomic for the same reason as
+// defaultEngine (CLI toggles vs. racing workers).
+var dictProfilesDefault atomic.Bool
+
+func init() { dictProfilesDefault.Store(true) }
+
+// SetDefaultDictProfiles changes whether functions compiled afterwards
+// cache dictionary-encoded profiles (true) or map profiles (false).
+// CLIs call it once at startup for their -dictprofiles flags; library
+// code should prefer Compiled.SetDictProfiles.
+func SetDefaultDictProfiles(on bool) { dictProfilesDefault.Store(on) }
+
+// DefaultDictProfiles returns the current package default.
+func DefaultDictProfiles() bool { return dictProfilesDefault.Load() }
 
 // EnableProfileCache precomputes per-record profiles for every bound
 // feature whose similarity supports it. Features bound later (e.g. by
@@ -36,6 +80,28 @@ func (c *Compiled) EnableProfileCache() {
 // ProfileCacheEnabled reports whether profile caching is on.
 func (c *Compiled) ProfileCacheEnabled() bool { return c.profilesOn }
 
+// SetDictProfiles switches between dictionary-encoded and map profile
+// representations. If the profile cache is already built it is rebuilt
+// in the new representation; scores are bit-identical either way.
+func (c *Compiled) SetDictProfiles(on bool) {
+	if c.dictProfiles == on {
+		return
+	}
+	c.dictProfiles = on
+	if !c.profilesOn {
+		return
+	}
+	c.profiles = nil
+	c.dicts = make(map[string]*sim.Dict)
+	c.sharedSides = make(map[string]*[2][]any)
+	for fi := range c.Features {
+		c.buildProfiles(fi)
+	}
+}
+
+// DictProfilesEnabled reports whether profiles are dictionary-encoded.
+func (c *Compiled) DictProfilesEnabled() bool { return c.dictProfiles }
+
 // buildProfiles computes the profiles of feature fi for every record of
 // both tables, if its similarity supports profiling.
 func (c *Compiled) buildProfiles(fi int) {
@@ -45,6 +111,10 @@ func (c *Compiled) buildProfiles(fi int) {
 	f := &c.Features[fi]
 	pr, ok := f.Fn.(sim.Profiler)
 	if !ok {
+		return
+	}
+	if dp, ok := f.Fn.(sim.DictProfiler); ok && c.dictProfiles {
+		c.profiles[fi] = c.buildDictProfiles(f, dp)
 		return
 	}
 	fp := &featureProfiles{fn: pr}
@@ -59,9 +129,56 @@ func (c *Compiled) buildProfiles(fi int) {
 	c.profiles[fi] = fp
 }
 
-// ProfileMemoryBytes roughly estimates the profile cache footprint by
-// entry count (profiles are heterogeneous; this reports entries, not
-// bytes — callers wanting bytes should measure with runtime stats).
+// buildDictProfiles builds (or reuses) the dictionary-encoded profile
+// set of one feature. The dictionary is looked up by token space and
+// column pair; the profile set by profile kind and column pair.
+func (c *Compiled) buildDictProfiles(f *BoundFeature, dp sim.DictProfiler) *featureProfiles {
+	spec := dp.ProfileSpec()
+	colKey := strconv.Itoa(f.ColA) + "|" + strconv.Itoa(f.ColB)
+	fp := &featureProfiles{
+		fn:       dp,
+		shareKey: spec.Kind + "|" + colKey,
+		dict:     c.dictFor(spec.Space+"|"+colKey, dp, f.ColA, f.ColB),
+	}
+	if sides, ok := c.sharedSides[fp.shareKey]; ok {
+		fp.side = *sides
+		return fp
+	}
+	fp.side[0] = make([]any, c.A.Len())
+	for i := range c.A.Records {
+		fp.side[0][i] = dp.ProfileDict(c.A.Value(i, f.ColA), fp.dict)
+	}
+	fp.side[1] = make([]any, c.B.Len())
+	for j := range c.B.Records {
+		fp.side[1][j] = dp.ProfileDict(c.B.Value(j, f.ColB), fp.dict)
+	}
+	sides := fp.side
+	c.sharedSides[fp.shareKey] = &sides
+	return fp
+}
+
+// dictFor returns (building and sealing on first use) the shared
+// dictionary covering every token the profiler draws from the given
+// column pair. Rank-ordered IDs need the full universe before any
+// profile is encoded, so the builder sweeps both columns up front.
+func (c *Compiled) dictFor(key string, dp sim.DictProfiler, colA, colB int) *sim.Dict {
+	if d, ok := c.dicts[key]; ok {
+		return d
+	}
+	b := sim.NewDictBuilder()
+	for i := range c.A.Records {
+		b.Add(dp.DictTokens(c.A.Value(i, colA)))
+	}
+	for j := range c.B.Records {
+		b.Add(dp.DictTokens(c.B.Value(j, colB)))
+	}
+	d := b.Build()
+	c.dicts[key] = d
+	return d
+}
+
+// ProfileEntries returns the number of cached per-record profile
+// entries across all features (shared sets counted per feature).
 func (c *Compiled) ProfileEntries() int {
 	n := 0
 	for _, fp := range c.profiles {
@@ -70,4 +187,37 @@ func (c *Compiled) ProfileEntries() int {
 		}
 	}
 	return n
+}
+
+// ProfileBytes estimates the profile cache footprint in bytes:
+// per-record profiles (shared encoded sets counted once) plus the
+// sealed dictionaries (each counted once, however many features share
+// it).
+func (c *Compiled) ProfileBytes() int {
+	b := 0
+	seenSets := make(map[string]struct{})
+	seenDicts := make(map[*sim.Dict]struct{})
+	for _, fp := range c.profiles {
+		if fp == nil {
+			continue
+		}
+		if fp.dict != nil {
+			if _, ok := seenDicts[fp.dict]; !ok {
+				seenDicts[fp.dict] = struct{}{}
+				b += fp.dict.Bytes()
+			}
+		}
+		if fp.shareKey != "" {
+			if _, ok := seenSets[fp.shareKey]; ok {
+				continue
+			}
+			seenSets[fp.shareKey] = struct{}{}
+		}
+		for _, side := range fp.side {
+			for _, p := range side {
+				b += sim.ProfileBytes(p)
+			}
+		}
+	}
+	return b
 }

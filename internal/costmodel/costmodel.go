@@ -226,8 +226,15 @@ func (m *Model) Contribution(rPrime, r *core.CompiledRule, alpha []float64) floa
 		if delta <= 0 {
 			continue
 		}
+		// A memo hit saves cost(f) − δ, but dictionary-encoded kernels
+		// can be cheaper than a hash-memo probe; clamp at zero so a
+		// "negative saving" never makes rule ordering chase noise.
+		gain := m.featCost(p.Feat) - m.Est.Delta
+		if gain < 0 {
+			gain = 0
+		}
 		sel := m.PrefixSel(rPrime.Preds, j)
-		saved += sel * delta * (m.featCost(p.Feat) - m.Est.Delta)
+		saved += sel * delta * gain
 	}
 	return saved
 }

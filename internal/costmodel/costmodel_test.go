@@ -143,6 +143,22 @@ rule r3: levenshtein(y, y) >= 0.9`)
 	approx(t, "reduction(r1)", red, 9)
 }
 
+// With dictionary-encoded kernels a feature compute can be cheaper
+// than a memo probe (cost < δ); the saving must clamp at zero rather
+// than go negative and penalize rules that share cheap features.
+func TestContributionClampsCheapFeatures(t *testing.T) {
+	c := compileSrc(t, `rule r1: jaro(x, x) >= 0.5
+rule r2: jaro(x, x) >= 0.1`)
+	m := New(c, est(20)) // δ far above every feature cost
+	alpha := make([]float64, len(c.Features))
+	if got := m.Contribution(&c.Rules[1], &c.Rules[0], alpha); got != 0 {
+		t.Errorf("contribution with cost < δ = %v, want 0", got)
+	}
+	if got := m.Reduction(&c.Rules[0], []*core.CompiledRule{&c.Rules[0], &c.Rules[1]}, alpha); got < 0 {
+		t.Errorf("reduction went negative: %v", got)
+	}
+}
+
 func TestContributionShrinksWithExistingCache(t *testing.T) {
 	c := compileSrc(t, `rule r1: jaro(x, x) >= 0.5
 rule r2: jaro(x, x) >= 0.1`)

@@ -213,6 +213,68 @@ func TestSaveLoadEngineInvariant(t *testing.T) {
 	}
 }
 
+// TestSaveLoadProfileModeInvariant pins that the snapshot is also
+// independent of the profile representation that built the session:
+// profile-less, map-profile and dictionary-encoded runs produce
+// byte-identical snapshots, and a restored snapshot replays with a
+// fully warm memo — zero recomputes — under either profile mode.
+func TestSaveLoadProfileModeInvariant(t *testing.T) {
+	build := func(profiles, dict bool) (*incremental.Session, []byte) {
+		a, b, pairs := buildTables(t)
+		f, err := rule.ParseFunction(sessionFunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Compile(f, sim.Standard(), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetDictProfiles(dict)
+		if profiles {
+			c.EnableProfileCache()
+		}
+		s := incremental.NewSession(c, pairs)
+		s.RunFull()
+		var buf bytes.Buffer
+		if err := Save(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		return s, buf.Bytes()
+	}
+	plain, plainBytes := build(false, false)
+	_, mapBytes := build(true, false)
+	_, dictBytes := build(true, true)
+	if !bytes.Equal(plainBytes, mapBytes) {
+		t.Error("map-profile snapshot differs from profile-less snapshot")
+	}
+	if !bytes.Equal(plainBytes, dictBytes) {
+		t.Error("dictionary-profile snapshot differs from profile-less snapshot")
+	}
+
+	// Replay the dictionary-built snapshot under both profile modes: the
+	// warm memo satisfies every lookup, so nothing is recomputed.
+	for _, dict := range []bool{true, false} {
+		a, b, _ := buildTables(t)
+		got, err := Load(bytes.NewReader(dictBytes), sim.Standard(), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.M.C.SetDictProfiles(dict)
+		got.M.C.EnableProfileCache()
+		before := got.M.Stats
+		got.RunFullWithMemo()
+		if computed := got.M.Stats.FeatureComputes - before.FeatureComputes; computed != 0 {
+			t.Errorf("dict=%v: restored session recomputed %d features", dict, computed)
+		}
+		if !got.St.Equal(plain.St) {
+			t.Errorf("dict=%v: replay state differs", dict)
+		}
+		if err := got.VerifyDeep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestSaveRequiresRun(t *testing.T) {
 	a, b, pairs := buildTables(t)
 	f, _ := rule.ParseFunction(sessionFunc)

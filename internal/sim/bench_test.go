@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // Representative product-style inputs: short codes and medium titles.
 var benchInputs = []struct{ a, b string }{
@@ -52,4 +55,113 @@ func BenchmarkTokenizers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchDict builds a sealed dictionary over the benchmark inputs.
+func benchDict(f DictProfiler) *Dict {
+	db := NewDictBuilder()
+	for _, in := range benchInputs {
+		db.Add(f.DictTokens(in.a))
+		db.Add(f.DictTokens(in.b))
+	}
+	return db.Build()
+}
+
+// BenchmarkKernelsProfiles compares the map-profile kernels against
+// their dictionary-encoded counterparts on prebuilt profiles — the hot
+// loop of a profiled matching run. One -bench=Kernels regexp catches
+// the whole kernel family (CI runs it with -benchtime=1x as a smoke
+// test).
+func BenchmarkKernelsProfiles(b *testing.B) {
+	corpus := NewCorpus(nil)
+	for _, in := range benchInputs {
+		corpus.Add(in.a)
+		corpus.Add(in.b)
+	}
+	funcs := []DictProfiler{
+		Jaccard{Label: "jaccard"}, Dice{Label: "dice"}, Overlap{Label: "overlap"},
+		Cosine{Label: "cosine"}, Trigram{}, Soundex{},
+		TFIDF{Corpus: corpus}, SoftTFIDF{Corpus: corpus},
+	}
+	for _, f := range funcs {
+		d := benchDict(f)
+		var mapA, mapB, encA, encB []any
+		for _, in := range benchInputs {
+			mapA = append(mapA, f.Profile(in.a))
+			mapB = append(mapB, f.Profile(in.b))
+			encA = append(encA, f.ProfileDict(in.a, d))
+			encB = append(encB, f.ProfileDict(in.b, d))
+		}
+		b.Run(f.Name()+"/map", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.SimProfiles(mapA[i%len(mapA)], mapB[i%len(mapB)])
+			}
+		})
+		b.Run(f.Name()+"/encoded", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.SimProfiles(encA[i%len(encA)], encB[i%len(encB)])
+			}
+		})
+	}
+}
+
+// BenchmarkKernelsLevenshtein compares the rolling-row DP against the
+// bit-parallel Myers kernels across rune lengths (~25% substitutions).
+func BenchmarkKernelsLevenshtein(b *testing.B) {
+	pair := func(n int) (string, string) {
+		const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+		x := make([]rune, n)
+		y := make([]rune, n)
+		for i := 0; i < n; i++ {
+			x[i] = rune(alpha[(i*7)%len(alpha)])
+			if i%4 == 3 {
+				y[i] = rune(alpha[(i*11+5)%len(alpha)])
+			} else {
+				y[i] = x[i]
+			}
+		}
+		return string(x), string(y)
+	}
+	for _, n := range []int{8, 32, 64, 160} {
+		x, y := pair(n)
+		b.Run(fmt.Sprintf("dp/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				EditDistanceDP(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("myers/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				EditDistanceMyers(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelsSoftTFIDFMemo is the regression benchmark of the
+// Soft TF-IDF token-pair memo: repeated profile comparisons must hit
+// the dictionary's Jaro-Winkler cache instead of rescoring every token
+// pair (the memo-less map path is the baseline).
+func BenchmarkKernelsSoftTFIDFMemo(b *testing.B) {
+	corpus := NewCorpus(nil)
+	for _, in := range benchInputs {
+		corpus.Add(in.a)
+		corpus.Add(in.b)
+	}
+	f := SoftTFIDF{Corpus: corpus}
+	d := benchDict(f)
+	in := benchInputs[1]
+	pa, pb := f.ProfileDict(in.a, d), f.ProfileDict(in.b, d)
+	ma, mb := f.Profile(in.a), f.Profile(in.b)
+	b.Run("map-rescore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.SimProfiles(ma, mb)
+		}
+	})
+	b.Run("encoded-memo", func(b *testing.B) {
+		f.SimProfiles(pa, pb) // warm the pair memo
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.SimProfiles(pa, pb)
+		}
+	})
 }

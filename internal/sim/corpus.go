@@ -41,6 +41,10 @@ func (c *Corpus) AddAll(docs []string) {
 // Docs returns the number of documents added.
 func (c *Corpus) Docs() int { return c.docs }
 
+// Tokenizer returns the tokenizer the corpus (and the weight vectors
+// derived from it) uses.
+func (c *Corpus) Tokenizer() Tokenizer { return c.tok }
+
 // IDF returns the smoothed inverse document frequency
 // log(1 + N/(1+df(t))) of token t.
 func (c *Corpus) IDF(token string) float64 {

@@ -38,8 +38,59 @@ func (Levenshtein) Sim(a, b string) float64 {
 	return 1 - float64(d)/float64(maxInt(la, lb))
 }
 
-// levenshteinDistance computes edit distance with a rolling single-row DP.
+// myersMinPattern is the pattern length below which the rolling-row DP
+// beats Myers' scan (bitmask setup amortizes poorly on tiny strings).
+const myersMinPattern = 5
+
+// levenshteinDistance computes the exact edit distance, picking the
+// cheapest exact kernel by input shape: Myers' bit-parallel scan
+// (O(⌈m/64⌉·n) words) once the pattern is long enough to amortize its
+// setup, the rolling-row DP otherwise. Both are exact, so the choice
+// never changes a score.
 func levenshteinDistance(a, b []rune) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// b is the shorter string (the pattern).
+	switch {
+	case len(b) == 0:
+		return len(a)
+	case len(b) < myersMinPattern:
+		return levenshteinDP(a, b)
+	case len(b) <= 64:
+		return myersDistance64(b, a)
+	default:
+		return myersDistanceBlocks(b, a)
+	}
+}
+
+// EditDistanceDP computes the edit distance with the rolling-row DP
+// reference kernel, bypassing the Myers dispatch. Exported for
+// differential benchmarks; Levenshtein.Sim is the production path.
+func EditDistanceDP(a, b string) int { return levenshteinDP([]rune(a), []rune(b)) }
+
+// EditDistanceMyers computes the edit distance with the bit-parallel
+// Myers kernels regardless of the pattern-length cutover. Exported for
+// differential benchmarks; Levenshtein.Sim is the production path.
+func EditDistanceMyers(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	switch {
+	case len(rb) == 0:
+		return len(ra)
+	case len(rb) <= 64:
+		return myersDistance64(rb, ra)
+	default:
+		return myersDistanceBlocks(rb, ra)
+	}
+}
+
+// levenshteinDP computes edit distance with a rolling single-row DP.
+// It is the differential-test reference for the Myers kernels and the
+// fast path for very short strings.
+func levenshteinDP(a, b []rune) int {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
@@ -69,6 +120,129 @@ func levenshteinDistance(a, b []rune) int {
 		}
 	}
 	return row[len(b)]
+}
+
+// myersDistance64 is Myers' bit-parallel edit distance for patterns of
+// at most 64 runes: the DP column is two 64-bit delta vectors (Pv/Mv)
+// advanced with ~15 word operations per text rune. ASCII patterns use
+// a stack-allocated match-vector table; otherwise a rune map.
+func myersDistance64(pattern, text []rune) int {
+	m := len(pattern)
+	ascii := true
+	for _, r := range pattern {
+		if r >= 128 {
+			ascii = false
+			break
+		}
+	}
+	var asciiPeq [128]uint64
+	var peq map[rune]uint64
+	if ascii {
+		for i, r := range pattern {
+			asciiPeq[r] |= 1 << uint(i)
+		}
+	} else {
+		peq = make(map[rune]uint64, m)
+		for i, r := range pattern {
+			peq[r] |= 1 << uint(i)
+		}
+	}
+	pv, mv := ^uint64(0), uint64(0)
+	score := m
+	last := uint64(1) << uint(m-1)
+	for _, r := range text {
+		var eq uint64
+		if ascii {
+			if r < 128 {
+				eq = asciiPeq[r]
+			}
+		} else {
+			eq = peq[r]
+		}
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		} else if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+	}
+	return score
+}
+
+// myersDistanceBlocks is the blocked (multi-word) Myers kernel for
+// patterns longer than 64 runes: ⌈m/64⌉ Pv/Mv word pairs per column,
+// with the horizontal delta carried block to block (Hyyrö's
+// formulation). The score is tracked at the pattern's last row, whose
+// bit lives in the top block; bits above it start as +1 vertical
+// deltas and never match, so they cannot influence rows at or below
+// the last.
+func myersDistanceBlocks(pattern, text []rune) int {
+	m := len(pattern)
+	words := (m + 63) / 64
+	peq := make(map[rune][]uint64, minInt(m, 64))
+	for i, r := range pattern {
+		pe := peq[r]
+		if pe == nil {
+			pe = make([]uint64, words)
+			peq[r] = pe
+		}
+		pe[i/64] |= 1 << uint(i%64)
+	}
+	pv := make([]uint64, words)
+	mv := make([]uint64, words)
+	for k := range pv {
+		pv[k] = ^uint64(0)
+	}
+	score := m
+	lastBit := uint64(1) << uint((m-1)%64)
+	zero := make([]uint64, words)
+	for _, r := range text {
+		eqs := peq[r]
+		if eqs == nil {
+			eqs = zero
+		}
+		hin := 1 // the DP's first row increases left to right
+		for k := 0; k < words; k++ {
+			eq := eqs[k]
+			pvk, mvk := pv[k], mv[k]
+			xv := eq | mvk
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pvk) + pvk) ^ pvk) | eq
+			ph := mvk | ^(xh | pvk)
+			mh := pvk & xh
+			hb := uint64(1) << 63
+			if k == words-1 {
+				hb = lastBit
+			}
+			hout := 0
+			if ph&hb != 0 {
+				hout = 1
+			} else if mh&hb != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin > 0 {
+				ph |= 1
+			} else if hin < 0 {
+				mh |= 1
+			}
+			pv[k] = mh | ^(xv | ph)
+			mv[k] = ph & xv
+			hin = hout
+		}
+		score += hin
+	}
+	return score
 }
 
 // Jaro is the Jaro string similarity.

@@ -52,6 +52,82 @@ func TestLevenshteinDistanceSymmetric(t *testing.T) {
 	}
 }
 
+// TestQuickMyersEqualsDP is the differential property test of the
+// bit-parallel kernels: for arbitrary unicode strings, both Myers
+// variants must agree with the rolling-row DP reference exactly.
+func TestQuickMyersEqualsDP(t *testing.T) {
+	prop := func(a, b string) bool {
+		ra, rb := []rune(a), []rune(b)
+		want := levenshteinDP(ra, rb)
+		if got := levenshteinDistance(ra, rb); got != want {
+			t.Logf("dispatch(%q,%q) = %d, want %d", a, b, got, want)
+			return false
+		}
+		// Force both kernels regardless of the dispatch cutovers, with
+		// the shorter string as the pattern.
+		p, tx := ra, rb
+		if len(p) > len(tx) {
+			p, tx = tx, p
+		}
+		if len(p) == 0 {
+			return true
+		}
+		if len(p) <= 64 {
+			if got := myersDistance64(p, tx); got != want {
+				t.Logf("myers64(%q,%q) = %d, want %d", a, b, got, want)
+				return false
+			}
+		}
+		if got := myersDistanceBlocks(p, tx); got != want {
+			t.Logf("myersBlocks(%q,%q) = %d, want %d", a, b, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMyersBlockBoundaries pins the multi-word kernel at the 64-rune
+// word boundaries where carry propagation bugs live.
+func TestMyersBlockBoundaries(t *testing.T) {
+	rep := func(unit string, n int) []rune {
+		var r []rune
+		for len(r) < n {
+			r = append(r, []rune(unit)...)
+		}
+		return r[:n]
+	}
+	for _, n := range []int{1, 5, 63, 64, 65, 127, 128, 129, 200} {
+		for _, m := range []int{1, 5, 63, 64, 65, 130} {
+			a := rep("abcdefgh", n)
+			b := rep("abdcefhg", m)
+			want := levenshteinDP(a, b)
+			if got := levenshteinDistance(a, b); got != want {
+				t.Errorf("n=%d m=%d: got %d, want %d", n, m, got, want)
+			}
+			// Unicode with the same shape.
+			ua := rep("日本語東京χψω", n)
+			ub := rep("日本誤東χψζ", m)
+			want = levenshteinDP(ua, ub)
+			if got := levenshteinDistance(ua, ub); got != want {
+				t.Errorf("unicode n=%d m=%d: got %d, want %d", n, m, got, want)
+			}
+		}
+	}
+	// All-different and all-equal extremes.
+	if got := levenshteinDistance(rep("a", 100), rep("b", 100)); got != 100 {
+		t.Errorf("all-different: got %d, want 100", got)
+	}
+	if got := levenshteinDistance(rep("a", 100), rep("a", 100)); got != 0 {
+		t.Errorf("all-equal: got %d, want 0", got)
+	}
+	if got := levenshteinDistance(rep("a", 100), nil); got != 100 {
+		t.Errorf("vs empty: got %d, want 100", got)
+	}
+}
+
 func TestJaroKnownValues(t *testing.T) {
 	f := Jaro{}
 	cases := []struct {

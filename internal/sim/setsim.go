@@ -42,17 +42,24 @@ func jaccardSets(sa, sb map[string]struct{}) float64 {
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0
 	}
+	inter := intersectSets(sa, sb)
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// intersectSets returns |A ∩ B|, probing the larger map with the
+// smaller map's tokens.
+func intersectSets(sa, sb map[string]struct{}) int {
 	if len(sb) < len(sa) {
 		sa, sb = sb, sa
 	}
-	inter := 0
+	n := 0
 	for t := range sa {
 		if _, ok := sb[t]; ok {
-			inter++
+			n++
 		}
 	}
-	union := len(sa) + len(sb) - inter
-	return float64(inter) / float64(union)
+	return n
 }
 
 // Dice is 2|∩| / (|A|+|B|) over unique tokens.
@@ -86,15 +93,7 @@ func (d Dice) Sim(a, b string) float64 {
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0
 	}
-	if len(sb) < len(sa) {
-		sa, sb = sb, sa
-	}
-	inter := 0
-	for t := range sa {
-		if _, ok := sb[t]; ok {
-			inter++
-		}
-	}
+	inter := intersectSets(sa, sb)
 	return 2 * float64(inter) / float64(len(sa)+len(sb))
 }
 
@@ -129,17 +128,8 @@ func (o Overlap) Sim(a, b string) float64 {
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0
 	}
-	small, large := sa, sb
-	if len(large) < len(small) {
-		small, large = large, small
-	}
-	inter := 0
-	for t := range small {
-		if _, ok := large[t]; ok {
-			inter++
-		}
-	}
-	return float64(inter) / float64(len(small))
+	inter := intersectSets(sa, sb)
+	return float64(inter) / float64(minInt(len(sa), len(sb)))
 }
 
 // Cosine is the cosine similarity of raw token-count vectors.
