@@ -18,30 +18,28 @@ import (
 	"strings"
 
 	"rulematch/internal/bench"
-	"rulematch/internal/core"
+	"rulematch/internal/cliflags"
 	"rulematch/internal/datagen"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|all)")
-		dataset  = flag.String("dataset", "products", "dataset domain for the figure experiments")
-		scale    = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
-		rules    = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
-		draws    = flag.Int("draws", 3, "random rule-set draws per Figure 3 data point")
-		trials   = flag.Int("trials", 100, "random changes per Figure 6 change type")
-		maxK     = flag.Int("maxk", 0, "max rules for the Figure 5C growth (0 = all)")
-		parallel = flag.Int("parallel", 1, "worker goroutines for the Figure 5C session bootstrap (0 = GOMAXPROCS)")
-		batch    = flag.Bool("batch", true, "use the columnar batch execution engine for full runs (false = scalar pair-at-a-time)")
-		dictProf = flag.Bool("dictprofiles", true, "cache dictionary-encoded similarity profiles (false = map profiles)")
-		jsonOut  = flag.String("json", "", "write kernel benchmark results as JSON to this path (kernels experiment)")
+		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|all)")
+		dataset = flag.String("dataset", "products", "dataset domain for the figure experiments")
+		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
+		rules   = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
+		draws   = flag.Int("draws", 3, "random rule-set draws per Figure 3 data point")
+		trials  = flag.Int("trials", 100, "random changes per Figure 6 change type")
+		maxK    = flag.Int("maxk", 0, "max rules for the Figure 5C growth (0 = all)")
+		jsonOut = flag.String("json", "", "write kernel benchmark results as JSON to this path (kernels experiment)")
 	)
+	eng := cliflags.NewEngine()
+	eng.Register(flag.CommandLine)
 	flag.Parse()
-	if !*batch {
-		core.SetDefaultEngine(core.EngineScalar)
-	}
-	core.SetDefaultDictProfiles(*dictProf)
-	if err := run(*exp, *dataset, *scale, *rules, *draws, *trials, *maxK, *parallel, *jsonOut); err != nil {
+	// The bench harness builds its matchers internally; engine flags
+	// ride on the package defaults.
+	eng.ApplyPackageDefaults()
+	if err := run(*exp, *dataset, *scale, *rules, *draws, *trials, *maxK, eng.Parallel, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "embench:", err)
 		os.Exit(1)
 	}

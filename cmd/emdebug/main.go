@@ -17,30 +17,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"rulematch/internal/cliflags"
 	"rulematch/internal/core"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "", "dataset to load on startup")
-		scale    = flag.Float64("scale", 0.02, "scale for -dataset")
-		mined    = flag.Bool("mined", false, "start from the mined rule pool instead of the sample rules")
-		parallel = flag.Int("parallel", 1, "shard workers for full runs and sweeps (0 = GOMAXPROCS)")
-		batch    = flag.Bool("batch", true, "use the columnar batch execution engine for full runs and sweeps (false = scalar pair-at-a-time)")
-		dictProf = flag.Bool("dictprofiles", true, "cache dictionary-encoded similarity profiles (false = map profiles)")
+		dataset = flag.String("dataset", "", "dataset to load on startup")
+		scale   = flag.Float64("scale", 0.02, "scale for -dataset")
+		mined   = flag.Bool("mined", false, "start from the mined rule pool instead of the sample rules")
 	)
+	eng := cliflags.NewEngine()
+	eng.Register(flag.CommandLine)
 	flag.Parse()
-	if !*batch {
-		core.SetDefaultEngine(core.EngineScalar)
-	}
-	core.SetDefaultDictProfiles(*dictProf)
+	// The debugger's loaders construct sessions internally, so the
+	// engine selection rides on the package defaults.
+	eng.ApplyPackageDefaults()
 	d := newDebugger(os.Stdout)
-	d.workers = *parallel
-	if d.workers < 1 {
-		d.workers = runtime.GOMAXPROCS(0)
-	}
+	d.workers = core.NormalizeWorkers(eng.Parallel)
 	if *dataset != "" {
 		if err := d.load(*dataset, *scale, *mined); err != nil {
 			fmt.Fprintln(os.Stderr, "emdebug:", err)

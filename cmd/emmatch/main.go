@@ -1,7 +1,8 @@
 // Command emmatch runs rule-based entity matching end to end from
 // files: two CSV tables, a DSL rule file, a blocking attribute — and
 // writes the matched pairs as CSV. It is the batch (non-interactive)
-// entry point; use emdebug for the interactive loop.
+// entry point; use emdebug for the interactive loop and emserve for
+// the HTTP debug service.
 //
 // Usage:
 //
@@ -18,55 +19,35 @@ import (
 	"time"
 
 	"rulematch/internal/bitmap"
-	"rulematch/internal/block"
+	"rulematch/internal/cliflags"
 	"rulematch/internal/core"
-	"rulematch/internal/costmodel"
-	"rulematch/internal/estimate"
 	"rulematch/internal/incremental"
-	"rulematch/internal/order"
 	"rulematch/internal/persist"
 	"rulematch/internal/quality"
-	"rulematch/internal/rule"
 	"rulematch/internal/sim"
-	"rulematch/internal/table"
 )
 
+// options groups the shared flag blocks (cliflags) with the flags only
+// emmatch has: output path, snapshot path, stats.
 type options struct {
-	tableA, tableB string
-	rulesFile      string
-	blockAttr      string
-	blockTokens    string // token-overlap blocking attribute (alternative)
-	goldFile       string
-	outFile        string
-	saveFile       string
-	ordering       string
-	sampleFrac     float64
-	parallel       int
-	valueCache     bool
-	profiles       bool
-	dictProfiles   bool
-	batch          bool
-	stats          bool
+	data cliflags.Data
+	eng  cliflags.Engine
+	ord  cliflags.Ordering
+	out  string
+	save string
+	stat bool
 }
 
 func main() {
-	var o options
-	flag.StringVar(&o.tableA, "a", "", "table A CSV (first column = id)")
-	flag.StringVar(&o.tableB, "b", "", "table B CSV (first column = id)")
-	flag.StringVar(&o.rulesFile, "rules", "", "matching rules in DSL form")
-	flag.StringVar(&o.blockAttr, "block", "", "attribute-equivalence blocking attribute")
-	flag.StringVar(&o.blockTokens, "blocktokens", "", "token-overlap blocking attribute (alternative to -block)")
-	flag.StringVar(&o.goldFile, "gold", "", "optional gold labels CSV (idA,idB header) for quality metrics")
-	flag.StringVar(&o.outFile, "out", "-", "output CSV of matched id pairs ('-' = stdout)")
-	flag.StringVar(&o.saveFile, "save", "", "snapshot the materialized session to this file for emdebug")
-	flag.StringVar(&o.ordering, "order", "alg6", "rule ordering: none|random|theorem1|alg5|alg6|conditional")
-	flag.Float64Var(&o.sampleFrac, "sample", estimate.DefaultFraction, "estimation sample fraction for ordering")
-	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines (0 = GOMAXPROCS); with -save the full state is materialized in parallel shards")
-	flag.BoolVar(&o.valueCache, "valuecache", false, "enable the attribute-value-level cache")
-	flag.BoolVar(&o.profiles, "profiles", true, "precompute per-record token profiles for set-based similarities")
-	flag.BoolVar(&o.dictProfiles, "dictprofiles", true, "dictionary-encode cached profiles (integer token IDs, merge-intersection kernels; false = map profiles)")
-	flag.BoolVar(&o.batch, "batch", true, "use the columnar batch execution engine (false = scalar pair-at-a-time)")
-	flag.BoolVar(&o.stats, "stats", false, "print work counters to stderr")
+	o := options{eng: *cliflags.NewEngine(), ord: *cliflags.NewOrdering(), out: "-"}
+	fs := flag.CommandLine
+	o.data.Register(fs)
+	o.eng.Register(fs)
+	o.eng.RegisterCaches(fs)
+	o.ord.Register(fs)
+	fs.StringVar(&o.out, "out", o.out, "output CSV of matched id pairs ('-' = stdout)")
+	fs.StringVar(&o.save, "save", "", "snapshot the materialized session to this file for emdebug/emserve")
+	fs.BoolVar(&o.stat, "stats", false, "print work counters to stderr")
 	flag.Parse()
 	if err := run(o, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "emmatch:", err)
@@ -75,104 +56,46 @@ func main() {
 }
 
 func run(o options, diag io.Writer) error {
-	if o.tableA == "" || o.tableB == "" || o.rulesFile == "" {
-		return fmt.Errorf("-a, -b and -rules are required")
-	}
-	if (o.blockAttr == "") == (o.blockTokens == "") {
-		return fmt.Errorf("exactly one of -block or -blocktokens is required")
-	}
-	a, err := table.ReadCSVFile(o.tableA, "A")
-	if err != nil {
-		return fmt.Errorf("read table A: %w", err)
-	}
-	b, err := table.ReadCSVFile(o.tableB, "B")
-	if err != nil {
-		return fmt.Errorf("read table B: %w", err)
-	}
-	src, err := os.ReadFile(o.rulesFile)
+	in, err := o.data.Load()
 	if err != nil {
 		return err
 	}
-	f, err := rule.ParseFunction(string(src))
-	if err != nil {
-		return fmt.Errorf("parse rules: %w", err)
-	}
-
-	var blocker block.Blocker
-	if o.blockAttr != "" {
-		blocker = block.AttrEquivalence{Attr: o.blockAttr}
-	} else {
-		blocker = block.TokenOverlap{Attr: o.blockTokens, MinShared: 1, MaxTokenFreq: b.Len() / 10}
-	}
-	start := time.Now()
-	pairs, err := blocker.Pairs(a, b)
+	c, err := core.Compile(in.Function, sim.Standard(), in.A, in.B)
 	if err != nil {
 		return err
 	}
-	blockTime := time.Since(start)
-
-	c, err := core.Compile(f, sim.Standard(), a, b)
+	cfg := o.eng.Config()
+	// Profile representation is set before ordering so estimation
+	// samples run on the same profiles matching will.
+	c.SetDictProfiles(cfg.DictProfiles)
+	c.SetProfileCache(cfg.ProfileCache)
+	orderTime, err := o.ord.Apply(c, in.Pairs)
 	if err != nil {
 		return err
 	}
-	c.SetDictProfiles(o.dictProfiles)
-	if o.profiles {
-		c.EnableProfileCache()
-	}
 
-	start = time.Now()
-	if o.ordering != "none" {
-		est := estimate.New(c, pairs, o.sampleFrac, 1)
-		model := costmodel.New(c, est)
-		switch o.ordering {
-		case "random":
-			order.Shuffle(c, 1)
-		case "theorem1":
-			order.PredicatesLemma3(c, model)
-			order.RulesTheorem1(c, model)
-		case "alg5":
-			order.GreedyCost(c, model)
-		case "alg6":
-			order.GreedyReduction(c, model)
-		case "conditional":
-			order.GreedyConditional(c, model)
-		default:
-			return fmt.Errorf("unknown ordering %q", o.ordering)
-		}
-	}
-	orderTime := time.Since(start)
-
-	engine := core.EngineBatch
-	if !o.batch {
-		engine = core.EngineScalar
-	}
 	var (
 		m       *core.Matcher
 		matched *bitmap.Bits
 		sess    *incremental.Session
 	)
-	start = time.Now()
-	if o.saveFile != "" {
+	start := time.Now()
+	if o.save != "" {
 		// The snapshot path materializes the full incremental state
-		// (sharded across workers when -parallel != 1) so emdebug can
-		// resume from a warm session.
-		sess = incremental.NewSession(c, pairs)
-		sess.M.ValueCache = o.valueCache
-		sess.M.Engine = engine
-		if o.parallel != 1 {
-			sess.RunFullParallel(o.parallel)
+		// (sharded across workers when -parallel != 1) so emdebug and
+		// emserve can resume from a warm session.
+		sess = incremental.NewSessionConfig(c, in.Pairs, cfg)
+		if o.eng.Parallel != 1 {
+			sess.RunFullParallel(o.eng.Parallel)
 		} else {
 			sess.RunFull()
 		}
 		m = sess.M
 		matched = sess.St.Matched
 	} else {
-		m = core.NewMatcher(c, pairs)
-		m.CheckCacheFirst = true
-		m.ValueCache = o.valueCache
-		m.Engine = engine
-		if o.parallel != 1 {
-			matched = m.MatchParallel(o.parallel)
+		m = cfg.NewMatcher(c, in.Pairs)
+		if o.eng.Parallel != 1 {
+			matched = m.MatchParallel(o.eng.Parallel)
 		} else {
 			// Marks-only run: the output needs the match set, not the
 			// materialized per-predicate state.
@@ -181,14 +104,14 @@ func run(o options, diag io.Writer) error {
 	}
 	matchTime := time.Since(start)
 	if sess != nil {
-		if err := persist.SaveFile(o.saveFile, sess); err != nil {
+		if err := persist.SaveFile(o.save, sess); err != nil {
 			return fmt.Errorf("save session: %w", err)
 		}
 	}
 
 	out := os.Stdout
-	if o.outFile != "-" {
-		file, err := os.Create(o.outFile)
+	if o.out != "-" {
+		file, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -200,12 +123,12 @@ func run(o options, diag io.Writer) error {
 		return err
 	}
 	count := 0
-	for pi, p := range pairs {
+	for pi, p := range in.Pairs {
 		if !matched.Get(pi) {
 			continue
 		}
 		count++
-		if err := w.Write([]string{a.Records[p.A].ID, b.Records[p.B].ID}); err != nil {
+		if err := w.Write([]string{in.A.Records[p.A].ID, in.B.Records[p.B].ID}); err != nil {
 			return err
 		}
 	}
@@ -214,54 +137,23 @@ func run(o options, diag io.Writer) error {
 		return err
 	}
 
-	if o.stats {
-		fmt.Fprintf(diag, "blocking: %d candidate pairs in %v (%s)\n", len(pairs), blockTime.Round(time.Millisecond), blocker.Name())
-		fmt.Fprintf(diag, "ordering (%s): %v\n", o.ordering, orderTime.Round(time.Millisecond))
+	if o.stat {
+		fmt.Fprintf(diag, "blocking: %d candidate pairs in %v (%s)\n", len(in.Pairs), in.BlockTime.Round(time.Millisecond), in.Blocker.Name())
+		fmt.Fprintf(diag, "ordering (%s): %v\n", o.ord.Order, orderTime.Round(time.Millisecond))
 		fmt.Fprintf(diag, "matching: %d matches in %v\n", count, matchTime.Round(time.Millisecond))
 		fmt.Fprintf(diag, "work: %d feature computes, %d memo hits, %d value-cache hits, %d predicate evals\n",
 			m.Stats.FeatureComputes, m.Stats.MemoHits, m.Stats.ValueCacheHits, m.Stats.PredEvals)
 		if sess != nil {
 			memo, bitmaps := sess.MemoryBytes()
 			fmt.Fprintf(diag, "session: %s snapshot saved to %s (%d memo bytes, %d bitmap bytes)\n",
-				sess.LastOp.Op, o.saveFile, memo, bitmaps)
+				sess.LastOp.Op, o.save, memo, bitmaps)
 		}
 	}
-	if o.goldFile != "" {
-		gold, err := readGold(o.goldFile, a, b)
-		if err != nil {
-			return err
-		}
-		rep := quality.Evaluate(pairs, matched, gold, nil)
+	if in.Gold != nil {
+		rep := quality.Evaluate(in.Pairs, matched, in.Gold, nil)
 		fmt.Fprintf(diag, "quality vs %s: precision %.3f, recall %.3f, F1 %.3f (TP %d, FP %d, FN %d)\n",
-			o.goldFile, rep.Precision(), rep.Recall(), rep.F1(),
+			o.data.GoldFile, rep.Precision(), rep.Recall(), rep.F1(),
 			rep.TruePositives, rep.FalsePositives, rep.FalseNegatives)
 	}
 	return nil
-}
-
-// readGold parses a gold labels CSV ("idA,idB" header) into pair keys
-// over record indices.
-func readGold(path string, a, b *table.Table) (map[uint64]bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	rows, err := csv.NewReader(f).ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	gold := make(map[uint64]bool)
-	for i, row := range rows {
-		if i == 0 || len(row) != 2 {
-			continue
-		}
-		ai, okA := a.RecordByID(row[0])
-		bi, okB := b.RecordByID(row[1])
-		if !okA || !okB {
-			return nil, fmt.Errorf("gold line %d references unknown record (%s, %s)", i+1, row[0], row[1])
-		}
-		gold[table.Pair{A: int32(ai), B: int32(bi)}.PairKey()] = true
-	}
-	return gold, nil
 }

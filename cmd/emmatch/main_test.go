@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"rulematch/internal/cliflags"
 	"rulematch/internal/sim"
 	"rulematch/internal/table"
 
@@ -37,25 +38,31 @@ func writeInputs(t *testing.T) (dir string) {
 	return dir
 }
 
+// baseOptions mirrors what main() builds before flag parsing: shared
+// defaults from cliflags, pointed at the temp-dir inputs.
+func baseOptions(dir string) options {
+	return options{
+		data: cliflags.Data{
+			TableA:    filepath.Join(dir, "a.csv"),
+			TableB:    filepath.Join(dir, "b.csv"),
+			RulesFile: filepath.Join(dir, "rules.dsl"),
+			BlockAttr: "cat",
+		},
+		eng: *cliflags.NewEngine(),
+		ord: cliflags.Ordering{Order: "alg6", SampleFrac: 0.5},
+		out: filepath.Join(dir, "matches.csv"),
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := writeInputs(t)
-	outPath := filepath.Join(dir, "matches.csv")
+	o := baseOptions(dir)
+	o.stat = true
 	var diag strings.Builder
-	err := run(options{
-		tableA:     filepath.Join(dir, "a.csv"),
-		tableB:     filepath.Join(dir, "b.csv"),
-		rulesFile:  filepath.Join(dir, "rules.dsl"),
-		blockAttr:  "cat",
-		outFile:    outPath,
-		ordering:   "alg6",
-		sampleFrac: 0.5,
-		parallel:   1,
-		stats:      true,
-	}, &diag)
-	if err != nil {
+	if err := run(o, &diag); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(outPath)
+	data, err := os.ReadFile(o.out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,24 +84,27 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunOrderingsAndParallelAgree(t *testing.T) {
 	dir := writeInputs(t)
 	var outputs []string
-	for _, cfg := range []options{
-		{ordering: "none", parallel: 1},
-		{ordering: "random", parallel: 1},
-		{ordering: "theorem1", parallel: 1},
-		{ordering: "alg5", parallel: 1},
-		{ordering: "alg6", parallel: 2, valueCache: true},
+	for _, tc := range []struct {
+		order      string
+		parallel   int
+		valueCache bool
+	}{
+		{"none", 1, false},
+		{"random", 1, false},
+		{"theorem1", 1, false},
+		{"alg5", 1, false},
+		{"alg6", 2, true},
 	} {
-		cfg.tableA = filepath.Join(dir, "a.csv")
-		cfg.tableB = filepath.Join(dir, "b.csv")
-		cfg.rulesFile = filepath.Join(dir, "rules.dsl")
-		cfg.blockAttr = "cat"
-		cfg.outFile = filepath.Join(dir, "out_"+cfg.ordering+".csv")
-		cfg.sampleFrac = 0.5
+		o := baseOptions(dir)
+		o.ord.Order = tc.order
+		o.eng.Parallel = tc.parallel
+		o.eng.ValueCache = tc.valueCache
+		o.out = filepath.Join(dir, "out_"+tc.order+".csv")
 		var diag strings.Builder
-		if err := run(cfg, &diag); err != nil {
-			t.Fatalf("%s: %v", cfg.ordering, err)
+		if err := run(o, &diag); err != nil {
+			t.Fatalf("%s: %v", tc.order, err)
 		}
-		data, err := os.ReadFile(cfg.outFile)
+		data, err := os.ReadFile(o.out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,25 +122,15 @@ func TestRunOrderingsAndParallelAgree(t *testing.T) {
 // plain batch path.
 func TestRunSaveSessionParallel(t *testing.T) {
 	dir := writeInputs(t)
-	snapPath := filepath.Join(dir, "session.gob")
-	outPath := filepath.Join(dir, "m.csv")
+	o := baseOptions(dir)
+	o.save = filepath.Join(dir, "session.gob")
+	o.eng.Parallel = 3
+	o.stat = true
 	var diag strings.Builder
-	err := run(options{
-		tableA:     filepath.Join(dir, "a.csv"),
-		tableB:     filepath.Join(dir, "b.csv"),
-		rulesFile:  filepath.Join(dir, "rules.dsl"),
-		blockAttr:  "cat",
-		outFile:    outPath,
-		saveFile:   snapPath,
-		ordering:   "alg6",
-		sampleFrac: 0.5,
-		parallel:   3,
-		stats:      true,
-	}, &diag)
-	if err != nil {
+	if err := run(o, &diag); err != nil {
 		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(outPath)
+	data, _ := os.ReadFile(o.out)
 	if !strings.Contains(string(data), "a0,b0") || !strings.Contains(string(data), "a2,b2") {
 		t.Errorf("matches missing from -save run:\n%s", data)
 	}
@@ -146,7 +146,7 @@ func TestRunSaveSessionParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := persist.LoadFile(snapPath, sim.Standard(), a, b)
+	sess, err := persist.LoadFile(o.save, sim.Standard(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,21 +160,16 @@ func TestRunSaveSessionParallel(t *testing.T) {
 
 func TestRunTokenBlocking(t *testing.T) {
 	dir := writeInputs(t)
-	outPath := filepath.Join(dir, "m.csv")
+	o := baseOptions(dir)
+	o.data.BlockAttr = ""
+	o.data.BlockTokens = "name"
+	o.ord.Order = "none"
+	o.out = filepath.Join(dir, "m.csv")
 	var diag strings.Builder
-	err := run(options{
-		tableA:      filepath.Join(dir, "a.csv"),
-		tableB:      filepath.Join(dir, "b.csv"),
-		rulesFile:   filepath.Join(dir, "rules.dsl"),
-		blockTokens: "name",
-		outFile:     outPath,
-		ordering:    "none",
-		parallel:    1,
-	}, &diag)
-	if err != nil {
+	if err := run(o, &diag); err != nil {
 		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(outPath)
+	data, _ := os.ReadFile(o.out)
 	if !strings.Contains(string(data), "a0,b0") {
 		t.Errorf("token blocking lost the richardson match:\n%s", data)
 	}
@@ -182,25 +177,17 @@ func TestRunTokenBlocking(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	dir := writeInputs(t)
-	base := options{
-		tableA:    filepath.Join(dir, "a.csv"),
-		tableB:    filepath.Join(dir, "b.csv"),
-		rulesFile: filepath.Join(dir, "rules.dsl"),
-		outFile:   filepath.Join(dir, "o.csv"),
-		ordering:  "alg6",
-		parallel:  1,
-	}
 	var diag strings.Builder
 	cases := []func(o options) options{
-		func(o options) options { o.tableA = ""; return o },
-		func(o options) options { o.blockAttr = ""; o.blockTokens = ""; return o },
-		func(o options) options { o.blockAttr = "cat"; o.blockTokens = "name"; return o },
-		func(o options) options { o.blockAttr = "nope"; return o },
-		func(o options) options { o.blockAttr = "cat"; o.ordering = "zorder"; return o },
-		func(o options) options { o.blockAttr = "cat"; o.rulesFile = dir + "/missing.dsl"; return o },
+		func(o options) options { o.data.TableA = ""; return o },
+		func(o options) options { o.data.BlockAttr = ""; return o },
+		func(o options) options { o.data.BlockTokens = "name"; return o },
+		func(o options) options { o.data.BlockAttr = "nope"; return o },
+		func(o options) options { o.ord.Order = "zorder"; return o },
+		func(o options) options { o.data.RulesFile = dir + "/missing.dsl"; return o },
 	}
 	for i, mutate := range cases {
-		if err := run(mutate(base), &diag); err == nil {
+		if err := run(mutate(baseOptions(dir)), &diag); err == nil {
 			t.Errorf("case %d: invalid options accepted", i)
 		}
 	}
@@ -213,18 +200,11 @@ func TestRunGoldQuality(t *testing.T) {
 	if err := os.WriteFile(goldPath, []byte(gold), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	o := baseOptions(dir)
+	o.data.GoldFile = goldPath
+	o.ord.Order = "conditional"
 	var diag strings.Builder
-	err := run(options{
-		tableA:    filepath.Join(dir, "a.csv"),
-		tableB:    filepath.Join(dir, "b.csv"),
-		rulesFile: filepath.Join(dir, "rules.dsl"),
-		blockAttr: "cat",
-		goldFile:  goldPath,
-		outFile:   filepath.Join(dir, "m.csv"),
-		ordering:  "conditional",
-		parallel:  1,
-	}, &diag)
-	if err != nil {
+	if err := run(o, &diag); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(diag.String(), "precision 1.000") {
@@ -234,17 +214,8 @@ func TestRunGoldQuality(t *testing.T) {
 	if err := os.WriteFile(goldPath, []byte("idA,idB\nzz,b0\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = run(options{
-		tableA:    filepath.Join(dir, "a.csv"),
-		tableB:    filepath.Join(dir, "b.csv"),
-		rulesFile: filepath.Join(dir, "rules.dsl"),
-		blockAttr: "cat",
-		goldFile:  goldPath,
-		outFile:   filepath.Join(dir, "m.csv"),
-		ordering:  "none",
-		parallel:  1,
-	}, &diag)
-	if err == nil {
+	o.ord.Order = "none"
+	if err := run(o, &diag); err == nil {
 		t.Error("bad gold file accepted")
 	}
 }

@@ -1,0 +1,69 @@
+// Command emserve hosts the interactive debugging service: named
+// incremental matching sessions behind an HTTP/JSON API, so a UI (or
+// curl) can drive the paper's analyst loop — edit a rule, see the
+// delta, sweep a threshold — against state the server keeps warm.
+//
+// Usage:
+//
+//	emserve -addr localhost:8080
+//	emserve -addr :9000 -parallel 0 -batch=false
+//
+// See docs/TUTORIAL.md for a curl walkthrough of the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rulematch/internal/cliflags"
+	"rulematch/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		maxBody  = flag.Int64("maxbody", server.DefaultMaxBodyBytes, "request body size cap in bytes")
+		drainFor = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	)
+	eng := cliflags.NewEngine()
+	eng.Register(flag.CommandLine)
+	eng.RegisterCaches(flag.CommandLine)
+	flag.Parse()
+
+	srv := server.New(eng.Config())
+	srv.MaxBodyBytes = *maxBody
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// On SIGINT/SIGTERM: refuse new work (503 except /healthz), then
+	// let in-flight edits and sweeps finish before exiting.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-sig
+		log.Printf("emserve: draining (%v budget)", *drainFor)
+		srv.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("emserve: shutdown: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("emserve: listening on http://%s (workers=%d)", *addr, eng.Parallel)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		os.Exit(1)
+	}
+	<-done
+	log.Printf("emserve: drained %d sessions, bye", srv.SessionCount())
+}

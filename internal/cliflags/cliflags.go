@@ -1,0 +1,239 @@
+// Package cliflags centralizes the flag surface shared by the
+// rulematch CLIs (emmatch, emdebug, embench, emserve). Engine knobs
+// bind straight to core.Config, data flags load tables, rules and
+// blocking, and ordering flags run the §5 optimizer — one definition,
+// so the four tools cannot drift in flag names, defaults or behavior.
+package cliflags
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rulematch/internal/block"
+	"rulematch/internal/core"
+	"rulematch/internal/costmodel"
+	"rulematch/internal/estimate"
+	"rulematch/internal/order"
+	"rulematch/internal/rule"
+	"rulematch/internal/table"
+)
+
+// Engine holds the shared engine flags. Construct with NewEngine (the
+// zero value has the wrong defaults), call Register — and
+// RegisterCaches for tools that expose the cache knobs — then Config
+// after flag parsing.
+type Engine struct {
+	Parallel     int
+	Batch        bool
+	DictProfiles bool
+	ValueCache   bool
+	Profiles     bool
+	BlockSize    int
+}
+
+// NewEngine returns the shared defaults: serial, batch engine,
+// dictionary-encoded profiles, profile cache on, value cache off.
+func NewEngine() *Engine {
+	return &Engine{Parallel: 1, Batch: true, DictProfiles: true, Profiles: true}
+}
+
+// Register binds the core engine trio every tool exposes: -parallel,
+// -batch, -dictprofiles.
+func (e *Engine) Register(fs *flag.FlagSet) {
+	fs.IntVar(&e.Parallel, "parallel", e.Parallel, "shard workers for full runs and sweeps (0 = GOMAXPROCS)")
+	fs.BoolVar(&e.Batch, "batch", e.Batch, "use the columnar batch execution engine (false = scalar pair-at-a-time)")
+	fs.BoolVar(&e.DictProfiles, "dictprofiles", e.DictProfiles, "cache dictionary-encoded similarity profiles (false = map profiles)")
+}
+
+// RegisterCaches binds the cache-level knobs (-valuecache, -profiles,
+// -blocksize) for the tools that expose them (emmatch, emserve).
+func (e *Engine) RegisterCaches(fs *flag.FlagSet) {
+	fs.BoolVar(&e.ValueCache, "valuecache", e.ValueCache, "enable the attribute-value-level cache")
+	fs.BoolVar(&e.Profiles, "profiles", e.Profiles, "precompute per-record token profiles for set-based similarities")
+	fs.IntVar(&e.BlockSize, "blocksize", e.BlockSize, "batch engine pairs-per-block (0 = default)")
+}
+
+// Config materializes the flags as a core.Config — the single value
+// handed to core.NewMatcher / incremental.NewSessionConfig / the debug
+// server. Check-cache-first is always on: it is the paper's
+// recommended configuration and what every CLI historically used.
+func (e *Engine) Config() core.Config {
+	cfg := core.DefaultConfig()
+	if e.Batch {
+		cfg.Engine = core.EngineBatch
+	} else {
+		cfg.Engine = core.EngineScalar
+	}
+	cfg.BlockSize = e.BlockSize
+	cfg.Workers = e.Parallel
+	cfg.CheckCacheFirst = true
+	cfg.ValueCache = e.ValueCache
+	cfg.DictProfiles = e.DictProfiles
+	cfg.ProfileCache = e.Profiles
+	return cfg
+}
+
+// ApplyPackageDefaults pushes the engine selection onto the core
+// package defaults, for tools (embench, emdebug) whose libraries
+// construct matchers internally rather than through a threaded Config.
+func (e *Engine) ApplyPackageDefaults() {
+	if e.Batch {
+		core.SetDefaultEngine(core.EngineBatch)
+	} else {
+		core.SetDefaultEngine(core.EngineScalar)
+	}
+	core.SetDefaultDictProfiles(e.DictProfiles)
+}
+
+// Data holds the shared input flags: tables, rules, blocking and
+// optional gold labels.
+type Data struct {
+	TableA, TableB string
+	RulesFile      string
+	BlockAttr      string
+	BlockTokens    string
+	GoldFile       string
+}
+
+// Register binds -a, -b, -rules, -block, -blocktokens and -gold.
+func (d *Data) Register(fs *flag.FlagSet) {
+	fs.StringVar(&d.TableA, "a", "", "table A CSV (first column = id)")
+	fs.StringVar(&d.TableB, "b", "", "table B CSV (first column = id)")
+	fs.StringVar(&d.RulesFile, "rules", "", "matching rules in DSL form")
+	fs.StringVar(&d.BlockAttr, "block", "", "attribute-equivalence blocking attribute")
+	fs.StringVar(&d.BlockTokens, "blocktokens", "", "token-overlap blocking attribute (alternative to -block)")
+	fs.StringVar(&d.GoldFile, "gold", "", "optional gold labels CSV (idA,idB header) for quality metrics")
+}
+
+// Inputs is a fully loaded matching task: tables, parsed function,
+// blocked candidate pairs, and (optionally) gold labels.
+type Inputs struct {
+	A, B     *table.Table
+	Function rule.Function
+	Blocker  block.Blocker
+	Pairs    []table.Pair
+	// Gold is nil when no -gold file was given.
+	Gold map[uint64]bool
+	// BlockTime is how long the blocking pass took.
+	BlockTime time.Duration
+}
+
+// Load validates the data flags and loads everything: tables, rules
+// and the blocked candidate pairs, plus gold labels when configured.
+func (d *Data) Load() (*Inputs, error) {
+	if d.TableA == "" || d.TableB == "" || d.RulesFile == "" {
+		return nil, fmt.Errorf("-a, -b and -rules are required")
+	}
+	if (d.BlockAttr == "") == (d.BlockTokens == "") {
+		return nil, fmt.Errorf("exactly one of -block or -blocktokens is required")
+	}
+	a, err := table.ReadCSVFile(d.TableA, "A")
+	if err != nil {
+		return nil, fmt.Errorf("read table A: %w", err)
+	}
+	b, err := table.ReadCSVFile(d.TableB, "B")
+	if err != nil {
+		return nil, fmt.Errorf("read table B: %w", err)
+	}
+	src, err := os.ReadFile(d.RulesFile)
+	if err != nil {
+		return nil, err
+	}
+	f, err := rule.ParseFunction(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("parse rules: %w", err)
+	}
+	var blocker block.Blocker
+	if d.BlockAttr != "" {
+		blocker = block.AttrEquivalence{Attr: d.BlockAttr}
+	} else {
+		blocker = block.TokenOverlap{Attr: d.BlockTokens, MinShared: 1, MaxTokenFreq: b.Len() / 10}
+	}
+	start := time.Now()
+	pairs, err := blocker.Pairs(a, b)
+	if err != nil {
+		return nil, err
+	}
+	in := &Inputs{A: a, B: b, Function: f, Blocker: blocker, Pairs: pairs, BlockTime: time.Since(start)}
+	if d.GoldFile != "" {
+		if in.Gold, err = ReadGold(d.GoldFile, a, b); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// Ordering holds the shared rule-ordering flags.
+type Ordering struct {
+	Order      string
+	SampleFrac float64
+}
+
+// NewOrdering returns the shared defaults (alg6, the default
+// estimation sample fraction).
+func NewOrdering() *Ordering {
+	return &Ordering{Order: "alg6", SampleFrac: estimate.DefaultFraction}
+}
+
+// Register binds -order and -sample.
+func (o *Ordering) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Order, "order", o.Order, "rule ordering: none|random|theorem1|alg5|alg6|conditional")
+	fs.Float64Var(&o.SampleFrac, "sample", o.SampleFrac, "estimation sample fraction for ordering")
+}
+
+// Apply runs the configured ordering optimizer over the compiled
+// function in place ("none" is a no-op) and reports how long it took.
+func (o *Ordering) Apply(c *core.Compiled, pairs []table.Pair) (time.Duration, error) {
+	if o.Order == "none" {
+		return 0, nil
+	}
+	start := time.Now()
+	est := estimate.New(c, pairs, o.SampleFrac, 1)
+	model := costmodel.New(c, est)
+	switch o.Order {
+	case "random":
+		order.Shuffle(c, 1)
+	case "theorem1":
+		order.PredicatesLemma3(c, model)
+		order.RulesTheorem1(c, model)
+	case "alg5":
+		order.GreedyCost(c, model)
+	case "alg6":
+		order.GreedyReduction(c, model)
+	case "conditional":
+		order.GreedyConditional(c, model)
+	default:
+		return 0, fmt.Errorf("unknown ordering %q", o.Order)
+	}
+	return time.Since(start), nil
+}
+
+// ReadGold parses a gold labels CSV ("idA,idB" header) into pair keys
+// over record indices — the format emgen writes and every tool reads.
+func ReadGold(path string, a, b *table.Table) (map[uint64]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	gold := make(map[uint64]bool)
+	for i, row := range rows {
+		if i == 0 || len(row) != 2 {
+			continue // header / ragged
+		}
+		ai, okA := a.RecordByID(row[0])
+		bi, okB := b.RecordByID(row[1])
+		if !okA || !okB {
+			return nil, fmt.Errorf("gold line %d references unknown record (%s, %s)", i+1, row[0], row[1])
+		}
+		gold[table.Pair{A: int32(ai), B: int32(bi)}.PairKey()] = true
+	}
+	return gold, nil
+}

@@ -58,6 +58,12 @@ type Matcher struct {
 	// block size; the knob trades cache residency against per-block
 	// bookkeeping.
 	BlockSize int
+	// Workers is the configured shard worker count that callers (the
+	// incremental session, the debug server) pass to the parallel
+	// paths. It is carried configuration, not a cap: the parallel
+	// methods take an explicit count and normalize it through
+	// NormalizeWorkers (<= 0 means GOMAXPROCS, 1 is serial).
+	Workers int
 	// Stats accumulates work counters across Match calls.
 	Stats Stats
 
@@ -76,9 +82,15 @@ type valueKey struct {
 }
 
 // NewMatcher creates a matcher with dynamic memoing enabled (array memo)
-// — the paper's recommended configuration.
-func NewMatcher(c *Compiled, pairs []table.Pair) *Matcher {
-	return &Matcher{C: c, Pairs: pairs, Memo: NewArrayMemo(len(pairs))}
+// — the paper's recommended configuration. Options refine the config
+// (see Config); with none, behavior is exactly the historical default
+// and the compiled function's profile settings are left untouched.
+func NewMatcher(c *Compiled, pairs []table.Pair, opts ...Option) *Matcher {
+	cfg := ConfigFor(c)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.NewMatcher(c, pairs)
 }
 
 // FeatureValue returns the value of feature fi for pair index pi, going

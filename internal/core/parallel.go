@@ -1,8 +1,9 @@
 package core
 
 import (
-	"runtime"
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"rulematch/internal/bitmap"
 	"rulematch/internal/sim"
@@ -26,6 +27,37 @@ func ShardRanges(n, workers int) []Range {
 	}
 	chunk := (n + workers - 1) / workers
 	ranges := make([]Range, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, Range{Lo: lo, Hi: hi})
+	}
+	return ranges
+}
+
+// ChunkRanges splits n pairs into contiguous work-queue chunks for the
+// cancellable parallel paths: several chunks per worker so cancellation
+// is prompt and stragglers rebalance, but no chunk smaller than a
+// floor (rounded up to bitmap words) so per-chunk bookkeeping — shard
+// state, overlay memo — stays negligible. Merged results are identical
+// to any other contiguous decomposition: stitches are offset-based and
+// per-pair work is deterministic.
+func ChunkRanges(n, workers int) []Range {
+	if n <= 0 || workers <= 0 {
+		return nil
+	}
+	const (
+		minChunk        = 1024
+		chunksPerWorker = 4
+	)
+	chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	chunk = (chunk + 63) &^ 63
+	ranges := make([]Range, 0, (n+chunk-1)/chunk)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -127,10 +159,11 @@ func (m *Matcher) ensureSharedValues() {
 }
 
 // MatchParallel evaluates the function over the pairs with early exit
-// and dynamic memoing across `workers` goroutines (0 = GOMAXPROCS),
-// returning only the match marks — the cheapest parallel path when the
-// materialized state is not needed (batch matching). Use
-// MatchStateParallel when the full incremental state should survive.
+// and dynamic memoing across `workers` goroutines (NormalizeWorkers
+// semantics: 0 = GOMAXPROCS), returning only the match marks — the
+// cheapest parallel path when the materialized state is not needed
+// (batch matching). Use MatchStateParallel when the full incremental
+// state should survive.
 //
 // The Compiled function must not be mutated during the call. The
 // matcher's Stats are incremented by the aggregate work of all
@@ -138,44 +171,83 @@ func (m *Matcher) ensureSharedValues() {
 // value store, so attribute values repeating across shards are still
 // computed only once.
 func (m *Matcher) MatchParallel(workers int) *bitmap.Bits {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	bits, _ := m.MatchParallelCtx(context.Background(), workers)
+	return bits
+}
+
+// MatchParallelCtx is MatchParallel under a context: shard workers
+// drain a queue of contiguous pair chunks (ChunkRanges) and check ctx
+// between chunks, so a cancelled request stops computing promptly. On
+// cancellation it returns ctx's error, the matcher's Memo and Stats
+// are left untouched, and the partial marks are discarded.
+func (m *Matcher) MatchParallelCtx(ctx context.Context, workers int) (*bitmap.Bits, error) {
+	workers = NormalizeWorkers(workers)
 	n := len(m.Pairs)
 	matched := bitmap.New(n)
 	if n == 0 {
-		return matched
+		return matched, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	m.ensureSharedValues()
-	ranges := ShardRanges(n, workers)
-	type shardOut struct {
-		bits  *bitmap.Bits
-		stats Stats
+	ranges := ChunkRanges(n, workers)
+	outs := make([]shardResult, len(ranges))
+	runShards(ctx, workers, ranges, func(i int, rg Range) {
+		// Each shard runs the configured engine over its range (the
+		// batch engine blocks within the shard).
+		local := m.shardMatcher(rg)
+		outs[i] = shardResult{bits: local.MatchBits(), stats: local.Stats}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	outs := make([]shardOut, len(ranges))
-	var wg sync.WaitGroup
-	for i, rg := range ranges {
-		wg.Add(1)
-		go func(i int, rg Range) {
-			defer wg.Done()
-			// Each shard runs the configured engine over its range (the
-			// batch engine blocks within the shard).
-			local := m.shardMatcher(rg)
-			outs[i] = shardOut{bits: local.MatchBits(), stats: local.Stats}
-		}(i, rg)
-	}
-	wg.Wait()
 	for i, rg := range ranges {
 		matched.OrRange(outs[i].bits, rg.Lo)
 		m.Stats.Add(outs[i].stats)
 	}
-	return matched
+	return matched, nil
 }
 
-// MatchStateParallel is the sharded materializing run: each worker
-// evaluates a contiguous pair range into a shard of MatchState plus a
-// range-offset memo, and the shards are stitched into one full state
-// with word-level bitmap merges. The result feeds incremental sessions:
+// shardResult carries one chunk's output back to the stitching loop.
+type shardResult struct {
+	bits  *bitmap.Bits
+	st    *MatchState
+	memo  *OverlayMemo
+	stats Stats
+}
+
+// runShards drains the range queue with `workers` goroutines, calling
+// fn(i, ranges[i]) for each chunk. Workers stop picking up new chunks
+// once ctx is cancelled; in-flight chunks run to completion (their
+// results are discarded by the caller on cancellation).
+func runShards(ctx context.Context, workers int, ranges []Range, fn func(i int, rg Range)) {
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranges) || ctx.Err() != nil {
+					return
+				}
+				fn(i, ranges[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MatchStateParallel is the sharded materializing run: workers
+// (NormalizeWorkers semantics: 0 = GOMAXPROCS) drain a queue of
+// contiguous pair chunks, each evaluated into a shard of MatchState
+// plus a range-offset memo, and the shards are stitched into one full
+// state with word-level bitmap merges. The result feeds incremental sessions:
 // Matched and RuleTrue are byte-identical to a serial Match, and the
 // per-predicate false sets are deterministic across worker counts
 // because predicates are evaluated in their static order during
@@ -188,38 +260,42 @@ func (m *Matcher) MatchParallel(workers int) *bitmap.Bits {
 // also read (not written) by the workers, making parallel re-runs
 // cheap. Stats aggregate the work of all workers.
 func (m *Matcher) MatchStateParallel(workers int) *MatchState {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	st, _ := m.MatchStateParallelCtx(context.Background(), workers)
+	return st
+}
+
+// MatchStateParallelCtx is MatchStateParallel under a context: shard
+// workers drain a queue of contiguous pair chunks (ChunkRanges) and
+// check ctx between chunks. On cancellation it returns ctx's error and
+// the matcher is left exactly as before the call — no shard memo is
+// absorbed, no stats are added, and the partial state is discarded —
+// so an interactive session that timed out mid-run stays valid.
+func (m *Matcher) MatchStateParallelCtx(ctx context.Context, workers int) (*MatchState, error) {
+	workers = NormalizeWorkers(workers)
 	n := len(m.Pairs)
 	st := NewMatchState(n, m.C.Rules)
 	if n == 0 {
-		return st
+		return st, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	m.ensureSharedValues()
-	ranges := ShardRanges(n, workers)
-	type shardOut struct {
-		st    *MatchState
-		memo  *OverlayMemo
-		stats Stats
+	ranges := ChunkRanges(n, workers)
+	outs := make([]shardResult, len(ranges))
+	runShards(ctx, workers, ranges, func(i int, rg Range) {
+		local := m.shardMatcher(rg)
+		// Static predicate order: deterministic false bits. (The
+		// batch engine materializes in static order by construction;
+		// this pins the scalar engine too.)
+		local.CheckCacheFirst = false
+		shardSt := local.MatchState()
+		om, _ := local.Memo.(*OverlayMemo)
+		outs[i] = shardResult{st: shardSt, memo: om, stats: local.Stats}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	outs := make([]shardOut, len(ranges))
-	var wg sync.WaitGroup
-	for i, rg := range ranges {
-		wg.Add(1)
-		go func(i int, rg Range) {
-			defer wg.Done()
-			local := m.shardMatcher(rg)
-			// Static predicate order: deterministic false bits. (The
-			// batch engine materializes in static order by construction;
-			// this pins the scalar engine too.)
-			local.CheckCacheFirst = false
-			shardSt := local.MatchState()
-			om, _ := local.Memo.(*OverlayMemo)
-			outs[i] = shardOut{st: shardSt, memo: om, stats: local.Stats}
-		}(i, rg)
-	}
-	wg.Wait()
 	for i, rg := range ranges {
 		st.MergeAt(outs[i].st, rg.Lo)
 		if m.Memo != nil && outs[i].memo != nil {
@@ -227,5 +303,5 @@ func (m *Matcher) MatchStateParallel(workers int) *MatchState {
 		}
 		m.Stats.Add(outs[i].stats)
 	}
-	return st
+	return st, nil
 }

@@ -23,6 +23,7 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 
 	"rulematch/internal/core"
@@ -51,11 +52,22 @@ type OpReport struct {
 // NewSession compiles nothing itself: pass a compiled function (already
 // ordered if desired) and the candidate pairs. The session enables
 // dynamic memoing and check-cache-first, the paper's recommended
-// configuration for interactive debugging.
-func NewSession(c *core.Compiled, pairs []table.Pair) *Session {
-	m := core.NewMatcher(c, pairs)
-	m.CheckCacheFirst = true
-	return &Session{M: m}
+// configuration for interactive debugging; core options refine the
+// rest (engine, workers, value cache, profile representation).
+func NewSession(c *core.Compiled, pairs []table.Pair, opts ...core.Option) *Session {
+	cfg := core.ConfigFor(c)
+	cfg.CheckCacheFirst = true
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewSessionConfig(c, pairs, cfg)
+}
+
+// NewSessionConfig is NewSession with a fully explicit core.Config
+// (nothing is defaulted on top of it) — the form the debug server and
+// CLIs use after binding flags to a Config.
+func NewSessionConfig(c *core.Compiled, pairs []table.Pair, cfg core.Config) *Session {
+	return &Session{M: cfg.NewMatcher(c, pairs)}
 }
 
 // RunFull evaluates the function from scratch (with memoing) and
@@ -96,10 +108,51 @@ func (s *Session) RunFullWithMemo() {
 // resumes for the incremental operations that follow). A warm memo is
 // reused read-only by the workers, so parallel re-runs are cheap too.
 func (s *Session) RunFullParallel(workers int) {
+	_ = s.RunFullParallelCtx(context.Background(), workers)
+}
+
+// RunFullParallelCtx is RunFullParallel under a context. On
+// cancellation the session is left exactly as before the call — the
+// previous materialized state, memo and stats all stand, so
+// Verify/VerifyDeep still pass — and ctx's error is returned. Worker
+// semantics are core.NormalizeWorkers (0 = GOMAXPROCS).
+func (s *Session) RunFullParallelCtx(ctx context.Context, workers int) error {
 	before := s.M.Stats
-	s.St = s.M.MatchStateParallel(workers)
+	st, err := s.M.MatchStateParallelCtx(ctx, workers)
+	if err != nil {
+		return err
+	}
+	s.St = st
 	s.owners = nil // rebuilt lazily from the fresh state
 	s.LastOp = OpReport{Op: "full_parallel", PairsExamined: len(s.M.Pairs), Stats: diffStats(before, s.M.Stats)}
+	return nil
+}
+
+// Run executes a full materializing run with the session's configured
+// worker count (core.Config.Workers, carried on the matcher), under a
+// context: the cancellable sharded path regardless of count, so a
+// request-scoped timeout can stop even a serial-width run between
+// chunks. This is the entry point the debug server uses.
+func (s *Session) Run(ctx context.Context) error {
+	return s.RunFullParallelCtx(ctx, s.M.Workers)
+}
+
+// Reconfigure applies the engine-level knobs of cfg to a live session:
+// execution engine, block size, worker count, value cache,
+// check-cache-first, and the compiled-level profile settings. The memo
+// and materialized state are kept — this is how a persist-loaded
+// session (always built with defaults) picks up a server or CLI
+// configuration without discarding the snapshot's warm state.
+// cfg.Memo is intentionally ignored: the incremental algorithms
+// require the memo the session already has.
+func (s *Session) Reconfigure(cfg core.Config) {
+	s.M.Engine = cfg.Engine
+	s.M.BlockSize = cfg.BlockSize
+	s.M.Workers = cfg.Workers
+	s.M.ValueCache = cfg.ValueCache
+	s.M.CheckCacheFirst = cfg.CheckCacheFirst
+	s.M.C.SetDictProfiles(cfg.DictProfiles)
+	s.M.C.SetProfileCache(cfg.ProfileCache)
 }
 
 // Matched returns whether pair pi currently matches.

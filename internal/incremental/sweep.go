@@ -1,8 +1,8 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"rulematch/internal/bitmap"
@@ -55,12 +55,23 @@ func (s *Session) SweepThreshold(ri, pj int, thresholds []float64) ([]SweepPoint
 // compute are absorbed into the session memo afterwards, so the sweep
 // leaves the memo at least as warm as the serial one would.
 func (s *Session) SweepThresholdParallel(ri, pj int, thresholds []float64, workers int) ([]SweepPoint, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 {
+	if core.NormalizeWorkers(workers) == 1 {
 		return s.SweepThreshold(ri, pj, thresholds)
 	}
+	return s.SweepThresholdParallelCtx(context.Background(), ri, pj, thresholds, workers)
+}
+
+// SweepThresholdParallelCtx is the cancellable sweep the debug server
+// uses: workers evaluate every candidate threshold over contiguous
+// pair shards on private clones of the compiled function, checking ctx
+// between threshold points. On cancellation it returns ctx's error and
+// the session is left exactly as before the call — thresholds were
+// only ever mutated on clones, no shard memo is absorbed and no stats
+// are added — so a client timeout mid-sweep leaves the session valid.
+// Unlike SweepThresholdParallel it never falls back to the serial
+// in-place path, so it is cancellable even at worker count 1.
+func (s *Session) SweepThresholdParallelCtx(ctx context.Context, ri, pj int, thresholds []float64, workers int) ([]SweepPoint, error) {
+	workers = core.NormalizeWorkers(workers)
 	if err := s.checkState(); err != nil {
 		return nil, err
 	}
@@ -73,7 +84,10 @@ func (s *Session) SweepThresholdParallel(ri, pj int, thresholds []float64, worke
 		out[ti] = SweepPoint{Threshold: thr, Matched: bitmap.New(n)}
 	}
 	if n == 0 || len(thresholds) == 0 {
-		return out, nil
+		return out, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ranges := core.ShardRanges(n, workers)
 	type shardOut struct {
@@ -97,6 +111,9 @@ func (s *Session) SweepThresholdParallel(ri, pj int, thresholds []float64, worke
 			local := outs[i].local
 			p := &local.C.Rules[ri].Preds[pj]
 			for ti, thr := range thresholds {
+				if ctx.Err() != nil {
+					return
+				}
 				p.Threshold = thr
 				// Marks-only run on the shard's engine over its range.
 				outs[i].bits[ti] = local.MatchBits()
@@ -104,6 +121,9 @@ func (s *Session) SweepThresholdParallel(ri, pj int, thresholds []float64, worke
 		}(i, rg)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, rg := range ranges {
 		for ti := range thresholds {
 			out[ti].Matched.OrRange(outs[i].bits[ti], rg.Lo)

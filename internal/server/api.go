@@ -1,0 +1,222 @@
+package server
+
+import "rulematch/internal/core"
+
+// Wire types of the v1 HTTP/JSON API. All endpoints speak JSON except
+// GET .../snapshot, which streams the binary persist format.
+
+// CreateSessionRequest creates a named debug session, either from
+// tables + rules + blocking (a cold start: the server compiles, runs
+// the full materializing pass and holds the state), or from a persist
+// snapshot (base64 in JSON) taken by emmatch -save, emdebug save or a
+// previous GET .../snapshot — then only the tables are needed.
+type CreateSessionRequest struct {
+	Name string `json:"name"`
+	// TableA and TableB are CSV with the id in the first column — the
+	// same files the CLIs read, inlined.
+	TableA string `json:"tableA"`
+	TableB string `json:"tableB"`
+	// Rules is the matching function in DSL form. Ignored when
+	// Snapshot is set (the snapshot carries the function).
+	Rules string `json:"rules,omitempty"`
+	// Exactly one of Block (attribute-equivalence) or BlockTokens
+	// (token-overlap) selects the blocker. Ignored with Snapshot.
+	Block       string `json:"block,omitempty"`
+	BlockTokens string `json:"blockTokens,omitempty"`
+	// Snapshot is a persist-format session snapshot; encoding/json
+	// transports []byte as base64.
+	Snapshot []byte `json:"snapshot,omitempty"`
+	// Config optionally overrides the server's engine defaults for
+	// this session.
+	Config *ConfigPatch `json:"config,omitempty"`
+}
+
+// ConfigPatch is a partial engine configuration: nil fields keep the
+// server default.
+type ConfigPatch struct {
+	Parallel     *int  `json:"parallel,omitempty"`
+	Batch        *bool `json:"batch,omitempty"`
+	DictProfiles *bool `json:"dictProfiles,omitempty"`
+	ValueCache   *bool `json:"valueCache,omitempty"`
+	Profiles     *bool `json:"profiles,omitempty"`
+	BlockSize    *int  `json:"blockSize,omitempty"`
+}
+
+// Apply overlays the patch on cfg.
+func (p *ConfigPatch) Apply(cfg *core.Config) {
+	if p == nil {
+		return
+	}
+	if p.Parallel != nil {
+		cfg.Workers = *p.Parallel
+	}
+	if p.Batch != nil {
+		if *p.Batch {
+			cfg.Engine = core.EngineBatch
+		} else {
+			cfg.Engine = core.EngineScalar
+		}
+	}
+	if p.DictProfiles != nil {
+		cfg.DictProfiles = *p.DictProfiles
+	}
+	if p.ValueCache != nil {
+		cfg.ValueCache = *p.ValueCache
+	}
+	if p.Profiles != nil {
+		cfg.ProfileCache = *p.Profiles
+	}
+	if p.BlockSize != nil {
+		cfg.BlockSize = *p.BlockSize
+	}
+}
+
+// SessionInfo summarizes one session.
+type SessionInfo struct {
+	Name    string `json:"name"`
+	Pairs   int    `json:"pairs"`
+	Rules   int    `json:"rules"`
+	Matches int    `json:"matches"`
+	LastOp  string `json:"lastOp"`
+}
+
+// SessionList is the GET /v1/sessions response.
+type SessionList struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// PredInfo describes one predicate of one rule.
+type PredInfo struct {
+	Index     int     `json:"index"`
+	Key       string  `json:"key"`
+	Sim       string  `json:"sim"`
+	AttrA     string  `json:"attrA"`
+	AttrB     string  `json:"attrB"`
+	Op        string  `json:"op"`
+	Threshold float64 `json:"threshold"`
+	// FalseCount is how many candidate pairs have a recorded false
+	// bit for this predicate — the debugger's "which predicate kills
+	// this rule" signal.
+	FalseCount int `json:"falseCount"`
+}
+
+// RuleInfo describes one rule in current evaluation order.
+type RuleInfo struct {
+	Index int        `json:"index"`
+	Name  string     `json:"name"`
+	Preds []PredInfo `json:"preds"`
+	// TrueCount is how many matched pairs this rule owns.
+	TrueCount int `json:"trueCount"`
+}
+
+// RuleList is the GET .../rules response.
+type RuleList struct {
+	Rules []RuleInfo `json:"rules"`
+}
+
+// EditRequest is one incremental rule-set operation (the paper's
+// Algorithms 7–10). Rules are addressed by index or by name.
+type EditRequest struct {
+	// Op is one of: add_predicate, remove_predicate, tighten, relax,
+	// set_threshold, add_rule, remove_rule.
+	Op       string `json:"op"`
+	Rule     int    `json:"rule"`
+	RuleName string `json:"ruleName,omitempty"`
+	Pred     int    `json:"pred"`
+	// Predicate is DSL source (e.g. "jaccard(name, name) >= 0.4") for
+	// add_predicate.
+	Predicate string `json:"predicate,omitempty"`
+	// RuleSrc is DSL source (e.g. "rule r9: ...") for add_rule.
+	RuleSrc string `json:"ruleSrc,omitempty"`
+	// Threshold for tighten / relax / set_threshold.
+	Threshold float64 `json:"threshold"`
+}
+
+// OpReport mirrors incremental.OpReport on the wire.
+type OpReport struct {
+	Op             string     `json:"op"`
+	PairsExamined  int        `json:"pairsExamined"`
+	OwnershipMoves int        `json:"ownershipMoves"`
+	Stats          core.Stats `json:"stats"`
+}
+
+// EditResponse reports the applied operation and the resulting match
+// count.
+type EditResponse struct {
+	Report  OpReport `json:"report"`
+	Matches int      `json:"matches"`
+	Rules   int      `json:"rules"`
+}
+
+// SweepRequest evaluates candidate thresholds for one predicate
+// without changing session state. Give explicit Thresholds, or Steps
+// for an even spread across (0,1).
+type SweepRequest struct {
+	Rule       int       `json:"rule"`
+	RuleName   string    `json:"ruleName,omitempty"`
+	Pred       int       `json:"pred"`
+	Thresholds []float64 `json:"thresholds,omitempty"`
+	Steps      int       `json:"steps,omitempty"`
+}
+
+// SweepPoint is one evaluated threshold.
+type SweepPoint struct {
+	Threshold float64 `json:"threshold"`
+	Matches   int     `json:"matches"`
+}
+
+// SweepResponse is the POST .../sweep response.
+type SweepResponse struct {
+	Points []SweepPoint `json:"points"`
+}
+
+// MatchedPair is one matched candidate pair.
+type MatchedPair struct {
+	Pair int    `json:"pair"` // candidate pair index
+	IDA  string `json:"idA"`
+	IDB  string `json:"idB"`
+	// Rule is the name of the owning rule (the first rule that
+	// evaluates true for the pair).
+	Rule string `json:"rule"`
+}
+
+// MatchPage is one page of matched pairs. NextCursor is -1 on the
+// last page; otherwise pass it back as ?cursor= for the next page.
+type MatchPage struct {
+	Matches    []MatchedPair `json:"matches"`
+	NextCursor int           `json:"nextCursor"`
+	Total      int           `json:"total"`
+}
+
+// StatsResponse is the GET .../stats response: the session's memory
+// footprint (§7.4) and cumulative work counters.
+type StatsResponse struct {
+	Pairs       int        `json:"pairs"`
+	Rules       int        `json:"rules"`
+	Matches     int        `json:"matches"`
+	MemoBytes   int64      `json:"memoBytes"`
+	BitmapBytes int64      `json:"bitmapBytes"`
+	MemoEntries int64      `json:"memoEntries"`
+	Stats       core.Stats `json:"stats"`
+	// MemoHitRate is hits / (hits + computes) over the session's
+	// lifetime; 0 when nothing has been looked up yet.
+	MemoHitRate float64  `json:"memoHitRate"`
+	LastOp      OpReport `json:"lastOp"`
+}
+
+// VerifyResponse is the POST .../verify response.
+type VerifyResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// RunResponse is the POST .../run response.
+type RunResponse struct {
+	Report  OpReport `json:"report"`
+	Matches int      `json:"matches"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

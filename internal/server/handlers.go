@@ -1,0 +1,463 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rulematch/internal/block"
+	"rulematch/internal/core"
+	"rulematch/internal/incremental"
+	"rulematch/internal/persist"
+	"rulematch/internal/rule"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+var errDraining = errors.New("server is draining")
+
+// errCode maps an error to a status: cancelled contexts become 499
+// in spirit (client closed request; reported as 503 since Go's
+// net/http has no 499), validation errors 400.
+func errCode(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// hCreate builds a session from inline tables plus either DSL rules
+// and a blocker, or a persist snapshot, then runs the full
+// materializing pass under the request context.
+func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("name is required"))
+		return
+	}
+	if req.TableA == "" || req.TableB == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("tableA and tableB are required"))
+		return
+	}
+	a, err := table.ReadCSV(strings.NewReader(req.TableA), "A")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("tableA: %w", err))
+		return
+	}
+	b, err := table.ReadCSV(strings.NewReader(req.TableB), "B")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("tableB: %w", err))
+		return
+	}
+	cfg := s.cfg
+	req.Config.Apply(&cfg)
+
+	var sess *incremental.Session
+	if len(req.Snapshot) > 0 {
+		// Warm start: the snapshot carries function, pairs, memo and
+		// bitmaps; only the engine knobs need applying.
+		sess, err = persist.Load(bytes.NewReader(req.Snapshot), sim.Standard(), a, b)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sess.Reconfigure(cfg)
+	} else {
+		sess, err = s.buildSession(r.Context(), a, b, cfg, &req)
+		if err != nil {
+			writeErr(w, errCode(err), err)
+			return
+		}
+	}
+	ds := &debugSession{name: req.Name, sess: sess, a: a, b: b, created: time.Now()}
+	if err := s.add(ds); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(ds))
+}
+
+// buildSession is the cold-start path: parse, block, compile, run.
+func (s *Server) buildSession(ctx context.Context, a, b *table.Table, cfg core.Config, req *CreateSessionRequest) (*incremental.Session, error) {
+	if req.Rules == "" {
+		return nil, errors.New("rules (or a snapshot) are required")
+	}
+	if (req.Block == "") == (req.BlockTokens == "") {
+		return nil, errors.New("exactly one of block or blockTokens is required")
+	}
+	f, err := rule.ParseFunction(req.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("parse rules: %w", err)
+	}
+	var blocker block.Blocker
+	if req.Block != "" {
+		blocker = block.AttrEquivalence{Attr: req.Block}
+	} else {
+		blocker = block.TokenOverlap{Attr: req.BlockTokens, MinShared: 1, MaxTokenFreq: b.Len() / 10}
+	}
+	pairs, err := blocker.Pairs(a, b)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		return nil, err
+	}
+	sess := incremental.NewSessionConfig(c, pairs, cfg)
+	if err := sess.Run(ctx); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+func infoOf(ds *debugSession) SessionInfo {
+	return SessionInfo{
+		Name:    ds.name,
+		Pairs:   len(ds.sess.M.Pairs),
+		Rules:   len(ds.sess.M.C.Rules),
+		Matches: ds.sess.MatchCount(),
+		LastOp:  ds.sess.LastOp.Op,
+	}
+}
+
+func (s *Server) hList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]*debugSession, 0, len(s.sessions))
+	for _, ds := range s.sessions {
+		names = append(names, ds)
+	}
+	s.mu.RUnlock()
+	out := SessionList{Sessions: []SessionInfo{}}
+	for _, ds := range names {
+		ds.mu.RLock()
+		out.Sessions = append(out.Sessions, infoOf(ds))
+		ds.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) hGet(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	writeJSON(w, http.StatusOK, infoOf(ds))
+}
+
+func (s *Server) hDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.remove(name) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) hRules(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	sess := ds.sess
+	out := RuleList{Rules: make([]RuleInfo, len(sess.M.C.Rules))}
+	for ri := range sess.M.C.Rules {
+		cr := &sess.M.C.Rules[ri]
+		info := RuleInfo{Index: ri, Name: cr.Name, Preds: make([]PredInfo, len(cr.Preds))}
+		if sess.St != nil {
+			info.TrueCount = sess.St.RuleTrue[ri].Count()
+		}
+		for pj := range cr.Preds {
+			p := &cr.Preds[pj]
+			feat := sess.M.C.Features[p.Feat].Feature
+			pi := PredInfo{
+				Index: pj, Key: p.Key,
+				Sim: feat.Sim, AttrA: feat.AttrA, AttrB: feat.AttrB,
+				Op: p.Op.String(), Threshold: p.Threshold,
+			}
+			if sess.St != nil {
+				pi.FalseCount = sess.St.PredFalse[ri][pj].Count()
+			}
+			info.Preds[pj] = pi
+		}
+		out.Rules[ri] = info
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolveRule turns an index-or-name rule reference into an index.
+func resolveRule(sess *incremental.Session, idx int, name string) (int, error) {
+	if name == "" {
+		return idx, nil
+	}
+	for ri := range sess.M.C.Rules {
+		if sess.M.C.Rules[ri].Name == name {
+			return ri, nil
+		}
+	}
+	return 0, fmt.Errorf("no rule named %q", name)
+}
+
+// hEdit applies one incremental operation (Algorithms 7–10) under the
+// session's write lock.
+func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req EditRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	sess := ds.sess
+	ri, err := resolveRule(sess, req.Rule, req.RuleName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	switch req.Op {
+	case "add_predicate":
+		var p rule.Predicate
+		if p, err = rule.ParsePredicate(req.Predicate); err == nil {
+			err = sess.AddPredicate(ri, p)
+		}
+	case "remove_predicate":
+		err = sess.RemovePredicate(ri, req.Pred)
+	case "tighten":
+		err = sess.TightenPredicate(ri, req.Pred, req.Threshold)
+	case "relax":
+		err = sess.RelaxPredicate(ri, req.Pred, req.Threshold)
+	case "set_threshold":
+		err = sess.SetThreshold(ri, req.Pred, req.Threshold)
+	case "add_rule":
+		var nr rule.Rule
+		if nr, err = rule.ParseRule(req.RuleSrc); err == nil {
+			err = sess.AddRule(nr)
+		}
+	case "remove_rule":
+		err = sess.RemoveRule(ri)
+	default:
+		err = fmt.Errorf("unknown op %q (want add_predicate, remove_predicate, tighten, relax, set_threshold, add_rule or remove_rule)", req.Op)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EditResponse{
+		Report:  reportOf(sess.LastOp),
+		Matches: sess.MatchCount(),
+		Rules:   len(sess.M.C.Rules),
+	})
+}
+
+func reportOf(op incremental.OpReport) OpReport {
+	return OpReport{
+		Op:             op.Op,
+		PairsExamined:  op.PairsExamined,
+		OwnershipMoves: op.OwnershipMoves,
+		Stats:          op.Stats,
+	}
+}
+
+// hRun re-materializes from scratch (with the warm memo) under the
+// request context; a cancelled run leaves the previous state standing.
+func (s *Server) hRun(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.sess.Run(r.Context()); err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Report:  reportOf(ds.sess.LastOp),
+		Matches: ds.sess.MatchCount(),
+	})
+}
+
+// hSweep evaluates candidate thresholds for one predicate. The sweep
+// reads session state and warms the memo (hence the write lock) but
+// never moves a live threshold; cancellation mid-sweep leaves the
+// session untouched.
+func (s *Server) hSweep(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req SweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	sess := ds.sess
+	ri, err := resolveRule(sess, req.Rule, req.RuleName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	thresholds := req.Thresholds
+	if len(thresholds) == 0 {
+		steps := req.Steps
+		if steps == 0 {
+			steps = 9
+		}
+		thresholds = incremental.DefaultSweep(steps)
+	}
+	points, err := sess.SweepThresholdParallelCtx(r.Context(), ri, req.Pred, thresholds, sess.M.Workers)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	out := SweepResponse{Points: make([]SweepPoint, len(points))}
+	for i, p := range points {
+		out.Points[i] = SweepPoint{Threshold: p.Threshold, Matches: p.Matched.Count()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// hMatches pages through the matched pairs. The cursor is a candidate
+// pair index (start at 0); NextCursor is -1 on the last page.
+func (s *Server) hMatches(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	cursor, limit := 0, 100
+	if v := r.URL.Query().Get("cursor"); v != "" {
+		if cursor, err = strconv.Atoi(v); err != nil || cursor < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor %q", v))
+			return
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	sess := ds.sess
+	page := MatchPage{Matches: []MatchedPair{}, NextCursor: -1, Total: sess.MatchCount()}
+	for pi := cursor; pi < len(sess.M.Pairs); pi++ {
+		if !sess.St.Matched.Get(pi) {
+			continue
+		}
+		if len(page.Matches) == limit {
+			page.NextCursor = pi
+			break
+		}
+		p := sess.M.Pairs[pi]
+		page.Matches = append(page.Matches, MatchedPair{
+			Pair: pi,
+			IDA:  ds.a.Records[p.A].ID,
+			IDB:  ds.b.Records[p.B].ID,
+			Rule: owningRule(sess, pi),
+		})
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// owningRule names the rule whose RuleTrue bit covers the pair.
+func owningRule(sess *incremental.Session, pi int) string {
+	for ri := range sess.M.C.Rules {
+		if sess.St.RuleTrue[ri].Get(pi) {
+			return sess.M.C.Rules[ri].Name
+		}
+	}
+	return ""
+}
+
+func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	sess := ds.sess
+	memo, bitmaps := sess.MemoryBytes()
+	st := sess.M.Stats
+	rate := 0.0
+	if st.MemoHits+st.FeatureComputes > 0 {
+		rate = float64(st.MemoHits) / float64(st.MemoHits+st.FeatureComputes)
+	}
+	var entries int64
+	if sess.M.Memo != nil {
+		entries = sess.M.Memo.Entries()
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Pairs:       len(sess.M.Pairs),
+		Rules:       len(sess.M.C.Rules),
+		Matches:     sess.MatchCount(),
+		MemoBytes:   memo,
+		BitmapBytes: bitmaps,
+		MemoEntries: entries,
+		Stats:       st,
+		MemoHitRate: rate,
+		LastOp:      reportOf(sess.LastOp),
+	})
+}
+
+func (s *Server) hVerify(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if err := ds.sess.Verify(); err != nil {
+		writeJSON(w, http.StatusOK, VerifyResponse{OK: false, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, VerifyResponse{OK: true})
+}
+
+// hSnapshot streams the session in persist format — the same bytes
+// emdebug's save command writes, so a session can move between the
+// service and the CLIs.
+func (s *Server) hSnapshot(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, ds.sess); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = buf.WriteTo(w)
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// expvar publication is package-global and once-only: expvar.NewMap
+// panics on duplicate names, and tests construct many Servers in one
+// process. All servers in a process therefore share the maps, which
+// matches expvar's process-wide model.
+var (
+	metricsOnce sync.Once
+	// reqCount counts completed requests per route pattern.
+	reqCount *expvar.Map
+	// reqNanos accumulates handler latency per route pattern; divide
+	// by the matching reqCount entry for the mean.
+	reqNanos *expvar.Map
+	// reqDrained counts requests refused by the drain gate.
+	reqDrained *expvar.Int
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		reqCount = expvar.NewMap("emserve_requests")
+		reqNanos = expvar.NewMap("emserve_request_ns")
+		reqDrained = expvar.NewInt("emserve_drained_requests")
+	})
+}
+
+// instrument wraps a route with the drain gate and per-endpoint
+// count/latency metrics, keyed by the route pattern.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+	initMetrics()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			reqDrained.Add(1)
+			writeErr(w, http.StatusServiceUnavailable, errDraining)
+			return
+		}
+		start := time.Now()
+		h(w, r)
+		reqCount.Add(pattern, 1)
+		reqNanos.Add(pattern, time.Since(start).Nanoseconds())
+	})
+}

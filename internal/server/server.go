@@ -1,0 +1,175 @@
+// Package server implements the HTTP/JSON debug service behind
+// cmd/emserve: named incremental matching sessions held in memory,
+// edited over the paper's Algorithms 7–10 without ever discarding the
+// memo or the materialized bitmaps.
+//
+// Concurrency model: each session has a single-writer lock. Edits,
+// full runs and sweeps (which warm the shared memo) take the write
+// side; reads — rule listings, match pages, stats, verification,
+// snapshots — share the read side, so a slow snapshot download never
+// blocks another reader and an edit waits only for in-flight readers.
+// Long operations (full runs, sweeps) run under the request context,
+// so a disconnected or timed-out client cancels the work; cancelled
+// operations leave the session exactly as it was (see
+// incremental.RunFullParallelCtx / SweepThresholdParallelCtx).
+//
+// Robustness: request bodies are capped (MaxBodyBytes), every
+// endpoint's count and latency are published through expvar
+// (/debug/vars), and SetDraining(true) makes the server answer 503 to
+// everything except /healthz while http.Server.Shutdown drains
+// in-flight edits.
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rulematch/internal/core"
+	"rulematch/internal/incremental"
+	"rulematch/internal/table"
+)
+
+// DefaultMaxBodyBytes caps request bodies (tables ride inline in
+// create requests, so the cap is generous).
+const DefaultMaxBodyBytes = 8 << 20
+
+// Server hosts named debug sessions. Create with New, mount Handler.
+type Server struct {
+	// cfg is the engine configuration new sessions start from;
+	// per-session ConfigPatch overrides individual knobs.
+	cfg core.Config
+	// MaxBodyBytes caps request bodies; set before Handler is called.
+	MaxBodyBytes int64
+
+	mu       sync.RWMutex
+	sessions map[string]*debugSession
+
+	draining atomic.Bool
+}
+
+// debugSession is one named session plus its single-writer lock.
+type debugSession struct {
+	name    string
+	mu      sync.RWMutex
+	sess    *incremental.Session
+	a, b    *table.Table
+	created time.Time
+}
+
+// New returns a server whose sessions default to cfg.
+func New(cfg core.Config) *Server {
+	return &Server{
+		cfg:          cfg,
+		MaxBodyBytes: DefaultMaxBodyBytes,
+		sessions:     make(map[string]*debugSession),
+	}
+}
+
+// Handler returns the route table. Go 1.22 method+wildcard patterns
+// dispatch; the draining gate and per-endpoint metrics wrap every
+// route.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/sessions", s.hCreate)
+	route("GET /v1/sessions", s.hList)
+	route("GET /v1/sessions/{name}", s.hGet)
+	route("DELETE /v1/sessions/{name}", s.hDelete)
+	route("GET /v1/sessions/{name}/rules", s.hRules)
+	route("POST /v1/sessions/{name}/edits", s.hEdit)
+	route("POST /v1/sessions/{name}/run", s.hRun)
+	route("POST /v1/sessions/{name}/sweep", s.hSweep)
+	route("GET /v1/sessions/{name}/matches", s.hMatches)
+	route("GET /v1/sessions/{name}/stats", s.hStats)
+	route("POST /v1/sessions/{name}/verify", s.hVerify)
+	route("GET /v1/sessions/{name}/snapshot", s.hSnapshot)
+	mux.HandleFunc("GET /healthz", s.hHealth)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// SetDraining switches the 503 gate: once draining, every endpoint
+// but /healthz refuses new work so http.Server.Shutdown can finish
+// the in-flight requests. cmd/emserve flips this on SIGTERM.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports whether the drain gate is up.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+func (s *Server) hHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// lookup fetches a session by the {name} path value.
+func (s *Server) lookup(r *http.Request) (*debugSession, error) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("no session %q", name)
+	}
+	return ds, nil
+}
+
+// add registers a new session; the name must be free.
+func (s *Server) add(ds *debugSession) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[ds.name]; ok {
+		return fmt.Errorf("session %q already exists", ds.name)
+	}
+	s.sessions[ds.name] = ds
+	return nil
+}
+
+// remove drops a session by name.
+func (s *Server) remove(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[name]; !ok {
+		return false
+	}
+	delete(s.sessions, name)
+	return true
+}
+
+// decode reads a JSON body under the size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
