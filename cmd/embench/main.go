@@ -75,7 +75,7 @@ var knownExperiments = map[string]bool{
 	"fig3a": true, "fig3b": true, "fig3c": true, "fig4": true,
 	"fig5a": true, "fig5b": true, "fig5c": true,
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
-	"kernels": true,
+	"kernels": true, "durability": true,
 }
 
 func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int, jsonOut string) error {
@@ -119,7 +119,7 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 	}
 
 	needTask := exp == "all"
-	for _, e := range []string{"fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "memory", "ablations", "replay"} {
+	for _, e := range []string{"fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "memory", "ablations", "replay", "durability"} {
 		if exp == e {
 			needTask = true
 		}
@@ -212,6 +212,13 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 	}
 	if exp == "memory" || exp == "all" {
 		tbl, err := bench.MemoryReport(task)
+		if err != nil {
+			return err
+		}
+		tbl.Print(out)
+	}
+	if exp == "durability" || exp == "all" {
+		tbl, err := bench.AblationDurability(task)
 		if err != nil {
 			return err
 		}

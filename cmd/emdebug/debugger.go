@@ -31,6 +31,9 @@ type debugger struct {
 	workers int           // shard workers for full runs and sweeps (1 = serial)
 	last    time.Duration // duration of the most recent state-changing op
 	undo    [][]byte      // session snapshots, most recent last
+	// saveOpts configures how the save command writes snapshots
+	// (-fsync, -snapshot-v1 on the command line).
+	saveOpts []persist.SaveOption
 }
 
 // maxUndo bounds the in-memory undo stack.
@@ -608,7 +611,7 @@ func (d *debugger) suggest(idA, idB string) error {
 // save persists the session; restore reloads it against the loaded
 // dataset's tables.
 func (d *debugger) save(path string) error {
-	if err := persist.SaveFile(path, d.sess); err != nil {
+	if err := persist.SaveFile(path, d.sess, d.saveOpts...); err != nil {
 		return err
 	}
 	fmt.Fprintf(d.out, "saved session to %s\n", path)

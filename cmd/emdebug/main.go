@@ -30,12 +30,15 @@ func main() {
 	)
 	eng := cliflags.NewEngine()
 	eng.Register(flag.CommandLine)
+	snap := cliflags.NewSnapshot()
+	snap.Register(flag.CommandLine)
 	flag.Parse()
 	// The debugger's loaders construct sessions internally, so the
 	// engine selection rides on the package defaults.
 	eng.ApplyPackageDefaults()
 	d := newDebugger(os.Stdout)
 	d.workers = core.NormalizeWorkers(eng.Parallel)
+	d.saveOpts = snap.Options()
 	if *dataset != "" {
 		if err := d.load(*dataset, *scale, *mined); err != nil {
 			fmt.Fprintln(os.Stderr, "emdebug:", err)

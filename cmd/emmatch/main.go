@@ -33,18 +33,20 @@ type options struct {
 	data cliflags.Data
 	eng  cliflags.Engine
 	ord  cliflags.Ordering
+	snap cliflags.Snapshot
 	out  string
 	save string
 	stat bool
 }
 
 func main() {
-	o := options{eng: *cliflags.NewEngine(), ord: *cliflags.NewOrdering(), out: "-"}
+	o := options{eng: *cliflags.NewEngine(), ord: *cliflags.NewOrdering(), snap: *cliflags.NewSnapshot(), out: "-"}
 	fs := flag.CommandLine
 	o.data.Register(fs)
 	o.eng.Register(fs)
 	o.eng.RegisterCaches(fs)
 	o.ord.Register(fs)
+	o.snap.Register(fs)
 	fs.StringVar(&o.out, "out", o.out, "output CSV of matched id pairs ('-' = stdout)")
 	fs.StringVar(&o.save, "save", "", "snapshot the materialized session to this file for emdebug/emserve")
 	fs.BoolVar(&o.stat, "stats", false, "print work counters to stderr")
@@ -104,7 +106,7 @@ func run(o options, diag io.Writer) error {
 	}
 	matchTime := time.Since(start)
 	if sess != nil {
-		if err := persist.SaveFile(o.save, sess); err != nil {
+		if err := persist.SaveFile(o.save, sess, o.snap.Options()...); err != nil {
 			return fmt.Errorf("save session: %w", err)
 		}
 	}

@@ -7,7 +7,12 @@
 //
 //	emserve -addr localhost:8080
 //	emserve -addr :9000 -parallel 0 -batch=false
+//	emserve -datadir /var/lib/emserve -fsync always
 //
+// With -datadir every session lives in a directory holding its tables,
+// a checksummed snapshot and an edit journal; committed edits are
+// journaled before they are acknowledged, and sessions are recovered
+// (snapshot + journal replay) on the next start — kill -9 included.
 // See docs/TUTORIAL.md for a curl walkthrough of the API.
 package main
 
@@ -25,6 +30,7 @@ import (
 
 	"rulematch/internal/cliflags"
 	"rulematch/internal/server"
+	"rulematch/internal/wal"
 )
 
 func main() {
@@ -32,6 +38,9 @@ func main() {
 		addr     = flag.String("addr", "localhost:8080", "listen address")
 		maxBody  = flag.Int64("maxbody", server.DefaultMaxBodyBytes, "request body size cap in bytes")
 		drainFor = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		dataDir  = flag.String("datadir", "", "persist sessions here (snapshot + edit journal); empty = in-memory only")
+		fsyncPol = flag.String("fsync", "always", "journal sync policy: always, never, or an interval like 500ms")
+		compact  = flag.Int64("compact", wal.DefaultCompactBytes, "journal bytes that trigger snapshot compaction")
 	)
 	eng := cliflags.NewEngine()
 	eng.Register(flag.CommandLine)
@@ -40,6 +49,24 @@ func main() {
 
 	srv := server.New(eng.Config())
 	srv.MaxBodyBytes = *maxBody
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emserve:", err)
+			os.Exit(2)
+		}
+		err = srv.EnableDurability(server.Durability{Dir: *dataDir, Policy: policy, CompactAt: *compact})
+		if err != nil {
+			// Degrade rather than die: an unwritable datadir should not
+			// take the debugger down. The condition is logged and visible
+			// in /stats (durable=false) and expvar.
+			log.Printf("emserve: datadir unavailable, running ephemeral: %v", err)
+		} else if n, err := srv.RecoverSessions(); err != nil {
+			log.Printf("emserve: session recovery: %v", err)
+		} else {
+			log.Printf("emserve: datadir %s (fsync=%s), %d sessions recovered", *dataDir, policy, n)
+		}
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// On SIGINT/SIGTERM: refuse new work (503 except /healthz), then
@@ -56,6 +83,8 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("emserve: shutdown: %v", err)
 		}
+		// All requests drained: sync and close the session journals.
+		srv.CloseSessions()
 		close(done)
 	}()
 

@@ -17,6 +17,7 @@ import (
 	"rulematch/internal/costmodel"
 	"rulematch/internal/estimate"
 	"rulematch/internal/order"
+	"rulematch/internal/persist"
 	"rulematch/internal/rule"
 	"rulematch/internal/table"
 )
@@ -164,6 +165,35 @@ func (d *Data) Load() (*Inputs, error) {
 		}
 	}
 	return in, nil
+}
+
+// Snapshot holds the shared snapshot-writing flags for tools that
+// save sessions (emmatch -save, emdebug save). The defaults are the
+// safe ones: fsynced, checksummed v2 format.
+type Snapshot struct {
+	Fsync bool
+	V1    bool
+}
+
+// NewSnapshot returns the shared defaults.
+func NewSnapshot() *Snapshot { return &Snapshot{Fsync: true} }
+
+// Register binds -fsync and -snapshot-v1.
+func (s *Snapshot) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&s.Fsync, "fsync", s.Fsync, "fsync saved snapshots (writes stay atomic either way)")
+	fs.BoolVar(&s.V1, "snapshot-v1", s.V1, "write legacy v1 snapshots (no checksum framing)")
+}
+
+// Options translates the flags into persist save options.
+func (s *Snapshot) Options() []persist.SaveOption {
+	var opts []persist.SaveOption
+	if !s.Fsync {
+		opts = append(opts, persist.NoFsync())
+	}
+	if s.V1 {
+		opts = append(opts, persist.V1())
+	}
+	return opts
 }
 
 // Ordering holds the shared rule-ordering flags.

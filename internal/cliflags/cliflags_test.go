@@ -172,3 +172,21 @@ func TestReadGold(t *testing.T) {
 		t.Fatal("unknown record accepted")
 	}
 }
+
+func TestSnapshotFlags(t *testing.T) {
+	s := NewSnapshot()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s.Register(fs)
+	if err := fs.Parse([]string{"-fsync=false", "-snapshot-v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fsync || !s.V1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if got := len(s.Options()); got != 2 {
+		t.Fatalf("%d save options, want 2", got)
+	}
+	if got := len(NewSnapshot().Options()); got != 0 {
+		t.Fatalf("defaults produced %d options, want 0", got)
+	}
+}

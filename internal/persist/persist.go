@@ -5,27 +5,67 @@
 // analyst can stop and resume a debugging session without paying the
 // cold-start cost again.
 //
-// Snapshots are encoding/gob streams. The tables themselves are not
-// stored — the caller reloads them (they are the analyst's input data)
-// and Load verifies the snapshot is consistent with them.
+// Two on-disk formats exist:
+//
+//   - v1 (legacy): a raw encoding/gob stream. Still loadable, and still
+//     writable through the V1 save option, but it carries no integrity
+//     check — a torn or bit-flipped v1 file is detected only if the gob
+//     decoder or the structural validation happens to notice.
+//   - v2 (default): an 8-byte magic, a little-endian uint32 payload
+//     length, a CRC-32C (Castagnoli) of the payload, then the gob
+//     payload. Truncation and corruption anywhere in the file are
+//     detected before any state is built.
+//
+// SaveFile is crash-safe: the snapshot is written to a temporary file
+// in the destination directory, fsynced, atomically renamed over the
+// destination, and the directory is fsynced — a crash at any point
+// leaves either the old complete snapshot or the new complete one,
+// never a torn file. The tables themselves are not stored — the caller
+// reloads them (they are the analyst's input data) and Load verifies
+// the snapshot is consistent with them.
 package persist
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"rulematch/internal/bitmap"
 	"rulematch/internal/core"
+	"rulematch/internal/faultio"
 	"rulematch/internal/incremental"
 	"rulematch/internal/rule"
 	"rulematch/internal/sim"
 	"rulematch/internal/table"
 )
 
-// snapshotVersion guards against stale files after format changes.
-const snapshotVersion = 1
+const (
+	// versionV1 marks legacy raw-gob snapshots; versionV2 marks
+	// CRC-framed snapshots. The Version field inside the gob payload
+	// must agree with the outer framing.
+	versionV1 = 1
+	versionV2 = 2
+
+	// magicV2 opens every framed snapshot. Eight bytes so the sniff
+	// read is aligned and unambiguous: a raw gob stream of this
+	// package's snapshot type can never start with these bytes.
+	magicV2 = "EMSNAP2\n"
+
+	// maxPayloadBytes bounds the length prefix so a corrupt header
+	// cannot drive a multi-gigabyte allocation.
+	maxPayloadBytes = 1 << 30
+)
+
+// castagnoli is the CRC-32C table used for snapshot and journal
+// checksums (the same polynomial storage systems use — iSCSI, ext4).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // memoRow holds the memoized values of one feature, sparsely.
 type memoRow struct {
@@ -46,17 +86,52 @@ type snapshot struct {
 	RuleTrue  []*bitmap.Bits
 	PredFalse [][]*bitmap.Bits
 	Stats     core.Stats
+	// Seq is the journal sequence number the snapshot covers: every
+	// edit record with Seq <= this value is already folded into the
+	// bitmaps and memo. Zero for standalone snapshots (and for all v1
+	// files, where the field did not exist).
+	Seq uint64
 }
 
-// Save writes the session snapshot to w. The session must have run
-// (RunFull) at least once.
-func Save(w io.Writer, s *incremental.Session) error {
+// Info describes a loaded snapshot: which format it was read in and
+// the journal sequence it covers.
+type Info struct {
+	Version int
+	Seq     uint64
+}
+
+// saveConfig collects the SaveOption knobs.
+type saveConfig struct {
+	v1    bool
+	fsync bool
+	seq   uint64
+}
+
+// SaveOption tweaks Save/SaveFile behaviour.
+type SaveOption func(*saveConfig)
+
+// V1 writes the legacy raw-gob format instead of the framed v2 — the
+// escape hatch for tooling that still expects pre-framing snapshots.
+func V1() SaveOption { return func(c *saveConfig) { c.v1 = true } }
+
+// NoFsync skips the fsync calls in SaveFile. The write is still
+// atomic with respect to process crashes (temp + rename), but the
+// data may be lost on power failure. Has no effect on Save.
+func NoFsync() SaveOption { return func(c *saveConfig) { c.fsync = false } }
+
+// WithSeq records the journal sequence number the snapshot covers
+// (see internal/wal). Only meaningful for v2 snapshots that live next
+// to an edit journal.
+func WithSeq(seq uint64) SaveOption { return func(c *saveConfig) { c.seq = seq } }
+
+// buildSnapshot assembles the serializable form of the session.
+func buildSnapshot(s *incremental.Session, version int, seq uint64) (*snapshot, error) {
 	if s.St == nil {
-		return fmt.Errorf("persist: session has no materialized state; call RunFull first")
+		return nil, fmt.Errorf("persist: session has no materialized state; call RunFull first")
 	}
 	c := s.M.C
-	snap := snapshot{
-		Version:   snapshotVersion,
+	snap := &snapshot{
+		Version:   version,
 		TableA:    c.A.Name,
 		TableB:    c.B.Name,
 		Function:  c.Function().String(),
@@ -65,6 +140,7 @@ func Save(w io.Writer, s *incremental.Session) error {
 		RuleTrue:  s.St.RuleTrue,
 		PredFalse: s.St.PredFalse,
 		Stats:     s.M.Stats,
+		Seq:       seq,
 	}
 	if s.M.Memo != nil {
 		for fi := range c.Features {
@@ -79,88 +155,245 @@ func Save(w io.Writer, s *incremental.Session) error {
 				snap.Memo = append(snap.Memo, row)
 			}
 		}
+		// Canonical row order: a session's in-memory feature order
+		// depends on its edit history, but two sessions holding the same
+		// memo contents must serialize to identical bytes (the recovery
+		// tests compare snapshots of a replayed session against a live
+		// one). Feature keys are unique within a compiled function.
+		sort.Slice(snap.Memo, func(i, j int) bool {
+			return snap.Memo[i].Feature.Key() < snap.Memo[j].Feature.Key()
+		})
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	return snap, nil
 }
 
-// SaveFile writes the snapshot to a file.
-func SaveFile(path string, s *incremental.Session) error {
-	f, err := os.Create(path)
+// writeFramed wraps an encoded payload in the v2 framing:
+// magic | uint32 length | uint32 CRC-32C | payload.
+func writeFramed(w io.Writer, payload []byte) error {
+	var hdr [16]byte
+	copy(hdr[:8], magicV2)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Save writes the session snapshot to w in the v2 framed format (or
+// legacy v1 with the V1 option). The session must have run (RunFull)
+// at least once.
+func Save(w io.Writer, s *incremental.Session, opts ...SaveOption) error {
+	cfg := saveConfig{fsync: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	version := versionV2
+	if cfg.v1 {
+		version = versionV1
+	}
+	snap, err := buildSnapshot(s, version, cfg.seq)
 	if err != nil {
 		return err
 	}
-	if err := Save(f, s); err != nil {
-		f.Close()
+	if cfg.v1 {
+		return gob.NewEncoder(w).Encode(snap)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
 		return err
 	}
-	return f.Close()
+	if payload.Len() > maxPayloadBytes {
+		return fmt.Errorf("persist: snapshot payload %d bytes exceeds the %d-byte format limit", payload.Len(), maxPayloadBytes)
+	}
+	return writeFramed(w, payload.Bytes())
 }
 
-// Load reconstructs a session from a snapshot against the (reloaded)
-// tables and similarity library. The restored session has the same
-// matching function, memo contents, materialized bitmaps and work
-// counters as the saved one.
-func Load(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Session, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("persist: decode snapshot: %w", err)
+// SaveFile writes the snapshot to a file crash-safely: encode to
+// memory, write to a temporary file beside the destination, fsync,
+// rename over the destination, fsync the directory. The previous
+// snapshot at path stays intact until the new one is complete.
+func SaveFile(path string, s *incremental.Session, opts ...SaveOption) error {
+	return SaveFileFS(faultio.OS, path, s, opts...)
+}
+
+// SaveFileFS is SaveFile over an explicit filesystem — the seam the
+// fault-injection tests (and internal/wal's compaction) use.
+func SaveFileFS(fsys faultio.FS, path string, s *incremental.Session, opts ...SaveOption) error {
+	cfg := saveConfig{fsync: true}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	// Encode fully in memory first: an encoding error must not leave a
+	// temp file behind, and a single Write keeps the on-disk step count
+	// small and deterministic.
+	var buf bytes.Buffer
+	if err := Save(&buf, s, opts...); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		_ = f.Close()
+		return cleanup(fmt.Errorf("persist: write snapshot: %w", err))
+	}
+	if cfg.fsync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return cleanup(fmt.Errorf("persist: sync snapshot: %w", err))
+		}
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("persist: close snapshot: %w", err))
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return cleanup(fmt.Errorf("persist: publish snapshot: %w", err))
+	}
+	if cfg.fsync {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("persist: sync snapshot directory: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodeSnapshot reads either format from r: framed v2 when the magic
+// matches, raw-gob v1 otherwise.
+func decodeSnapshot(r io.Reader) (*snapshot, int, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magicV2))
+	if err != nil && len(head) == 0 {
+		return nil, 0, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	if string(head) == magicV2 {
+		return decodeFramed(br)
+	}
+	// Legacy v1: the whole stream is one gob message.
+	var snap snapshot
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return nil, 0, fmt.Errorf("persist: decode snapshot: %w", err)
+	}
+	if snap.Version != versionV1 {
+		return nil, 0, fmt.Errorf("persist: unframed snapshot claims version %d, want %d", snap.Version, versionV1)
+	}
+	return &snap, versionV1, nil
+}
+
+func decodeFramed(br *bufio.Reader) (*snapshot, int, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("persist: corrupt snapshot: truncated header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	sum := binary.LittleEndian.Uint32(hdr[12:16])
+	if n == 0 || n > maxPayloadBytes {
+		return nil, 0, fmt.Errorf("persist: corrupt snapshot: implausible payload length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 0, fmt.Errorf("persist: corrupt snapshot: truncated payload: %w", err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, 0, fmt.Errorf("persist: corrupt snapshot: checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, 0, fmt.Errorf("persist: decode snapshot payload: %w", err)
+	}
+	if snap.Version != versionV2 {
+		return nil, 0, fmt.Errorf("persist: framed snapshot claims version %d, want %d", snap.Version, versionV2)
+	}
+	return &snap, versionV2, nil
+}
+
+// Load reconstructs a session from a snapshot (either format) against
+// the (reloaded) tables and similarity library. The restored session
+// has the same matching function, memo contents, materialized bitmaps
+// and work counters as the saved one.
+func Load(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Session, error) {
+	s, _, err := LoadInfo(r, lib, a, b)
+	return s, err
+}
+
+// LoadInfo is Load plus the format metadata (version, journal
+// sequence) the durability layer needs.
+func LoadInfo(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Session, Info, error) {
+	snap, version, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, Info{}, err
 	}
 	if snap.TableA != a.Name || snap.TableB != b.Name {
-		return nil, fmt.Errorf("persist: snapshot is for tables %q/%q, got %q/%q",
+		return nil, Info{}, fmt.Errorf("persist: snapshot is for tables %q/%q, got %q/%q",
 			snap.TableA, snap.TableB, a.Name, b.Name)
 	}
 	for _, p := range snap.Pairs {
 		if int(p.A) >= a.Len() || int(p.B) >= b.Len() || p.A < 0 || p.B < 0 {
-			return nil, fmt.Errorf("persist: pair %v out of range for reloaded tables", p)
+			return nil, Info{}, fmt.Errorf("persist: pair %v out of range for reloaded tables", p)
 		}
 	}
 	f, err := rule.ParseFunction(snap.Function)
 	if err != nil {
-		return nil, fmt.Errorf("persist: re-parse function: %w", err)
+		return nil, Info{}, fmt.Errorf("persist: re-parse function: %w", err)
 	}
 	c, err := core.Compile(f, lib, a, b)
 	if err != nil {
-		return nil, fmt.Errorf("persist: re-compile function: %w", err)
+		return nil, Info{}, fmt.Errorf("persist: re-compile function: %w", err)
 	}
 	n := len(snap.Pairs)
 	if snap.Matched == nil || snap.Matched.Len() != n {
-		return nil, fmt.Errorf("persist: corrupt snapshot: match bitmap missing or mis-sized")
+		return nil, Info{}, fmt.Errorf("persist: corrupt snapshot: match bitmap missing or mis-sized")
 	}
 	if len(snap.RuleTrue) != len(c.Rules) || len(snap.PredFalse) != len(c.Rules) {
-		return nil, fmt.Errorf("persist: snapshot has %d rule bitmaps for %d rules",
+		return nil, Info{}, fmt.Errorf("persist: snapshot has %d rule bitmaps for %d rules",
 			len(snap.RuleTrue), len(c.Rules))
 	}
 	for ri := range c.Rules {
 		if snap.RuleTrue[ri].Len() != n {
-			return nil, fmt.Errorf("persist: rule %d bitmap mis-sized", ri)
+			return nil, Info{}, fmt.Errorf("persist: rule %d bitmap mis-sized", ri)
 		}
 		if len(snap.PredFalse[ri]) != len(c.Rules[ri].Preds) {
-			return nil, fmt.Errorf("persist: rule %d has %d predicate bitmaps for %d predicates",
+			return nil, Info{}, fmt.Errorf("persist: rule %d has %d predicate bitmaps for %d predicates",
 				ri, len(snap.PredFalse[ri]), len(c.Rules[ri].Preds))
 		}
 		for pj := range snap.PredFalse[ri] {
 			if snap.PredFalse[ri][pj].Len() != n {
-				return nil, fmt.Errorf("persist: rule %d predicate %d bitmap mis-sized", ri, pj)
+				return nil, Info{}, fmt.Errorf("persist: rule %d predicate %d bitmap mis-sized", ri, pj)
 			}
 		}
 	}
 	s := incremental.NewSession(c, snap.Pairs)
+	seenFeature := make(map[int]bool, len(snap.Memo))
 	for _, row := range snap.Memo {
 		fi, err := c.BindFeature(row.Feature)
 		if err != nil {
-			return nil, fmt.Errorf("persist: rebind feature %s: %w", row.Feature.Key(), err)
+			return nil, Info{}, fmt.Errorf("persist: rebind feature %s: %w", row.Feature.Key(), err)
 		}
+		if seenFeature[fi] {
+			return nil, Info{}, fmt.Errorf("persist: corrupt snapshot: duplicate memo row for feature %s", row.Feature.Key())
+		}
+		seenFeature[fi] = true
 		if len(row.Pairs) != len(row.Vals) {
-			return nil, fmt.Errorf("persist: corrupt memo row for %s", row.Feature.Key())
+			return nil, Info{}, fmt.Errorf("persist: corrupt memo row for %s", row.Feature.Key())
 		}
+		seenPair := make(map[int32]bool, len(row.Pairs))
 		for k, pi := range row.Pairs {
 			if int(pi) >= n || pi < 0 {
-				return nil, fmt.Errorf("persist: memo row for %s references pair %d of %d",
+				return nil, Info{}, fmt.Errorf("persist: memo row for %s references pair %d of %d",
 					row.Feature.Key(), pi, n)
 			}
+			if seenPair[pi] {
+				return nil, Info{}, fmt.Errorf("persist: corrupt snapshot: memo row for %s repeats pair %d",
+					row.Feature.Key(), pi)
+			}
+			seenPair[pi] = true
 			s.M.Memo.Put(fi, int(pi), row.Vals[k])
 		}
 	}
@@ -170,15 +403,37 @@ func Load(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Sessio
 		PredFalse: snap.PredFalse,
 	}
 	s.M.Stats = snap.Stats
-	return s, nil
+	return s, Info{Version: version, Seq: snap.Seq}, nil
+}
+
+// ReadNames returns the table names recorded in a snapshot without
+// rebuilding the session — the durability layer needs them to reload
+// the tables before it can call LoadInfo.
+func ReadNames(path string) (string, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", "", err
+	}
+	defer f.Close()
+	snap, _, err := decodeSnapshot(f)
+	if err != nil {
+		return "", "", err
+	}
+	return snap.TableA, snap.TableB, nil
 }
 
 // LoadFile restores a session from a snapshot file.
 func LoadFile(path string, lib *sim.Library, a, b *table.Table) (*incremental.Session, error) {
+	s, _, err := LoadFileInfo(path, lib, a, b)
+	return s, err
+}
+
+// LoadFileInfo is LoadFile plus format metadata.
+func LoadFileInfo(path string, lib *sim.Library, a, b *table.Table) (*incremental.Session, Info, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, Info{}, err
 	}
 	defer f.Close()
-	return Load(f, lib, a, b)
+	return LoadInfo(f, lib, a, b)
 }

@@ -202,6 +202,16 @@ type StatsResponse struct {
 	// lifetime; 0 when nothing has been looked up yet.
 	MemoHitRate float64  `json:"memoHitRate"`
 	LastOp      OpReport `json:"lastOp"`
+	// Durable reports whether the session is backed by a snapshot +
+	// edit journal on disk. False on servers without a datadir, and on
+	// sessions degraded to ephemeral after a persistence failure —
+	// PersistErr then carries the reason.
+	Durable    bool   `json:"durable"`
+	PersistErr string `json:"persistError,omitempty"`
+	// Seq is the journal sequence of the last committed edit;
+	// JournalBytes the current journal size. Both zero when not durable.
+	Seq          uint64 `json:"seq,omitempty"`
+	JournalBytes int64  `json:"journalBytes,omitempty"`
 }
 
 // VerifyResponse is the POST .../verify response.

@@ -5,10 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
-	"time"
 
 	"rulematch/internal/block"
 	"rulematch/internal/core"
@@ -17,6 +17,7 @@ import (
 	"rulematch/internal/rule"
 	"rulematch/internal/sim"
 	"rulematch/internal/table"
+	"rulematch/internal/wal"
 )
 
 var errDraining = errors.New("server is draining")
@@ -43,6 +44,12 @@ func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("name is required"))
 		return
+	}
+	if s.durable {
+		if err := validSessionName(req.Name); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	if req.TableA == "" || req.TableB == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("tableA and tableB are required"))
@@ -78,11 +85,16 @@ func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ds := &debugSession{name: req.Name, sess: sess, a: a, b: b, created: time.Now()}
+	ds := newDebugSession(req.Name, sess, a, b)
 	if err := s.add(ds); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
+	// The session is registered; give it its durable store (or degrade
+	// to ephemeral) under the write lock before anyone can edit it.
+	ds.mu.Lock()
+	s.attachStore(ds)
+	ds.mu.Unlock()
 	writeJSON(w, http.StatusCreated, infoOf(ds))
 }
 
@@ -157,11 +169,24 @@ func (s *Server) hGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) hDelete(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if !s.remove(name) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	if !s.remove(ds.name) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", ds.name))
+		return
+	}
+	ds.mu.Lock()
+	if ds.store != nil {
+		// Deleting the session deletes its durable home too.
+		if err := ds.store.Destroy(); err != nil {
+			log.Printf("emserve: destroy session %q store: %v", ds.name, err)
+		}
+		ds.store = nil
+	}
+	ds.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -261,6 +286,17 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Journal the committed edit before acknowledging it. The record
+	// stores the resolved rule index and the same op names wal.Apply
+	// replays, so recovery repeats exactly this operation.
+	src := req.Predicate
+	if req.Op == "add_rule" {
+		src = req.RuleSrc
+	}
+	s.recordEdit(ds, wal.Record{
+		Op: req.Op, Rule: ri, Pred: req.Pred,
+		Threshold: req.Threshold, Src: src,
+	})
 	writeJSON(w, http.StatusOK, EditResponse{
 		Report:  reportOf(sess.LastOp),
 		Matches: sess.MatchCount(),
@@ -413,7 +449,7 @@ func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
 	if sess.M.Memo != nil {
 		entries = sess.M.Memo.Entries()
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Pairs:       len(sess.M.Pairs),
 		Rules:       len(sess.M.C.Rules),
 		Matches:     sess.MatchCount(),
@@ -423,7 +459,14 @@ func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
 		Stats:       st,
 		MemoHitRate: rate,
 		LastOp:      reportOf(sess.LastOp),
-	})
+		PersistErr:  ds.persistErr,
+	}
+	if ds.store != nil {
+		resp.Durable = true
+		resp.Seq = ds.store.Seq()
+		resp.JournalBytes = ds.store.JournalSize()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) hVerify(w http.ResponseWriter, r *http.Request) {

@@ -32,6 +32,7 @@ import (
 	"rulematch/internal/core"
 	"rulematch/internal/incremental"
 	"rulematch/internal/table"
+	"rulematch/internal/wal"
 )
 
 // DefaultMaxBodyBytes caps request bodies (tables ride inline in
@@ -50,6 +51,11 @@ type Server struct {
 	sessions map[string]*debugSession
 
 	draining atomic.Bool
+
+	// dur configures the crash-safe session store (see durability.go);
+	// durable is false until EnableDurability succeeds.
+	dur     Durability
+	durable bool
 }
 
 // debugSession is one named session plus its single-writer lock.
@@ -59,10 +65,21 @@ type debugSession struct {
 	sess    *incremental.Session
 	a, b    *table.Table
 	created time.Time
+
+	// store persists the session (nil in ephemeral mode — either the
+	// server has no datadir, or persistence failed and the session was
+	// degraded; persistErr keeps the reason for /stats).
+	store      *wal.Store
+	persistErr string
+}
+
+func newDebugSession(name string, sess *incremental.Session, a, b *table.Table) *debugSession {
+	return &debugSession{name: name, sess: sess, a: a, b: b, created: time.Now()}
 }
 
 // New returns a server whose sessions default to cfg.
 func New(cfg core.Config) *Server {
+	initMetrics()
 	return &Server{
 		cfg:          cfg,
 		MaxBodyBytes: DefaultMaxBodyBytes,

@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"fmt"
+
+	"rulematch/internal/incremental"
+	"rulematch/internal/rule"
+)
+
+// Apply replays one journaled edit against a session. The op names
+// and argument conventions mirror the emserve edit API, so a record
+// journaled for a committed HTTP edit replays the exact same
+// incremental operation.
+func Apply(s *incremental.Session, rec Record) error {
+	switch rec.Op {
+	case "add_predicate":
+		p, err := rule.ParsePredicate(rec.Src)
+		if err != nil {
+			return fmt.Errorf("wal: record %d: parse predicate: %w", rec.Seq, err)
+		}
+		return s.AddPredicate(rec.Rule, p)
+	case "remove_predicate":
+		return s.RemovePredicate(rec.Rule, rec.Pred)
+	case "tighten":
+		return s.TightenPredicate(rec.Rule, rec.Pred, rec.Threshold)
+	case "relax":
+		return s.RelaxPredicate(rec.Rule, rec.Pred, rec.Threshold)
+	case "set_threshold":
+		return s.SetThreshold(rec.Rule, rec.Pred, rec.Threshold)
+	case "add_rule":
+		r, err := rule.ParseRule(rec.Src)
+		if err != nil {
+			return fmt.Errorf("wal: record %d: parse rule: %w", rec.Seq, err)
+		}
+		return s.AddRule(r)
+	case "remove_rule":
+		return s.RemoveRule(rec.Rule)
+	default:
+		return fmt.Errorf("wal: record %d: unknown op %q", rec.Seq, rec.Op)
+	}
+}
+
+// Replay applies every record with Seq > afterSeq in order and
+// returns the sequence number reached. A record that fails to apply
+// stops the replay with an error — the journal and snapshot disagree,
+// which recovery surfaces rather than papering over.
+func Replay(s *incremental.Session, recs []Record, afterSeq uint64) (uint64, error) {
+	seq := afterSeq
+	for _, rec := range recs {
+		if rec.Seq <= afterSeq {
+			continue // already folded into the snapshot
+		}
+		if err := Apply(s, rec); err != nil {
+			return seq, err
+		}
+		seq = rec.Seq
+	}
+	return seq, nil
+}

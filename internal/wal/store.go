@@ -1,0 +1,265 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rulematch/internal/faultio"
+	"rulematch/internal/incremental"
+	"rulematch/internal/persist"
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// Store file names inside a session directory.
+const (
+	SnapshotFile = "snapshot.em"
+	JournalFile  = "journal.wal"
+	TableAFile   = "tableA.csv"
+	TableBFile   = "tableB.csv"
+)
+
+// DefaultCompactBytes is the journal size beyond which RecordEdit
+// compacts (snapshot + journal rotation).
+const DefaultCompactBytes = 1 << 20
+
+// Store is the durable home of one debugging session: a directory
+// holding the input tables, the latest checksummed snapshot and the
+// edit journal. All writes go through a faultio.FS so tests can
+// inject crashes at any filesystem operation.
+//
+// Crash-consistency protocol:
+//
+//   - Every committed edit is appended (and synced, per policy) to the
+//     journal before it is acknowledged.
+//   - Compaction first publishes a new snapshot atomically
+//     (temp+fsync+rename, carrying the covered sequence number), then
+//     rotates the journal the same way. A crash between the two steps
+//     leaves a new snapshot plus a stale journal; recovery skips every
+//     record the snapshot already covers, so nothing is replayed twice.
+//   - Recovery = load snapshot (v1 or v2), read the journal, truncate
+//     its torn tail, replay the records after the snapshot's sequence.
+type Store struct {
+	fsys      faultio.FS
+	dir       string
+	policy    SyncPolicy
+	CompactAt int64 // journal bytes that trigger compaction; <=0 = DefaultCompactBytes
+
+	w   *Writer
+	seq uint64 // last durably journaled (or snapshotted) sequence
+}
+
+func (st *Store) path(name string) string { return filepath.Join(st.dir, name) }
+
+// Seq returns the sequence number of the last committed edit.
+func (st *Store) Seq() uint64 { return st.seq }
+
+// Dir returns the session directory.
+func (st *Store) Dir() string { return st.dir }
+
+// JournalSize returns the journal's current size in bytes.
+func (st *Store) JournalSize() int64 {
+	if st.w == nil {
+		return 0
+	}
+	return st.w.Size()
+}
+
+// Create initializes a session directory: tables, an initial snapshot
+// of the materialized session (seq 0) and an empty journal. The
+// directory must not already contain a snapshot.
+func Create(fsys faultio.FS, dir string, policy SyncPolicy, sess *incremental.Session, a, b *table.Table) (*Store, error) {
+	st := &Store{fsys: fsys, dir: dir, policy: policy}
+	if _, err := os.Stat(st.path(SnapshotFile)); err == nil {
+		return nil, fmt.Errorf("wal: session directory %s already holds a snapshot", dir)
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create session directory: %w", err)
+	}
+	if err := st.writeTable(TableAFile, a); err != nil {
+		return nil, err
+	}
+	if err := st.writeTable(TableBFile, b); err != nil {
+		return nil, err
+	}
+	if err := persist.SaveFileFS(fsys, st.path(SnapshotFile), sess, persist.WithSeq(0)); err != nil {
+		return nil, err
+	}
+	w, err := OpenWriter(fsys, st.path(JournalFile), policy)
+	if err != nil {
+		return nil, err
+	}
+	st.w = w
+	return st, nil
+}
+
+// writeTable persists one input table as CSV through the store's FS.
+func (st *Store) writeTable(name string, t *table.Table) error {
+	f, err := st.fsys.OpenFile(st.path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", name, err)
+	}
+	if err := t.WriteCSV(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write %s: %w", name, err)
+	}
+	if st.policy.Mode != SyncNever {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: sync %s: %w", name, err)
+		}
+	}
+	return f.Close()
+}
+
+// Recovered reports what Open reconstructed.
+type Recovered struct {
+	Session  *incremental.Session
+	A, B     *table.Table
+	Replayed int  // journal records applied on top of the snapshot
+	Torn     bool // whether a torn journal tail was truncated
+}
+
+// Open recovers a session from its directory: reload the tables, load
+// the last good snapshot, replay the journal suffix (truncating a
+// torn tail), and reopen the journal for appending.
+func Open(fsys faultio.FS, dir string, policy SyncPolicy, lib *sim.Library) (*Store, *Recovered, error) {
+	st := &Store{fsys: fsys, dir: dir, policy: policy}
+	// Table names are not stored in the CSV, so recover them from the
+	// snapshot header; persist.LoadFileInfo then verifies consistency.
+	nameA, nameB, err := persist.ReadNames(st.path(SnapshotFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: recover snapshot: %w", err)
+	}
+	a, err := table.ReadCSVFile(st.path(TableAFile), nameA)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: recover tables: %w", err)
+	}
+	b, err := table.ReadCSVFile(st.path(TableBFile), nameB)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: recover tables: %w", err)
+	}
+	sess, info, err := persist.LoadFileInfo(st.path(SnapshotFile), lib, a, b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: recover snapshot: %w", err)
+	}
+	log, err := ReadLog(st.path(JournalFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := RepairFile(fsys, st.path(JournalFile), log); err != nil {
+		return nil, nil, err
+	}
+	seq, err := Replay(sess, log.Records, info.Seq)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: replay journal: %w", err)
+	}
+	st.seq = seq
+	w, err := OpenWriter(fsys, st.path(JournalFile), policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.w = w
+	replayed := 0
+	for _, rec := range log.Records {
+		if rec.Seq > info.Seq {
+			replayed++
+		}
+	}
+	return st, &Recovered{Session: sess, A: a, B: b, Replayed: replayed, Torn: log.Torn}, nil
+}
+
+// RecordEdit journals one committed edit (assigning it the next
+// sequence number) and compacts if the journal has outgrown the
+// threshold. The edit must already be applied to sess; on a nil
+// return it is as durable as the sync policy promises.
+func (st *Store) RecordEdit(sess *incremental.Session, rec Record) error {
+	if st.w == nil {
+		return errors.New("wal: store is closed")
+	}
+	rec.Seq = st.seq + 1
+	if err := st.w.Append(rec); err != nil {
+		return err
+	}
+	st.seq = rec.Seq
+	limit := st.CompactAt
+	if limit <= 0 {
+		limit = DefaultCompactBytes
+	}
+	if st.w.Size() > limit {
+		if err := st.Compact(sess); err != nil {
+			return fmt.Errorf("wal: compact: %w", err)
+		}
+	}
+	return nil
+}
+
+// Compact folds the journal into a fresh snapshot and rotates the
+// journal. Both steps are individually atomic; see the Store comment
+// for why a crash between them is safe.
+func (st *Store) Compact(sess *incremental.Session) error {
+	opts := []persist.SaveOption{persist.WithSeq(st.seq)}
+	if st.policy.Mode == SyncNever {
+		opts = append(opts, persist.NoFsync())
+	}
+	if err := persist.SaveFileFS(st.fsys, st.path(SnapshotFile), sess, opts...); err != nil {
+		return err
+	}
+	// Rotate: build a fresh header-only journal beside the live one,
+	// then atomically swap it in.
+	tmp := st.path(JournalFile + ".new")
+	f, err := st.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate journal: %w", err)
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		_ = f.Close()
+		_ = st.fsys.Remove(tmp)
+		return fmt.Errorf("wal: rotate journal: %w", err)
+	}
+	if st.policy.Mode != SyncNever {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			_ = st.fsys.Remove(tmp)
+			return fmt.Errorf("wal: rotate journal: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = st.fsys.Remove(tmp)
+		return fmt.Errorf("wal: rotate journal: %w", err)
+	}
+	_ = st.w.Close()
+	st.w = nil
+	if err := st.fsys.Rename(tmp, st.path(JournalFile)); err != nil {
+		return fmt.Errorf("wal: rotate journal: %w", err)
+	}
+	if st.policy.Mode != SyncNever {
+		if err := st.fsys.SyncDir(st.dir); err != nil {
+			return fmt.Errorf("wal: rotate journal: %w", err)
+		}
+	}
+	w, err := OpenWriter(st.fsys, st.path(JournalFile), st.policy)
+	if err != nil {
+		return err
+	}
+	st.w = w
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (st *Store) Close() error {
+	if st.w == nil {
+		return nil
+	}
+	err := st.w.Close()
+	st.w = nil
+	return err
+}
+
+// Destroy removes the session directory and everything in it.
+func (st *Store) Destroy() error {
+	_ = st.Close()
+	return st.fsys.RemoveAll(st.dir)
+}

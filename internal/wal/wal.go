@@ -1,0 +1,318 @@
+// Package wal implements the write-ahead edit journal that makes
+// debugging sessions crash-safe: every committed incremental edit
+// (the paper's Algorithms 7–10) is appended to an append-only log
+// before it is acknowledged, so a crash — even kill -9 — loses no
+// committed work. Recovery loads the last good snapshot
+// (internal/persist) and replays the journal's surviving suffix;
+// Store ties the two together per session directory and compacts the
+// journal into a fresh snapshot once it grows past a threshold.
+//
+// On-disk format: an 8-byte magic ("EMWAL1\n" + NUL), then records,
+// each framed as
+//
+//	uint32 LE payload length | uint32 LE CRC-32C | JSON payload
+//
+// A torn tail — a record cut short by a crash, or garbage after a
+// partial append — is detected by the length/CRC check; recovery
+// keeps every record before the first bad byte and truncates the rest
+// (RepairFile), which is exactly the semantics of a crash between
+// append and fsync: the un-synced suffix never happened.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"rulematch/internal/faultio"
+)
+
+const (
+	// Magic opens every journal file.
+	Magic = "EMWAL1\n\x00"
+
+	// maxRecordBytes bounds a record's length prefix: a corrupt
+	// length must not drive a huge allocation. Edit records are DSL
+	// snippets plus indices — a megabyte is generous.
+	maxRecordBytes = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled edit operation. Op uses the same names as
+// the emserve edit API: add_predicate, remove_predicate, tighten,
+// relax, set_threshold, add_rule, remove_rule.
+type Record struct {
+	// Seq numbers records 1,2,3,… within a session's history. A
+	// snapshot covering seq S makes every record with Seq <= S
+	// redundant; recovery replays only the suffix.
+	Seq       uint64  `json:"seq"`
+	Op        string  `json:"op"`
+	Rule      int     `json:"rule"`
+	Pred      int     `json:"pred,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// Src carries DSL source: the predicate for add_predicate, the
+	// rule for add_rule.
+	Src string `json:"src,omitempty"`
+}
+
+// SyncMode selects when appends reach stable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every append — no acknowledged edit is
+	// ever lost, even to power failure.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs when Interval has elapsed since the last
+	// sync — bounded loss under power failure, none under kill -9.
+	SyncInterval
+	// SyncNever leaves flushing to the OS — fastest; kill -9 still
+	// loses nothing the kernel accepted, power failure may.
+	SyncNever
+)
+
+// SyncPolicy is a SyncMode plus its interval.
+type SyncPolicy struct {
+	Mode     SyncMode
+	Interval time.Duration
+}
+
+func (p SyncPolicy) String() string {
+	switch p.Mode {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return p.Interval.String()
+	}
+}
+
+// ParseSyncPolicy reads the -fsync flag syntax: "always", "never", or
+// a duration ("100ms", "2s") for interval syncing.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncPolicy{Mode: SyncAlways}, nil
+	case "never":
+		return SyncPolicy{Mode: SyncNever}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return SyncPolicy{}, fmt.Errorf("wal: fsync policy %q: want always, never, or a positive duration", s)
+	}
+	return SyncPolicy{Mode: SyncInterval, Interval: d}, nil
+}
+
+// Writer appends records to a journal file.
+type Writer struct {
+	fsys     faultio.FS
+	f        faultio.File
+	path     string
+	policy   SyncPolicy
+	size     int64
+	lastSync time.Time
+}
+
+// OpenWriter opens (or creates) the journal at path for appending.
+// A brand-new (or empty) journal gets the magic header. The caller is
+// responsible for having run recovery first — OpenWriter assumes the
+// existing content is well-formed up to its size.
+func OpenWriter(fsys faultio.FS, path string, policy SyncPolicy) (*Writer, error) {
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("wal: stat journal: %w", err)
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open journal: %w", err)
+	}
+	w := &Writer{fsys: fsys, f: f, path: path, policy: policy, size: size, lastSync: time.Now()}
+	if size == 0 {
+		if _, err := f.Write([]byte(Magic)); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("wal: write journal header: %w", err)
+		}
+		w.size = int64(len(Magic))
+		if policy.Mode != SyncNever {
+			if err := f.Sync(); err != nil {
+				_ = f.Close()
+				return nil, fmt.Errorf("wal: sync journal header: %w", err)
+			}
+		}
+	}
+	return w, nil
+}
+
+// Append journals one record, frames it, writes it in a single write
+// call and syncs per policy. On return with nil error the record is
+// committed (durably so under SyncAlways).
+func (w *Writer) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append record: %w", err)
+	}
+	w.size += int64(len(frame))
+	switch w.policy.Mode {
+	case SyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync journal: %w", err)
+		}
+		w.lastSync = time.Now()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.policy.Interval {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("wal: sync journal: %w", err)
+			}
+			w.lastSync = time.Now()
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (w *Writer) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync journal: %w", err)
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Size returns the journal's current byte size (header + records).
+func (w *Writer) Size() int64 { return w.size }
+
+// Close closes the underlying file (syncing first unless the policy
+// is SyncNever).
+func (w *Writer) Close() error {
+	if w.policy.Mode != SyncNever {
+		if err := w.f.Sync(); err != nil {
+			_ = w.f.Close()
+			return fmt.Errorf("wal: sync on close: %w", err)
+		}
+	}
+	return w.f.Close()
+}
+
+// Log is the result of reading a journal: the records that survived,
+// and where the good prefix ends.
+type Log struct {
+	Records []Record
+	// GoodSize is the byte offset of the first bad (torn, corrupt or
+	// trailing-garbage) byte; equal to the file size for a clean log.
+	GoodSize int64
+	// Torn reports whether anything after GoodSize was discarded.
+	Torn bool
+}
+
+// ReadLog reads a journal file, stopping at the first bad record — a
+// short frame, an implausible length, a checksum mismatch, or a
+// sequence number that does not increase. A missing file is an empty
+// log. ReadLog never modifies the file; pass the result to RepairFile
+// to truncate the torn tail before appending again.
+func ReadLog(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Log{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: read journal: %w", err)
+	}
+	return parseLog(data), nil
+}
+
+func parseLog(data []byte) *Log {
+	log := &Log{}
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		// Header never completed: the whole file is a torn tail.
+		log.Torn = len(data) > 0
+		return log
+	}
+	off := int64(len(Magic))
+	log.GoodSize = off
+	var lastSeq uint64
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return log // clean end
+		}
+		if len(rest) < 8 {
+			log.Torn = true
+			return log
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 || n > maxRecordBytes || int64(n) > int64(len(rest)-8) {
+			log.Torn = true
+			return log
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			log.Torn = true
+			return log
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			log.Torn = true
+			return log
+		}
+		if rec.Seq <= lastSeq {
+			// Sequence must be strictly increasing; a repeat or
+			// regression means the tail is not trustworthy.
+			log.Torn = true
+			return log
+		}
+		lastSeq = rec.Seq
+		log.Records = append(log.Records, rec)
+		off += int64(8 + n)
+		log.GoodSize = off
+	}
+}
+
+// ReadLogFrom parses a journal from an io.Reader (for tests and
+// tooling); semantics match ReadLog.
+func ReadLogFrom(r io.Reader) (*Log, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read journal: %w", err)
+	}
+	return parseLog(data), nil
+}
+
+// RepairFile truncates the journal's torn tail in place so appends
+// can resume after the last good record. No-op for a clean log.
+func RepairFile(fsys faultio.FS, path string, log *Log) error {
+	if !log.Torn {
+		return nil
+	}
+	if err := fsys.Truncate(path, log.GoodSize); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	return nil
+}
+
+// LastSeq returns the sequence number of the final record (0 when
+// empty).
+func (l *Log) LastSeq() uint64 {
+	if len(l.Records) == 0 {
+		return 0
+	}
+	return l.Records[len(l.Records)-1].Seq
+}
