@@ -8,7 +8,8 @@
 //	embench -exp fig6 -trials 100
 //
 // Experiments: table2, table3, fig3a, fig3b, fig3c, fig4, fig5a,
-// fig5b, fig5c, fig6, replay, memory, ablations, kernels, all.
+// fig5b, fig5c, fig6, replay, memory, ablations, kernels, durability,
+// stream, all.
 package main
 
 import (
@@ -75,7 +76,7 @@ var knownExperiments = map[string]bool{
 	"fig3a": true, "fig3b": true, "fig3c": true, "fig4": true,
 	"fig5a": true, "fig5b": true, "fig5c": true,
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
-	"kernels": true, "durability": true,
+	"kernels": true, "durability": true, "stream": true,
 }
 
 func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int, jsonOut string) error {
@@ -119,7 +120,7 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 	}
 
 	needTask := exp == "all"
-	for _, e := range []string{"fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "memory", "ablations", "replay", "durability"} {
+	for _, e := range []string{"fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "memory", "ablations", "replay", "durability", "stream"} {
 		if exp == e {
 			needTask = true
 		}
@@ -219,6 +220,13 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 	}
 	if exp == "durability" || exp == "all" {
 		tbl, err := bench.AblationDurability(task)
+		if err != nil {
+			return err
+		}
+		tbl.Print(out)
+	}
+	if exp == "stream" || exp == "all" {
+		tbl, err := bench.Stream(task, bench.StreamConfig{})
 		if err != nil {
 			return err
 		}

@@ -117,6 +117,7 @@ func (d *debugger) load(dataset string, scale float64, mined bool) error {
 	}
 	c.EnableProfileCache() // interactive sessions want the fastest cold run
 	d.sess = incremental.NewSession(c, task.Pairs())
+	d.sess.Blocker = task.DS.Blocker()
 	runDur := timeOp(func() { d.runFull() })
 	d.last = runDur
 	fmt.Fprintf(d.out, "loaded %s: %d + %d records, %d candidate pairs, %d gold matches (prepared in %v)\n",
@@ -177,6 +178,7 @@ func (d *debugger) loadCSV(dir, blockAttr string) error {
 	c.EnableProfileCache()
 	d.task = &bench.Task{DS: ds, Lib: lib, Rules: f.Rules}
 	d.sess = incremental.NewSession(c, ds.Pairs)
+	d.sess.Blocker = ds.Blocker()
 	d.last = timeOp(func() { d.runFull() })
 	fmt.Fprintf(d.out, "loaded %s: %d + %d records, %d candidate pairs, %d gold matches\n",
 		dir, a.Len(), b.Len(), len(ds.Pairs), len(ds.Gold))

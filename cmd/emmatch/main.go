@@ -87,6 +87,8 @@ func run(o options, diag io.Writer) error {
 		// (sharded across workers when -parallel != 1) so emdebug and
 		// emserve can resume from a warm session.
 		sess = incremental.NewSessionConfig(c, in.Pairs, cfg)
+		// Carry the blocker so resumed sessions accept record appends.
+		sess.Blocker = in.Blocker
 		if o.eng.Parallel != 1 {
 			sess.RunFullParallel(o.eng.Parallel)
 		} else {

@@ -26,6 +26,23 @@ func New(n int) *Bits {
 // Len returns the number of bits the set holds.
 func (b *Bits) Len() int { return b.n }
 
+// Grow extends the set to hold n bits, preserving existing bits. The
+// new bits are clear, and the unused high bits of the last word stay
+// clear (the invariant OrRange relies on). Growing to a smaller or
+// equal n is a no-op.
+func (b *Bits) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	need := (n + 63) / 64
+	if need > len(b.words) {
+		words := make([]uint64, need)
+		copy(words, b.words)
+		b.words = words
+	}
+	b.n = n
+}
+
 // Set sets bit i.
 func (b *Bits) Set(i int) {
 	b.check(i)

@@ -40,16 +40,12 @@ func (e AttrEquivalence) Pairs(a, b *table.Table) ([]table.Pair, error) {
 	if !ok {
 		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, e.Attr)
 	}
-	buckets := make(map[string][]int32)
-	for i := range b.Records {
-		v := b.Value(i, colB)
-		if v == "" {
-			continue
-		}
-		buckets[v] = append(buckets[v], int32(i))
-	}
+	buckets := bucketRange(b, colB, 0, b.Len())
 	var pairs []table.Pair
 	for i := range a.Records {
+		if a.Deleted(i) {
+			continue
+		}
 		v := a.Value(i, colA)
 		if v == "" {
 			continue
@@ -59,6 +55,23 @@ func (e AttrEquivalence) Pairs(a, b *table.Table) ([]table.Pair, error) {
 		}
 	}
 	return Normalize(pairs), nil
+}
+
+// bucketRange indexes the live records of t in [lo, hi) by the value
+// of column col, skipping empty values.
+func bucketRange(t *table.Table, col, lo, hi int) map[string][]int32 {
+	buckets := make(map[string][]int32)
+	for j := lo; j < hi; j++ {
+		if t.Deleted(j) {
+			continue
+		}
+		v := t.Value(j, col)
+		if v == "" {
+			continue
+		}
+		buckets[v] = append(buckets[v], int32(j))
+	}
+	return buckets
 }
 
 // TokenOverlap blocks on shared tokens of one attribute: a pair is a
@@ -93,9 +106,26 @@ func (t TokenOverlap) Pairs(a, b *table.Table) ([]table.Pair, error) {
 	if minShared <= 0 {
 		minShared = 1
 	}
-	// Inverted index over B tokens.
+	index := t.index(b, colB, tok)
+	var pairs []table.Pair
+	shared := make(map[int32]int)
+	for i := range a.Records {
+		if a.Deleted(i) {
+			continue
+		}
+		pairs = t.score(pairs, index, shared, tok, int32(i), a.Value(i, colA), minShared)
+	}
+	return Normalize(pairs), nil
+}
+
+// index builds the inverted token index over the live records of b,
+// dropping postings longer than MaxTokenFreq.
+func (t TokenOverlap) index(b *table.Table, colB int, tok sim.Tokenizer) map[string][]int32 {
 	index := make(map[string][]int32)
 	for j := range b.Records {
+		if b.Deleted(j) {
+			continue
+		}
 		seen := make(map[string]struct{})
 		for _, w := range tok.Tokens(b.Value(j, colB)) {
 			if _, dup := seen[w]; dup {
@@ -112,27 +142,30 @@ func (t TokenOverlap) Pairs(a, b *table.Table) ([]table.Pair, error) {
 			}
 		}
 	}
-	var pairs []table.Pair
-	shared := make(map[int32]int)
-	for i := range a.Records {
-		clear(shared)
-		seen := make(map[string]struct{})
-		for _, w := range tok.Tokens(a.Value(i, colA)) {
-			if _, dup := seen[w]; dup {
-				continue
-			}
-			seen[w] = struct{}{}
-			for _, j := range index[w] {
-				shared[j]++
-			}
+	return index
+}
+
+// score appends to pairs every candidate (i, j) where A-record i
+// shares at least minShared indexed tokens with B-record j. shared is
+// caller-provided scratch, cleared here.
+func (t TokenOverlap) score(pairs []table.Pair, index map[string][]int32, shared map[int32]int, tok sim.Tokenizer, i int32, val string, minShared int) []table.Pair {
+	clear(shared)
+	seen := make(map[string]struct{})
+	for _, w := range tok.Tokens(val) {
+		if _, dup := seen[w]; dup {
+			continue
 		}
-		for j, n := range shared {
-			if n >= minShared {
-				pairs = append(pairs, table.Pair{A: int32(i), B: j})
-			}
+		seen[w] = struct{}{}
+		for _, j := range index[w] {
+			shared[j]++
 		}
 	}
-	return Normalize(pairs), nil
+	for j, n := range shared {
+		if n >= minShared {
+			pairs = append(pairs, table.Pair{A: i, B: j})
+		}
+	}
+	return pairs
 }
 
 // SortedNeighborhood blocks with the classic sorted-neighborhood
@@ -168,19 +201,7 @@ func (s SortedNeighborhood) Pairs(a, b *table.Table) ([]table.Pair, error) {
 	if !ok {
 		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, s.Attr)
 	}
-	type entry struct {
-		key   string
-		idx   int32
-		fromA bool
-	}
-	merged := make([]entry, 0, a.Len()+b.Len())
-	for i := range a.Records {
-		merged = append(merged, entry{key: a.Value(i, colA), idx: int32(i), fromA: true})
-	}
-	for j := range b.Records {
-		merged = append(merged, entry{key: b.Value(j, colB), idx: int32(j)})
-	}
-	sort.SliceStable(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	merged := s.merge(a, b, colA, colB)
 	w := s.windowSize()
 	var pairs []table.Pair
 	for i := range merged {
@@ -199,6 +220,32 @@ func (s SortedNeighborhood) Pairs(a, b *table.Table) ([]table.Pair, error) {
 		}
 	}
 	return Normalize(pairs), nil
+}
+
+// snEntry is one record in the merged sorted-neighborhood list.
+type snEntry struct {
+	key   string
+	idx   int32
+	fromA bool
+}
+
+// merge builds the sorted merged list of live records from both tables.
+func (s SortedNeighborhood) merge(a, b *table.Table, colA, colB int) []snEntry {
+	merged := make([]snEntry, 0, a.Len()+b.Len())
+	for i := range a.Records {
+		if a.Deleted(i) {
+			continue
+		}
+		merged = append(merged, snEntry{key: a.Value(i, colA), idx: int32(i), fromA: true})
+	}
+	for j := range b.Records {
+		if b.Deleted(j) {
+			continue
+		}
+		merged = append(merged, snEntry{key: b.Value(j, colB), idx: int32(j)})
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	return merged
 }
 
 // Union combines the candidate sets of several blockers.
@@ -230,13 +277,18 @@ func (u Union) Pairs(a, b *table.Table) ([]table.Pair, error) {
 }
 
 // Normalize sorts pairs by (A,B) and removes duplicates in place.
+// Already-sorted input (common when pairs come out of an ordered scan)
+// is detected with one linear pass and deduped in place with no sort
+// and no allocation.
 func Normalize(pairs []table.Pair) []table.Pair {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
-		}
-		return pairs[i].B < pairs[j].B
-	})
+	if !pairsSorted(pairs) {
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].A != pairs[j].A {
+				return pairs[i].A < pairs[j].A
+			}
+			return pairs[i].B < pairs[j].B
+		})
+	}
 	out := pairs[:0]
 	for i, p := range pairs {
 		if i > 0 && p == pairs[i-1] {
@@ -245,6 +297,17 @@ func Normalize(pairs []table.Pair) []table.Pair {
 		out = append(out, p)
 	}
 	return out
+}
+
+// pairsSorted reports whether pairs is non-decreasing in (A,B) order.
+func pairsSorted(pairs []table.Pair) bool {
+	for i := 1; i < len(pairs); i++ {
+		p, q := pairs[i-1], pairs[i]
+		if q.A < p.A || (q.A == p.A && q.B < p.B) {
+			return false
+		}
+	}
+	return true
 }
 
 // Recall returns the fraction of gold matching pairs retained by the

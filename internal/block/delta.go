@@ -1,0 +1,187 @@
+package block
+
+import (
+	"fmt"
+
+	"rulematch/internal/sim"
+	"rulematch/internal/table"
+)
+
+// DeltaBlocker is a Blocker that can also block incrementally: given
+// tables that have grown past their old lengths, PairsDelta emits only
+// the candidate pairs that touch at least one appended record.
+//
+// Contract (differential-tested against full re-blocking):
+//
+//   - Every delta pair has A >= oldA or B >= oldB (it touches a new
+//     record), and no delta pair duplicates a pair the full blocking of
+//     the old tables would have produced.
+//   - oldPairs ∪ delta is a superset of Pairs on the grown tables.
+//     Blocking is recall-oriented, so a conservative superset is safe:
+//     extra candidates cost evaluation time, never correctness. For
+//     AttrEquivalence and TokenOverlap without MaxTokenFreq the union
+//     is exactly equal; TokenOverlap with a frequency cap may retain
+//     old pairs a from-scratch run would prune (a token pushed over the
+//     cap by new records), and SortedNeighborhood may retain old pairs
+//     pushed out of a window by inserted records. Appends never create
+//     an old-old pair that full blocking has and the union lacks.
+//
+// Deleted (tombstoned) records are skipped on both sides, old and new.
+type DeltaBlocker interface {
+	Blocker
+	PairsDelta(a, b *table.Table, oldA, oldB int) ([]table.Pair, error)
+}
+
+// PairsDelta implements DeltaBlocker. New A records pair with every
+// live B record; old live A records pair with new B records only.
+func (e AttrEquivalence) PairsDelta(a, b *table.Table, oldA, oldB int) ([]table.Pair, error) {
+	colA, ok := a.AttrIndex(e.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", a.Name, e.Attr)
+	}
+	colB, ok := b.AttrIndex(e.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, e.Attr)
+	}
+	var pairs []table.Pair
+	if a.Len() > oldA {
+		all := bucketRange(b, colB, 0, b.Len())
+		pairs = e.scanRange(pairs, a, colA, oldA, a.Len(), all)
+	}
+	if b.Len() > oldB {
+		fresh := bucketRange(b, colB, oldB, b.Len())
+		pairs = e.scanRange(pairs, a, colA, 0, oldA, fresh)
+	}
+	return Normalize(pairs), nil
+}
+
+// scanRange pairs live A records in [lo, hi) against the given B-side
+// buckets.
+func (e AttrEquivalence) scanRange(pairs []table.Pair, a *table.Table, colA, lo, hi int, buckets map[string][]int32) []table.Pair {
+	for i := lo; i < hi; i++ {
+		if a.Deleted(i) {
+			continue
+		}
+		v := a.Value(i, colA)
+		if v == "" {
+			continue
+		}
+		for _, j := range buckets[v] {
+			pairs = append(pairs, table.Pair{A: int32(i), B: j})
+		}
+	}
+	return pairs
+}
+
+// PairsDelta implements DeltaBlocker. The full live-B index is rebuilt
+// so MaxTokenFreq prunes against current token frequencies (matching
+// what a full run over the grown tables would keep); new A records
+// score against the whole index, old A records against postings
+// restricted to new B records.
+func (t TokenOverlap) PairsDelta(a, b *table.Table, oldA, oldB int) ([]table.Pair, error) {
+	colA, ok := a.AttrIndex(t.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", a.Name, t.Attr)
+	}
+	colB, ok := b.AttrIndex(t.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, t.Attr)
+	}
+	tok := t.Tok
+	if tok == nil {
+		tok = sim.Whitespace{}
+	}
+	minShared := t.MinShared
+	if minShared <= 0 {
+		minShared = 1
+	}
+	index := t.index(b, colB, tok)
+	shared := make(map[int32]int)
+	var pairs []table.Pair
+	for i := oldA; i < a.Len(); i++ {
+		if a.Deleted(i) {
+			continue
+		}
+		pairs = t.score(pairs, index, shared, tok, int32(i), a.Value(i, colA), minShared)
+	}
+	if b.Len() > oldB && oldA > 0 {
+		fresh := make(map[string][]int32, len(index))
+		for w, posting := range index {
+			lo := len(posting)
+			for lo > 0 && posting[lo-1] >= int32(oldB) {
+				lo--
+			}
+			if lo < len(posting) {
+				fresh[w] = posting[lo:]
+			}
+		}
+		for i := 0; i < oldA; i++ {
+			if a.Deleted(i) {
+				continue
+			}
+			pairs = t.score(pairs, fresh, shared, tok, int32(i), a.Value(i, colA), minShared)
+		}
+	}
+	return Normalize(pairs), nil
+}
+
+// PairsDelta implements DeltaBlocker. The merged list is re-sorted in
+// full — sorting is cheap next to matching — but only window pairs
+// touching a new record are emitted. Insertions can only push old
+// entries further apart, so no old-old pair enters a window that a
+// full run of the old tables lacked; the superset contract holds.
+func (s SortedNeighborhood) PairsDelta(a, b *table.Table, oldA, oldB int) ([]table.Pair, error) {
+	colA, ok := a.AttrIndex(s.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", a.Name, s.Attr)
+	}
+	colB, ok := b.AttrIndex(s.Attr)
+	if !ok {
+		return nil, fmt.Errorf("block: table %q has no attribute %q", b.Name, s.Attr)
+	}
+	merged := s.merge(a, b, colA, colB)
+	isNew := func(e snEntry) bool {
+		if e.fromA {
+			return e.idx >= int32(oldA)
+		}
+		return e.idx >= int32(oldB)
+	}
+	w := s.windowSize()
+	var pairs []table.Pair
+	for i := range merged {
+		hi := i + w
+		if hi > len(merged) {
+			hi = len(merged)
+		}
+		for j := i + 1; j < hi; j++ {
+			x, y := merged[i], merged[j]
+			if x.fromA == y.fromA || (!isNew(x) && !isNew(y)) {
+				continue
+			}
+			if x.fromA {
+				pairs = append(pairs, table.Pair{A: x.idx, B: y.idx})
+			} else {
+				pairs = append(pairs, table.Pair{A: y.idx, B: x.idx})
+			}
+		}
+	}
+	return Normalize(pairs), nil
+}
+
+// PairsDelta implements DeltaBlocker. Every member must itself be a
+// DeltaBlocker; the union of member deltas is the union's delta.
+func (u Union) PairsDelta(a, b *table.Table, oldA, oldB int) ([]table.Pair, error) {
+	var all []table.Pair
+	for _, blk := range u {
+		db, ok := blk.(DeltaBlocker)
+		if !ok {
+			return nil, fmt.Errorf("block: union member %s does not support delta blocking", blk.Name())
+		}
+		p, err := db.PairsDelta(a, b, oldA, oldB)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, p...)
+	}
+	return Normalize(all), nil
+}

@@ -1,0 +1,195 @@
+package block
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rulematch/internal/table"
+)
+
+// randTables builds two tables over a small shared vocabulary so the
+// blockers produce overlapping, non-trivial candidate sets.
+func randTables(rng *rand.Rand, nA, nB int) (*table.Table, *table.Table) {
+	cats := []string{"laptops", "cameras", "phones", "printers", "tablets", ""}
+	words := []string{"sony", "canon", "dell", "hp", "nikon", "pro", "mini", "max", "13", "15"}
+	title := func() string {
+		n := 1 + rng.Intn(3)
+		out := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				out += " "
+			}
+			out += words[rng.Intn(len(words))]
+		}
+		return out
+	}
+	a := table.MustNew("A", []string{"category", "title"})
+	b := table.MustNew("B", []string{"category", "title"})
+	for i := 0; i < nA; i++ {
+		a.Append(fmt.Sprintf("a%d", i), cats[rng.Intn(len(cats))], title())
+	}
+	for j := 0; j < nB; j++ {
+		b.Append(fmt.Sprintf("b%d", j), cats[rng.Intn(len(cats))], title())
+	}
+	return a, b
+}
+
+// growTables appends extra random records to both tables, returning the
+// old lengths.
+func growTables(rng *rand.Rand, a, b *table.Table, extraA, extraB int) (int, int) {
+	cats := []string{"laptops", "cameras", "phones", "drones"}
+	words := []string{"sony", "canon", "dji", "drone", "pro", "air"}
+	oldA, oldB := a.Len(), b.Len()
+	for i := 0; i < extraA; i++ {
+		a.Append(fmt.Sprintf("a%d", oldA+i), cats[rng.Intn(len(cats))],
+			words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))])
+	}
+	for j := 0; j < extraB; j++ {
+		b.Append(fmt.Sprintf("b%d", oldB+j), cats[rng.Intn(len(cats))],
+			words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))])
+	}
+	return oldA, oldB
+}
+
+func pairSet(pairs []table.Pair) map[table.Pair]bool {
+	m := make(map[table.Pair]bool, len(pairs))
+	for _, p := range pairs {
+		m[p] = true
+	}
+	return m
+}
+
+// checkDeltaContract verifies the DeltaBlocker contract for one blocker
+// over one grown table pair: delta pairs touch new records only, the
+// union covers the full re-block, and (when exact) matches it.
+func checkDeltaContract(t *testing.T, blk DeltaBlocker, a, b *table.Table, oldPairs []table.Pair, oldA, oldB int, exact bool) {
+	t.Helper()
+	delta, err := blk.PairsDelta(a, b, oldA, oldB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSet := pairSet(oldPairs)
+	for _, p := range delta {
+		if int(p.A) < oldA && int(p.B) < oldB {
+			t.Fatalf("%s: delta pair %v touches no new record (oldA=%d oldB=%d)", blk.Name(), p, oldA, oldB)
+		}
+		if oldSet[p] {
+			t.Fatalf("%s: delta pair %v duplicates an old pair", blk.Name(), p)
+		}
+	}
+	full, err := blk.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := pairSet(oldPairs)
+	for _, p := range delta {
+		union[p] = true
+	}
+	for _, p := range full {
+		if !union[p] {
+			t.Fatalf("%s: full re-block pair %v missing from old ∪ delta", blk.Name(), p)
+		}
+	}
+	if exact && len(union) != len(full) {
+		t.Fatalf("%s: old ∪ delta has %d pairs, full re-block %d (want exact equality)",
+			blk.Name(), len(union), len(full))
+	}
+}
+
+func TestPairsDeltaDifferential(t *testing.T) {
+	blockers := []struct {
+		name  string
+		blk   DeltaBlocker
+		exact bool
+	}{
+		{"attr_equivalence", AttrEquivalence{Attr: "category"}, true},
+		{"token_overlap", TokenOverlap{Attr: "title", MinShared: 1}, true},
+		{"token_overlap_2shared", TokenOverlap{Attr: "title", MinShared: 2}, true},
+		{"token_overlap_capped", TokenOverlap{Attr: "title", MinShared: 1, MaxTokenFreq: 6}, false},
+		{"sorted_neighborhood", SortedNeighborhood{Attr: "title", Window: 4}, false},
+		{"union", Union{AttrEquivalence{Attr: "category"}, SortedNeighborhood{Attr: "title", Window: 3}}, false},
+	}
+	for _, bc := range blockers {
+		t.Run(bc.name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				rng := rand.New(rand.NewSource(int64(100*trial + 7)))
+				a, b := randTables(rng, 10+rng.Intn(20), 10+rng.Intn(20))
+				oldPairs, err := bc.blk.Pairs(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Grow one side, the other, or both.
+				extraA, extraB := rng.Intn(6), rng.Intn(6)
+				if extraA+extraB == 0 {
+					extraA = 1
+				}
+				oldA, oldB := growTables(rng, a, b, extraA, extraB)
+				checkDeltaContract(t, bc.blk, a, b, oldPairs, oldA, oldB, bc.exact)
+			}
+		})
+	}
+}
+
+func TestPairsDeltaSkipsDeleted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := randTables(rng, 15, 15)
+	// Tombstone a few records on each side before growing.
+	for _, id := range []string{"a0", "a3"} {
+		if _, err := a.DeleteRecord(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.DeleteRecord("b2"); err != nil {
+		t.Fatal(err)
+	}
+	blk := AttrEquivalence{Attr: "category"}
+	oldPairs, err := blk.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldA, oldB := growTables(rng, a, b, 4, 4)
+	delta, err := blk.PairsDelta(a, b, oldA, oldB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range delta {
+		if a.Deleted(int(p.A)) || b.Deleted(int(p.B)) {
+			t.Fatalf("delta pair %v touches a deleted record", p)
+		}
+	}
+	checkDeltaContract(t, blk, a, b, oldPairs, oldA, oldB, true)
+}
+
+func TestPairsDeltaNoGrowthIsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := randTables(rng, 12, 12)
+	for _, blk := range []DeltaBlocker{
+		AttrEquivalence{Attr: "category"},
+		TokenOverlap{Attr: "title", MinShared: 1},
+		SortedNeighborhood{Attr: "title", Window: 3},
+	} {
+		delta, err := blk.PairsDelta(a, b, a.Len(), b.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(delta) != 0 {
+			t.Fatalf("%s: delta over unchanged tables = %v", blk.Name(), delta)
+		}
+	}
+}
+
+func TestUnionDeltaRequiresDeltaMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := randTables(rng, 5, 5)
+	u := Union{AttrEquivalence{Attr: "category"}, plainBlocker{}}
+	if _, err := u.PairsDelta(a, b, 4, 4); err == nil {
+		t.Fatal("union with a non-delta member accepted")
+	}
+}
+
+// plainBlocker implements only Blocker, not DeltaBlocker.
+type plainBlocker struct{}
+
+func (plainBlocker) Name() string                                  { return "plain" }
+func (plainBlocker) Pairs(a, b *table.Table) ([]table.Pair, error) { return nil, nil }

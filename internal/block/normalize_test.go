@@ -1,0 +1,72 @@
+package block
+
+import (
+	"math/rand"
+	"testing"
+
+	"rulematch/internal/table"
+)
+
+func sortedPairs(n int) []table.Pair {
+	out := make([]table.Pair, 0, n)
+	for i := 0; len(out) < n; i++ {
+		for j := 0; j < 4 && len(out) < n; j++ {
+			out = append(out, table.Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	return out
+}
+
+func TestNormalizeSortedInPlace(t *testing.T) {
+	pairs := sortedPairs(64)
+	// Inject adjacent duplicates; the input stays sorted.
+	pairs = append(pairs[:10], pairs[9:]...)
+	got := Normalize(pairs)
+	for i := 1; i < len(got); i++ {
+		if !pairLess(got[i-1], got[i]) {
+			t.Fatalf("not strictly sorted at %d: %v %v", i, got[i-1], got[i])
+		}
+	}
+	if len(got) != 64 {
+		t.Fatalf("len = %d, want 64", len(got))
+	}
+}
+
+func TestNormalizeSortedNoAlloc(t *testing.T) {
+	pairs := sortedPairs(1024)
+	allocs := testing.AllocsPerRun(10, func() {
+		Normalize(pairs)
+	})
+	if allocs != 0 {
+		t.Fatalf("Normalize on sorted input allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+func pairLess(p, q table.Pair) bool {
+	if p.A != q.A {
+		return p.A < q.A
+	}
+	return p.B < q.B
+}
+
+func BenchmarkNormalizeSorted(b *testing.B) {
+	pairs := sortedPairs(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Normalize(pairs)
+	}
+}
+
+func BenchmarkNormalizeUnsorted(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := sortedPairs(1 << 14)
+	rng.Shuffle(len(base), func(i, j int) { base[i], base[j] = base[j], base[i] })
+	scratch := make([]table.Pair, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, base)
+		Normalize(scratch)
+	}
+}

@@ -1,0 +1,144 @@
+package block
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatSpec renders a blocker as a compact round-trippable spec
+// string, e.g.
+//
+//	attr_equivalence(category)
+//	token_overlap(name,min=2,maxfreq=120)
+//	sorted_neighborhood(name,w=7)
+//	union(attr_equivalence(category),token_overlap(name,min=1,maxfreq=0))
+//
+// Snapshots store the spec so recovery can rebuild the session's
+// blocker and keep accepting record appends. Custom tokenizers are not
+// representable; TokenOverlap specs always parse back with the default
+// whitespace tokenizer.
+func FormatSpec(b Blocker) (string, error) {
+	switch blk := b.(type) {
+	case AttrEquivalence:
+		return "attr_equivalence(" + blk.Attr + ")", nil
+	case TokenOverlap:
+		min := blk.MinShared
+		if min <= 0 {
+			min = 1
+		}
+		return fmt.Sprintf("token_overlap(%s,min=%d,maxfreq=%d)", blk.Attr, min, blk.MaxTokenFreq), nil
+	case SortedNeighborhood:
+		return fmt.Sprintf("sorted_neighborhood(%s,w=%d)", blk.Attr, blk.windowSize()), nil
+	case Union:
+		parts := make([]string, len(blk))
+		for i, m := range blk {
+			s, err := FormatSpec(m)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return "union(" + strings.Join(parts, ",") + ")", nil
+	default:
+		return "", fmt.Errorf("block: no spec form for blocker %T", b)
+	}
+}
+
+// ParseSpec parses a spec string produced by FormatSpec back into a
+// blocker.
+func ParseSpec(spec string) (DeltaBlocker, error) {
+	spec = strings.TrimSpace(spec)
+	open := strings.IndexByte(spec, '(')
+	if open < 0 || !strings.HasSuffix(spec, ")") {
+		return nil, fmt.Errorf("block: malformed spec %q", spec)
+	}
+	kind, body := spec[:open], spec[open+1:len(spec)-1]
+	args, err := splitTop(body)
+	if err != nil {
+		return nil, fmt.Errorf("block: malformed spec %q: %w", spec, err)
+	}
+	switch kind {
+	case "attr_equivalence":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("block: spec %q wants 1 argument, got %d", spec, len(args))
+		}
+		return AttrEquivalence{Attr: args[0]}, nil
+	case "token_overlap":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("block: spec %q wants an attribute", spec)
+		}
+		blk := TokenOverlap{Attr: args[0], MinShared: 1}
+		for _, kv := range args[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			n, convErr := strconv.Atoi(v)
+			if !ok || convErr != nil || n < 0 {
+				return nil, fmt.Errorf("block: spec %q: bad option %q", spec, kv)
+			}
+			switch k {
+			case "min":
+				blk.MinShared = n
+			case "maxfreq":
+				blk.MaxTokenFreq = n
+			default:
+				return nil, fmt.Errorf("block: spec %q: unknown option %q", spec, k)
+			}
+		}
+		return blk, nil
+	case "sorted_neighborhood":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("block: spec %q wants an attribute", spec)
+		}
+		blk := SortedNeighborhood{Attr: args[0]}
+		for _, kv := range args[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			n, convErr := strconv.Atoi(v)
+			if !ok || convErr != nil || k != "w" || n <= 0 {
+				return nil, fmt.Errorf("block: spec %q: bad option %q", spec, kv)
+			}
+			blk.Window = n
+		}
+		return blk, nil
+	case "union":
+		u := make(Union, 0, len(args))
+		for _, sub := range args {
+			m, err := ParseSpec(sub)
+			if err != nil {
+				return nil, err
+			}
+			u = append(u, m)
+		}
+		return u, nil
+	default:
+		return nil, fmt.Errorf("block: unknown blocker kind %q in spec", kind)
+	}
+}
+
+// splitTop splits a spec body on commas at parenthesis depth zero.
+func splitTop(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses")
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses")
+	}
+	return append(out, s[start:]), nil
+}

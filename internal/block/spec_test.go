@@ -1,0 +1,43 @@
+package block
+
+import (
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, blk := range []DeltaBlocker{
+		AttrEquivalence{Attr: "category"},
+		TokenOverlap{Attr: "title", MinShared: 2, MaxTokenFreq: 40},
+		TokenOverlap{Attr: "title"},
+		SortedNeighborhood{Attr: "name", Window: 7},
+		Union{AttrEquivalence{Attr: "zip"}, TokenOverlap{Attr: "title", MinShared: 1}},
+	} {
+		spec, err := FormatSpec(blk)
+		if err != nil {
+			t.Fatalf("FormatSpec(%s): %v", blk.Name(), err)
+		}
+		back, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		spec2, err := FormatSpec(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec != spec2 {
+			t.Errorf("round trip: %q -> %q", spec, spec2)
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "nope(x)", "attr_equivalence", "attr_equivalence()",
+		"union(attr_equivalence(a)", "token_overlap(t,min=x)",
+		"sorted_neighborhood(t,w=-1)",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}

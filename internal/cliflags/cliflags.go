@@ -114,8 +114,10 @@ func (d *Data) Register(fs *flag.FlagSet) {
 type Inputs struct {
 	A, B     *table.Table
 	Function rule.Function
-	Blocker  block.Blocker
-	Pairs    []table.Pair
+	// Blocker supports delta blocking, so sessions built from these
+	// inputs can accept record appends (incremental.Session.Blocker).
+	Blocker block.DeltaBlocker
+	Pairs   []table.Pair
 	// Gold is nil when no -gold file was given.
 	Gold map[uint64]bool
 	// BlockTime is how long the blocking pass took.
@@ -147,7 +149,7 @@ func (d *Data) Load() (*Inputs, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parse rules: %w", err)
 	}
-	var blocker block.Blocker
+	var blocker block.DeltaBlocker
 	if d.BlockAttr != "" {
 		blocker = block.AttrEquivalence{Attr: d.BlockAttr}
 	} else {

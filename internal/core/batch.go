@@ -83,6 +83,32 @@ func (m *Matcher) MatchState() *MatchState {
 	return m.Batch().MatchState()
 }
 
+// MatchStateRange evaluates only the pairs [lo, hi) of the matcher's
+// pair set into an existing state st (already extended to cover hi),
+// using the configured engine. Block boundaries do not affect per-pair
+// results (see the Engine comment), so evaluating a delta range
+// produces the same bits and memo entries for those pairs as a full
+// run would — the property Session.AddRecords' parity rests on.
+func (m *Matcher) MatchStateRange(st *MatchState, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	if m.resolvedEngine() == EngineScalar {
+		for pi := lo; pi < hi; pi++ {
+			m.EvalPair(pi, st)
+		}
+		return
+	}
+	e := m.Batch()
+	for blo := lo; blo < hi; blo += e.blockSize {
+		bhi := blo + e.blockSize
+		if bhi > hi {
+			bhi = hi
+		}
+		e.block(st, st.Matched, blo, bhi)
+	}
+}
+
 // MatchBits evaluates the function over all pairs and returns only the
 // match marks — the cheapest full run when the materialized state is
 // not needed — executed by the configured engine. Both engines apply

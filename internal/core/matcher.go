@@ -93,6 +93,16 @@ func NewMatcher(c *Compiled, pairs []table.Pair, opts ...Option) *Matcher {
 	return cfg.NewMatcher(c, pairs)
 }
 
+// ExtendPairs appends newPairs to the matcher's pair set, growing the
+// memo's pair dimension with it. The new pairs are unevaluated; run
+// MatchStateRange over them to fold them into a materialized state.
+func (m *Matcher) ExtendPairs(newPairs []table.Pair) {
+	m.Pairs = append(m.Pairs, newPairs...)
+	if m.Memo != nil {
+		m.Memo.ExtendPairs(len(m.Pairs))
+	}
+}
+
 // FeatureValue returns the value of feature fi for pair index pi, going
 // through the pair-level memo and, when enabled, the value-level cache.
 func (m *Matcher) FeatureValue(fi, pi int) float64 {

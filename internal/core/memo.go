@@ -20,6 +20,10 @@ type Memo interface {
 	Bytes() int64
 	// Entries returns the number of stored values.
 	Entries() int64
+	// ExtendPairs grows the pair dimension to numPairs, preserving
+	// every stored value; the new pairs start absent. Growing to a
+	// smaller or equal size is a no-op.
+	ExtendPairs(numPairs int)
 }
 
 // ArrayMemo is the paper's dense two-dimensional array layout (§7.4):
@@ -85,6 +89,24 @@ func (m *ArrayMemo) Bytes() int64 {
 
 // Entries implements Memo.
 func (m *ArrayMemo) Entries() int64 { return m.entries }
+
+// ExtendPairs implements Memo: every allocated feature row grows to
+// numPairs values, keeping stored entries in place.
+func (m *ArrayMemo) ExtendPairs(numPairs int) {
+	if numPairs <= m.numPairs {
+		return
+	}
+	for fi := range m.vals {
+		if m.vals[fi] == nil {
+			continue
+		}
+		row := make([]float64, numPairs)
+		copy(row, m.vals[fi])
+		m.vals[fi] = row
+		m.present[fi].Grow(numPairs)
+	}
+	m.numPairs = numPairs
+}
 
 // column returns feature fi's value row and presence bitmap for bulk
 // access by the batch engine. When the row is unallocated it returns
@@ -203,6 +225,9 @@ func (m *OverlayMemo) Bytes() int64 { return m.over.Bytes() }
 // Entries implements Memo, counting only the overlay.
 func (m *OverlayMemo) Entries() int64 { return m.over.Entries() }
 
+// ExtendPairs implements Memo, growing the overlay's local pair space.
+func (m *OverlayMemo) ExtendPairs(numPairs int) { m.over.ExtendPairs(numPairs) }
+
 // HashMemo stores values in a hash map keyed by (feature, pair). It uses
 // memory proportional to the number of *computed* values — the
 // alternative §7.4 suggests when the dense array does not fit — at the
@@ -263,3 +288,7 @@ func (m *HashMemo) Bytes() int64 {
 
 // Entries implements Memo.
 func (m *HashMemo) Entries() int64 { return int64(len(m.m)) }
+
+// ExtendPairs implements Memo: the map is unbounded in the pair
+// dimension already, so this is a no-op.
+func (m *HashMemo) ExtendPairs(numPairs int) {}

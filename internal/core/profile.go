@@ -195,6 +195,104 @@ func (c *Compiled) dictFor(key string, dp sim.DictProfiler, colA, colB int) *sim
 	return d
 }
 
+// ExtendRecords brings the profile cache in sync with tables that have
+// grown since the profiles were built. Map profiles append the new
+// records' profiles in place. Dictionary-encoded profiles first check
+// whether the sealed dictionary already covers every token of the new
+// records: if so the new profiles are append-encoded against it; if
+// not the dictionary is rebuilt over the full columns and every share
+// group drawing on it is re-encoded (rank-ordered IDs shift, so old
+// encodings would no longer be comparable). Corpus statistics (TF-IDF
+// document frequencies) are intentionally left frozen at build time —
+// see the incremental package's AddRecords contract.
+//
+// A no-op when the profile cache is off or the tables have not grown.
+func (c *Compiled) ExtendRecords() {
+	if !c.profilesOn {
+		return
+	}
+	rebuilt := make(map[string]bool) // dict keys rebuilt during this call
+	doneSets := make(map[string]bool)
+	for fi, fp := range c.profiles {
+		if fp == nil {
+			continue
+		}
+		f := &c.Features[fi]
+		if fp.dict == nil {
+			for i := len(fp.side[0]); i < c.A.Len(); i++ {
+				fp.side[0] = append(fp.side[0], fp.fn.Profile(c.A.Value(i, f.ColA)))
+			}
+			for j := len(fp.side[1]); j < c.B.Len(); j++ {
+				fp.side[1] = append(fp.side[1], fp.fn.Profile(c.B.Value(j, f.ColB)))
+			}
+			continue
+		}
+		dp := fp.fn.(sim.DictProfiler)
+		spec := dp.ProfileSpec()
+		colKey := strconv.Itoa(f.ColA) + "|" + strconv.Itoa(f.ColB)
+		dictKey := spec.Space + "|" + colKey
+		if !doneSets[fp.shareKey] {
+			doneSets[fp.shareKey] = true
+			c.extendSharedSides(fp.shareKey, dictKey, dp, f.ColA, f.ColB, rebuilt)
+		}
+		// Re-alias: the shared slices (and possibly the dictionary)
+		// changed identity above, and fp.side holds copied headers.
+		fp.side = *c.sharedSides[fp.shareKey]
+		fp.dict = c.dicts[dictKey]
+	}
+}
+
+// extendSharedSides grows one shared encoded profile set to the current
+// table lengths, rebuilding its dictionary first when the new records
+// carry unseen tokens.
+func (c *Compiled) extendSharedSides(shareKey, dictKey string, dp sim.DictProfiler, colA, colB int, rebuilt map[string]bool) {
+	sides := c.sharedSides[shareKey]
+	oldA, oldB := len(sides[0]), len(sides[1])
+	d := c.dicts[dictKey]
+	if !rebuilt[dictKey] && c.dictCovers(d, dp, colA, colB, oldA, oldB) {
+		for i := oldA; i < c.A.Len(); i++ {
+			sides[0] = append(sides[0], dp.ProfileDict(c.A.Value(i, colA), d))
+		}
+		for j := oldB; j < c.B.Len(); j++ {
+			sides[1] = append(sides[1], dp.ProfileDict(c.B.Value(j, colB), d))
+		}
+		return
+	}
+	if !rebuilt[dictKey] {
+		rebuilt[dictKey] = true
+		delete(c.dicts, dictKey)
+	}
+	d = c.dictFor(dictKey, dp, colA, colB)
+	sides[0] = make([]any, c.A.Len())
+	for i := range sides[0] {
+		sides[0][i] = dp.ProfileDict(c.A.Value(i, colA), d)
+	}
+	sides[1] = make([]any, c.B.Len())
+	for j := range sides[1] {
+		sides[1][j] = dp.ProfileDict(c.B.Value(j, colB), d)
+	}
+}
+
+// dictCovers reports whether d contains every token the profiler draws
+// from records appended past (oldA, oldB).
+func (c *Compiled) dictCovers(d *sim.Dict, dp sim.DictProfiler, colA, colB, oldA, oldB int) bool {
+	for i := oldA; i < c.A.Len(); i++ {
+		for _, tok := range dp.DictTokens(c.A.Value(i, colA)) {
+			if _, ok := d.ID(tok); !ok {
+				return false
+			}
+		}
+	}
+	for j := oldB; j < c.B.Len(); j++ {
+		for _, tok := range dp.DictTokens(c.B.Value(j, colB)) {
+			if _, ok := d.ID(tok); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // ProfileEntries returns the number of cached per-record profile
 // entries across all features (shared sets counted per feature).
 func (c *Compiled) ProfileEntries() int {

@@ -39,6 +39,32 @@ func NewMatchState(numPairs int, rules []CompiledRule) *MatchState {
 	return st
 }
 
+// ExtendPairs grows every bitmap to cover n pairs, preserving existing
+// bits; the new pairs start clear (unevaluated).
+func (st *MatchState) ExtendPairs(n int) {
+	st.Matched.Grow(n)
+	for ri := range st.RuleTrue {
+		st.RuleTrue[ri].Grow(n)
+		for _, pb := range st.PredFalse[ri] {
+			pb.Grow(n)
+		}
+	}
+}
+
+// ClearPairs clears every bit of the given pairs across all bitmaps —
+// used to tombstone pairs whose records were deleted.
+func (st *MatchState) ClearPairs(dead *bitmap.Bits) {
+	for pi := dead.NextSet(0); pi >= 0; pi = dead.NextSet(pi + 1) {
+		st.Matched.Clear(pi)
+		for ri := range st.RuleTrue {
+			st.RuleTrue[ri].Clear(pi)
+			for _, pb := range st.PredFalse[ri] {
+				pb.Clear(pi)
+			}
+		}
+	}
+}
+
 // Bytes returns the approximate memory footprint of the bitmaps.
 func (st *MatchState) Bytes() int64 {
 	b := st.Matched.Bytes()
@@ -104,6 +130,14 @@ func (st *MatchState) Equal(other *MatchState) bool {
 // predicates) similarity computations; intended for tests and for
 // verifying stitched shard output.
 func (st *MatchState) Validate(c *Compiled, pairs []table.Pair) error {
+	return st.ValidateLive(c, pairs, nil)
+}
+
+// ValidateLive is Validate with a tombstone mask: pairs set in dead
+// must have every bit clear across all bitmaps (a tombstoned pair
+// carries no state), and the three invariants are checked only for
+// live pairs. A nil dead checks every pair.
+func (st *MatchState) ValidateLive(c *Compiled, pairs []table.Pair, dead *bitmap.Bits) error {
 	n := len(pairs)
 	if st.Matched == nil || st.Matched.Len() != n {
 		return fmt.Errorf("core: match bitmap missing or mis-sized")
@@ -138,6 +172,22 @@ func (st *MatchState) Validate(c *Compiled, pairs []table.Pair) error {
 		return true
 	}
 	for pi := range pairs {
+		if dead != nil && dead.Get(pi) {
+			if st.Matched.Get(pi) {
+				return fmt.Errorf("core: dead pair %d is marked matched", pi)
+			}
+			for ri := range c.Rules {
+				if st.RuleTrue[ri].Get(pi) {
+					return fmt.Errorf("core: dead pair %d has rule %d true bit", pi, ri)
+				}
+				for pj := range st.PredFalse[ri] {
+					if st.PredFalse[ri][pj].Get(pi) {
+						return fmt.Errorf("core: dead pair %d has rule %d predicate %d false bit", pi, ri, pj)
+					}
+				}
+			}
+			continue
+		}
 		owners := 0
 		for ri := range c.Rules {
 			if st.RuleTrue[ri].Get(pi) {

@@ -43,6 +43,17 @@ type Dataset struct {
 	Gold map[uint64]bool
 	// NumGoldTotal counts true matches before blocking (for recall).
 	NumGoldTotal int
+	// BlockAttr is the attribute Pairs were blocked on; sessions use it
+	// to rebuild the blocker for incremental record appends.
+	BlockAttr string
+}
+
+// Blocker returns the delta-capable blocker that produced Pairs.
+func (d *Dataset) Blocker() block.DeltaBlocker {
+	if d.BlockAttr == "" {
+		return nil
+	}
+	return block.AttrEquivalence{Attr: d.BlockAttr}
 }
 
 // GoldBits returns the indexes within Pairs that are true matches.
@@ -150,6 +161,7 @@ func Generate(cfg Config) (*Dataset, error) {
 		Pairs:        pairs,
 		Gold:         surviving,
 		NumGoldTotal: numGold,
+		BlockAttr:    dom.BlockAttr(),
 	}, nil
 }
 
@@ -176,6 +188,7 @@ func FromTables(name string, a, b *table.Table, blockAttr string, gold map[uint6
 		Pairs:        pairs,
 		Gold:         surviving,
 		NumGoldTotal: len(gold),
+		BlockAttr:    blockAttr,
 	}, nil
 }
 

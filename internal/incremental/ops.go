@@ -298,7 +298,7 @@ func (s *Session) AddRule(r rule.Rule) error {
 
 	examined := 0
 	for pi := range s.M.Pairs {
-		if s.St.Matched.Get(pi) {
+		if s.St.Matched.Get(pi) || (s.dead != nil && s.dead.Get(pi)) {
 			continue
 		}
 		examined++

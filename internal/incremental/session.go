@@ -26,19 +26,36 @@ import (
 	"context"
 	"fmt"
 
+	"rulematch/internal/bitmap"
+	"rulematch/internal/block"
 	"rulematch/internal/core"
 	"rulematch/internal/rule"
 	"rulematch/internal/table"
 )
 
-// Session holds matching state alive across incremental rule changes.
+// Session holds matching state alive across incremental rule changes
+// and, when a Blocker is installed, incremental record changes (the
+// pair set becomes a growable dimension; see AddRecords).
 type Session struct {
 	M  *core.Matcher
 	St *core.MatchState
+	// Blocker, when non-nil, is the delta-capable blocking strategy
+	// that produced the session's candidate pairs; AddRecords uses it
+	// to block appended records incrementally. Sessions without one
+	// reject record appends (record deletes never need blocking).
+	Blocker block.DeltaBlocker
 	// LastOp reports work done by the most recent operation.
 	LastOp OpReport
 
 	owners []int32 // per-pair owning rule index, -1 when unmatched
+	// baseA/baseB are the table lengths at session creation; records
+	// past them arrived through AddRecords. Snapshots persist the
+	// appended suffix so recovery can rebuild the grown pair space.
+	baseA, baseB int
+	// dead marks tombstoned pairs (a deleted record on either side);
+	// nil until the first delete. Dead pairs carry no state bits and
+	// are skipped by every operation and full run.
+	dead *bitmap.Bits
 }
 
 // OpReport describes the work performed by one incremental operation.
@@ -47,6 +64,8 @@ type OpReport struct {
 	PairsExamined  int        // candidate pairs the operation touched
 	Stats          core.Stats // engine work during the operation
 	OwnershipMoves int        // pairs whose owning rule changed
+	PairsAdded     int        // new candidate pairs (record appends)
+	PairsRemoved   int        // tombstoned pairs (record deletes)
 }
 
 // NewSession compiles nothing itself: pass a compiled function (already
@@ -67,7 +86,7 @@ func NewSession(c *core.Compiled, pairs []table.Pair, opts ...core.Option) *Sess
 // (nothing is defaulted on top of it) — the form the debug server and
 // CLIs use after binding flags to a Config.
 func NewSessionConfig(c *core.Compiled, pairs []table.Pair, cfg core.Config) *Session {
-	return &Session{M: cfg.NewMatcher(c, pairs)}
+	return &Session{M: cfg.NewMatcher(c, pairs), baseA: c.A.Len(), baseB: c.B.Len()}
 }
 
 // RunFull evaluates the function from scratch (with memoing) and
@@ -83,8 +102,18 @@ func NewSessionConfig(c *core.Compiled, pairs []table.Pair, cfg core.Config) *Se
 func (s *Session) RunFull() {
 	before := s.M.Stats
 	s.St = s.M.MatchState()
+	s.clearDead()
 	s.owners = nil // rebuilt lazily from the fresh state
 	s.LastOp = OpReport{Op: "full", PairsExamined: len(s.M.Pairs), Stats: diffStats(before, s.M.Stats)}
+}
+
+// clearDead strips tombstoned pairs out of a freshly materialized
+// state: full runs evaluate every pair (the engines are oblivious to
+// liveness), and a dead pair must carry no state bits.
+func (s *Session) clearDead() {
+	if s.dead != nil {
+		s.St.ClearPairs(s.dead)
+	}
 }
 
 // RunFullWithMemo is the "precomputation variation" of §7.6: it
@@ -123,6 +152,7 @@ func (s *Session) RunFullParallelCtx(ctx context.Context, workers int) error {
 		return err
 	}
 	s.St = st
+	s.clearDead()
 	s.owners = nil // rebuilt lazily from the fresh state
 	s.LastOp = OpReport{Op: "full_parallel", PairsExamined: len(s.M.Pairs), Stats: diffStats(before, s.M.Stats)}
 	return nil
@@ -245,6 +275,12 @@ func (s *Session) Verify() error {
 	}
 	fresh := &core.Matcher{C: s.M.C, Pairs: s.M.Pairs}
 	for pi := range s.M.Pairs {
+		if s.dead != nil && s.dead.Get(pi) {
+			if s.St.Matched.Get(pi) {
+				return fmt.Errorf("incremental: dead pair %d (%v) is marked matched", pi, s.M.Pairs[pi])
+			}
+			continue
+		}
 		want := fresh.EvalPair(pi, nil)
 		if got := s.St.Matched.Get(pi); got != want {
 			return fmt.Errorf("incremental: pair %d (%v): incremental=%v, fresh=%v",
@@ -263,7 +299,44 @@ func (s *Session) VerifyDeep() error {
 	if err := s.Verify(); err != nil {
 		return err
 	}
-	return s.St.Validate(s.M.C, s.M.Pairs)
+	return s.St.ValidateLive(s.M.C, s.M.Pairs, s.dead)
+}
+
+// BaseLens returns the table lengths at session creation (or as
+// restored from a snapshot); records past them arrived via AddRecords.
+func (s *Session) BaseLens() (baseA, baseB int) { return s.baseA, s.baseB }
+
+// DeadPairs returns the tombstoned-pair bitmap, nil when no pair has
+// been tombstoned. Callers must treat it as read-only.
+func (s *Session) DeadPairs() *bitmap.Bits { return s.dead }
+
+// NumDead returns the number of tombstoned pairs.
+func (s *Session) NumDead() int {
+	if s.dead == nil {
+		return 0
+	}
+	return s.dead.Count()
+}
+
+// LivePairCount returns the number of live (not tombstoned) candidate
+// pairs.
+func (s *Session) LivePairCount() int { return len(s.M.Pairs) - s.NumDead() }
+
+// RestoreDataState overwrites the session's data-side bookkeeping —
+// base table lengths and the tombstoned-pair bitmap — when rebuilding
+// a session from a snapshot. dead may be nil; when non-nil its length
+// must equal the pair count.
+func (s *Session) RestoreDataState(baseA, baseB int, dead *bitmap.Bits) error {
+	if baseA < 0 || baseA > s.M.C.A.Len() || baseB < 0 || baseB > s.M.C.B.Len() {
+		return fmt.Errorf("incremental: base lengths (%d,%d) out of range for tables (%d,%d)",
+			baseA, baseB, s.M.C.A.Len(), s.M.C.B.Len())
+	}
+	if dead != nil && dead.Len() != len(s.M.Pairs) {
+		return fmt.Errorf("incremental: dead bitmap has %d bits for %d pairs", dead.Len(), len(s.M.Pairs))
+	}
+	s.baseA, s.baseB = baseA, baseB
+	s.dead = dead
+	return nil
 }
 
 // bindPredicate compiles a source-level predicate against the session's

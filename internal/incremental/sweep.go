@@ -40,7 +40,11 @@ func (s *Session) SweepThreshold(ri, pj int, thresholds []float64) ([]SweepPoint
 		// warm memo, recording no state (the sweep is a read-only
 		// what-if). The batch engine scans each memo column once per
 		// block, so a warm sweep point is a handful of bitmap kernels.
-		out = append(out, SweepPoint{Threshold: thr, Matched: s.M.MatchBits()})
+		bits := s.M.MatchBits()
+		if s.dead != nil {
+			bits.AndNot(s.dead)
+		}
+		out = append(out, SweepPoint{Threshold: thr, Matched: bits})
 	}
 	return out, nil
 }
@@ -132,6 +136,11 @@ func (s *Session) SweepThresholdParallelCtx(ctx context.Context, ri, pj int, thr
 			core.AbsorbMemoRange(s.M.Memo, om.Overlay(), rg.Lo)
 		}
 		s.M.Stats.Add(outs[i].local.Stats)
+	}
+	if s.dead != nil {
+		for ti := range out {
+			out[ti].Matched.AndNot(s.dead)
+		}
 	}
 	return out, nil
 }

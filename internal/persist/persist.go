@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"rulematch/internal/bitmap"
+	"rulematch/internal/block"
 	"rulematch/internal/core"
 	"rulematch/internal/faultio"
 	"rulematch/internal/incremental"
@@ -91,6 +92,22 @@ type snapshot struct {
 	// bitmaps and memo. Zero for standalone snapshots (and for all v1
 	// files, where the field did not exist).
 	Seq uint64
+
+	// Data-side incrementality (all zero in snapshots written before
+	// record ops existed; gob tolerates added fields both directions).
+	// The caller reloads only the *base* tables; records appended
+	// through Session.AddRecords are snapshot-authoritative extras.
+	HasDataState bool
+	BaseLenA     int
+	BaseLenB     int
+	ExtraA       []table.Record // records past BaseLenA, in append order
+	ExtraB       []table.Record
+	DeadA        []int32 // tombstoned record indices
+	DeadB        []int32
+	// BlockSpec re-creates the session's delta blocker on load so a
+	// recovered session keeps accepting record appends. Empty when the
+	// session had no blocker.
+	BlockSpec string
 }
 
 // Info describes a loaded snapshot: which format it was read in and
@@ -141,6 +158,24 @@ func buildSnapshot(s *incremental.Session, version int, seq uint64) (*snapshot, 
 		PredFalse: s.St.PredFalse,
 		Stats:     s.M.Stats,
 		Seq:       seq,
+	}
+	baseA, baseB := s.BaseLens()
+	snap.BaseLenA, snap.BaseLenB = baseA, baseB
+	snap.DeadA = c.A.DeletedIndices()
+	snap.DeadB = c.B.DeletedIndices()
+	if baseA < c.A.Len() {
+		snap.ExtraA = c.A.Records[baseA:]
+	}
+	if baseB < c.B.Len() {
+		snap.ExtraB = c.B.Records[baseB:]
+	}
+	snap.HasDataState = len(snap.ExtraA)+len(snap.ExtraB)+len(snap.DeadA)+len(snap.DeadB) > 0
+	if s.Blocker != nil {
+		spec, err := block.FormatSpec(s.Blocker)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		snap.BlockSpec = spec
 	}
 	if s.M.Memo != nil {
 		for fi := range c.Features {
@@ -334,6 +369,19 @@ func LoadInfo(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Se
 		return nil, Info{}, fmt.Errorf("persist: snapshot is for tables %q/%q, got %q/%q",
 			snap.TableA, snap.TableB, a.Name, b.Name)
 	}
+	if snap.HasDataState {
+		// Rebuild the grown tables: the caller supplies (at least) the
+		// base records; appended records and tombstones come from the
+		// snapshot itself.
+		a, err = extendTable(a, snap.BaseLenA, snap.ExtraA, snap.DeadA)
+		if err != nil {
+			return nil, Info{}, err
+		}
+		b, err = extendTable(b, snap.BaseLenB, snap.ExtraB, snap.DeadB)
+		if err != nil {
+			return nil, Info{}, err
+		}
+	}
 	for _, p := range snap.Pairs {
 		if int(p.A) >= a.Len() || int(p.B) >= b.Len() || p.A < 0 || p.B < 0 {
 			return nil, Info{}, fmt.Errorf("persist: pair %v out of range for reloaded tables", p)
@@ -403,7 +451,68 @@ func LoadInfo(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Se
 		PredFalse: snap.PredFalse,
 	}
 	s.M.Stats = snap.Stats
+	if snap.BlockSpec != "" {
+		blk, err := block.ParseSpec(snap.BlockSpec)
+		if err != nil {
+			return nil, Info{}, fmt.Errorf("persist: re-parse block spec: %w", err)
+		}
+		s.Blocker = blk
+	}
+	if snap.HasDataState {
+		// Tombstoned pairs are derived, not stored: a pair is dead iff a
+		// record on either side is tombstoned (delta blocking never pairs
+		// deleted records, so the derivation is exact).
+		var dead *bitmap.Bits
+		if len(snap.DeadA)+len(snap.DeadB) > 0 {
+			dead = bitmap.New(n)
+			for pi, p := range snap.Pairs {
+				if a.Deleted(int(p.A)) || b.Deleted(int(p.B)) {
+					dead.Set(pi)
+				}
+			}
+		}
+		if err := s.RestoreDataState(snap.BaseLenA, snap.BaseLenB, dead); err != nil {
+			return nil, Info{}, fmt.Errorf("persist: %w", err)
+		}
+	}
 	return s, Info{Version: version, Seq: snap.Seq}, nil
+}
+
+// extendTable rebuilds a grown table from the caller's base records
+// plus the snapshot's appended suffix and tombstones. The caller's
+// table may itself already contain some or all of the appended records
+// (a live table being restored to an earlier point); overlapping
+// records must agree on their IDs.
+func extendTable(base *table.Table, baseLen int, extras []table.Record, dead []int32) (*table.Table, error) {
+	if base.Len() < baseLen {
+		return nil, fmt.Errorf("persist: table %q has %d records, snapshot expects at least %d base records",
+			base.Name, base.Len(), baseLen)
+	}
+	t, err := table.New(base.Name, base.Attrs)
+	if err != nil {
+		return nil, fmt.Errorf("persist: rebuild table: %w", err)
+	}
+	for i := 0; i < baseLen; i++ {
+		if _, err := t.AppendRecord(base.Records[i]); err != nil {
+			return nil, fmt.Errorf("persist: rebuild table: %w", err)
+		}
+	}
+	for k, r := range extras {
+		if idx := baseLen + k; idx < base.Len() && base.Records[idx].ID != r.ID {
+			return nil, fmt.Errorf("persist: table %q record %d: snapshot has ID %q, reloaded table has %q",
+				base.Name, idx, r.ID, base.Records[idx].ID)
+		}
+		if _, err := t.AppendRecord(r); err != nil {
+			return nil, fmt.Errorf("persist: rebuild table: %w", err)
+		}
+	}
+	for _, i := range dead {
+		if int(i) < 0 || int(i) >= t.Len() {
+			return nil, fmt.Errorf("persist: table %q tombstone index %d out of range", t.Name, i)
+		}
+		t.MarkDeleted(int(i))
+	}
+	return t, nil
 }
 
 // ReadNames returns the table names recorded in a snapshot without

@@ -11,6 +11,7 @@ import (
 
 	"rulematch/internal/faultio"
 
+	"rulematch/internal/block"
 	"rulematch/internal/core"
 	"rulematch/internal/incremental"
 	"rulematch/internal/rule"
@@ -614,5 +615,83 @@ func TestSaveFileTempCleanup(t *testing.T) {
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+// TestSaveLoadDataStateRoundTrip snapshots a session after record
+// appends and deletes, then reloads it from the *base* tables only:
+// the extras, tombstones and blocker must come back from the snapshot.
+func TestSaveLoadDataStateRoundTrip(t *testing.T) {
+	a, b, _ := buildTables(t)
+	blk := block.AttrEquivalence{Attr: "city"}
+	pairs, err := blk.Pairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rule.ParseFunction(sessionFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(f, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := incremental.NewSession(c, pairs)
+	s.Blocker = blk
+	s.RunFull()
+
+	if err := s.AddRecords(
+		[]table.Record{{ID: "a4", Values: []string{"wei chen", "milwaukee"}}},
+		[]table.Record{{ID: "b4", Values: []string{"wei chen jr", "milwaukee"}}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteRecords([]string{"a1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	baseA, baseB, _ := buildTables(t) // fresh base tables, no extras
+	got, err := Load(&buf, sim.Standard(), baseA, baseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M.C.A.Len() != 5 || got.M.C.B.Len() != 5 {
+		t.Fatalf("reloaded table lengths %d/%d, want 5/5", got.M.C.A.Len(), got.M.C.B.Len())
+	}
+	if got.M.C.A.NumDeleted() != 1 {
+		t.Fatalf("reloaded tombstones %d, want 1", got.M.C.A.NumDeleted())
+	}
+	if ba, bb := got.BaseLens(); ba != 4 || bb != 4 {
+		t.Fatalf("reloaded base lengths %d/%d, want 4/4", ba, bb)
+	}
+	if got.LivePairCount() != s.LivePairCount() {
+		t.Fatalf("live pairs %d, want %d", got.LivePairCount(), s.LivePairCount())
+	}
+	var buf2 bytes.Buffer
+	if err := Save(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Fatal("re-saved snapshot is not byte-identical")
+	}
+	if err := got.VerifyDeep(); err != nil {
+		t.Fatal(err)
+	}
+	// The blocker spec round-tripped: the reloaded session keeps
+	// accepting appends and agrees with the live one.
+	more := []table.Record{{ID: "b5", Values: []string{"mary garcia", "chicago"}}}
+	if err := got.AddRecords(nil, more); err != nil {
+		t.Fatalf("append on reloaded session: %v", err)
+	}
+	if err := s.AddRecords(nil, more); err != nil {
+		t.Fatal(err)
+	}
+	if got.MatchCount() != s.MatchCount() {
+		t.Fatalf("post-append matches %d, want %d", got.MatchCount(), s.MatchCount())
 	}
 }

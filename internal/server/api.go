@@ -137,6 +137,8 @@ type OpReport struct {
 	Op             string     `json:"op"`
 	PairsExamined  int        `json:"pairsExamined"`
 	OwnershipMoves int        `json:"ownershipMoves"`
+	PairsAdded     int        `json:"pairsAdded,omitempty"`
+	PairsRemoved   int        `json:"pairsRemoved,omitempty"`
 	Stats          core.Stats `json:"stats"`
 }
 
@@ -146,6 +148,40 @@ type EditResponse struct {
 	Report  OpReport `json:"report"`
 	Matches int      `json:"matches"`
 	Rules   int      `json:"rules"`
+}
+
+// RecordRow is one record on the wire: its ID plus values aligned
+// with the table's attribute order (the CSV column order, id column
+// excluded).
+type RecordRow struct {
+	ID     string   `json:"id"`
+	Values []string `json:"values"`
+}
+
+// RecordsRequest is the POST .../records body: a batch of record
+// appends and/or deletes against the session's tables. Deletes apply
+// before appends, so one request can retire records without ever
+// pairing the new records against the retired ones. The whole request
+// is validated up front — on a non-2xx response nothing was applied.
+type RecordsRequest struct {
+	AppendA []RecordRow `json:"appendA,omitempty"`
+	AppendB []RecordRow `json:"appendB,omitempty"`
+	DeleteA []string    `json:"deleteA,omitempty"`
+	DeleteB []string    `json:"deleteB,omitempty"`
+}
+
+// RecordsResponse reports the applied record operations. DeleteReport
+// and AppendReport are present only when the request carried that kind
+// of work; AppendReport.PairsExamined counts exactly the delta pairs
+// evaluated (the incrementality signal).
+type RecordsResponse struct {
+	DeleteReport *OpReport `json:"deleteReport,omitempty"`
+	AppendReport *OpReport `json:"appendReport,omitempty"`
+	Appended     int       `json:"appended"`
+	Deleted      int       `json:"deleted"`
+	Matches      int       `json:"matches"`
+	// Pairs counts live candidate pairs (tombstoned pairs excluded).
+	Pairs int `json:"pairs"`
 }
 
 // SweepRequest evaluates candidate thresholds for one predicate

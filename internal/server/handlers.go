@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -85,7 +86,10 @@ func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ds := newDebugSession(req.Name, sess, a, b)
+	// Register the session's own tables, not the parses above: a warm
+	// start from a snapshot with appended records rebuilds extended
+	// tables inside persist.Load.
+	ds := newDebugSession(req.Name, sess, sess.M.C.A, sess.M.C.B)
 	if err := s.add(ds); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -110,7 +114,7 @@ func (s *Server) buildSession(ctx context.Context, a, b *table.Table, cfg core.C
 	if err != nil {
 		return nil, fmt.Errorf("parse rules: %w", err)
 	}
-	var blocker block.Blocker
+	var blocker block.DeltaBlocker
 	if req.Block != "" {
 		blocker = block.AttrEquivalence{Attr: req.Block}
 	} else {
@@ -125,6 +129,9 @@ func (s *Server) buildSession(ctx context.Context, a, b *table.Table, cfg core.C
 		return nil, err
 	}
 	sess := incremental.NewSessionConfig(c, pairs, cfg)
+	// Keep the blocker on the session so the records endpoint can block
+	// appended records incrementally.
+	sess.Blocker = blocker
 	if err := sess.Run(ctx); err != nil {
 		return nil, err
 	}
@@ -134,7 +141,7 @@ func (s *Server) buildSession(ctx context.Context, a, b *table.Table, cfg core.C
 func infoOf(ds *debugSession) SessionInfo {
 	return SessionInfo{
 		Name:    ds.name,
-		Pairs:   len(ds.sess.M.Pairs),
+		Pairs:   ds.sess.LivePairCount(),
 		Rules:   len(ds.sess.M.C.Rules),
 		Matches: ds.sess.MatchCount(),
 		LastOp:  ds.sess.LastOp.Op,
@@ -304,11 +311,110 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// hRecords applies a batch of record deletes and appends under the
+// session's write lock. Deletes go first so retired records never pair
+// against the new ones; each kind journals as its own record
+// (record_delete, then record_append), in the same order recovery
+// replays them. The whole request is validated before anything is
+// applied — including that both journal records fit the WAL's record
+// size limit, so an oversized batch fails the request instead of
+// degrading the session to ephemeral at journaling time.
+func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req RecordsRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.AppendA)+len(req.AppendB)+len(req.DeleteA)+len(req.DeleteB) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty batch: nothing to append or delete"))
+		return
+	}
+	aRecs := rowsToRecords(req.AppendA)
+	bRecs := rowsToRecords(req.AppendB)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	sess := ds.sess
+	if err := sess.ValidateAppend(aRecs, bRecs); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if ds.store != nil {
+		if err := checkJournalable(&req, aRecs, bRecs); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	var resp RecordsResponse
+	if len(req.DeleteA)+len(req.DeleteB) > 0 {
+		if err := sess.DeleteRecords(req.DeleteA, req.DeleteB); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Deleted = len(req.DeleteA) + len(req.DeleteB)
+		rep := reportOf(sess.LastOp)
+		resp.DeleteReport = &rep
+		s.recordEdit(ds, wal.Record{Op: "record_delete", DelA: req.DeleteA, DelB: req.DeleteB})
+	}
+	if len(aRecs)+len(bRecs) > 0 {
+		if err := sess.AddRecords(aRecs, bRecs); err != nil {
+			writeErr(w, errCode(err), err)
+			return
+		}
+		resp.Appended = len(aRecs) + len(bRecs)
+		rep := reportOf(sess.LastOp)
+		resp.AppendReport = &rep
+		s.recordEdit(ds, wal.Record{Op: "record_append", RecsA: aRecs, RecsB: bRecs})
+	}
+	resp.Matches = sess.MatchCount()
+	resp.Pairs = sess.LivePairCount()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rowsToRecords converts wire rows to table records.
+func rowsToRecords(rows []RecordRow) []table.Record {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]table.Record, len(rows))
+	for i, r := range rows {
+		out[i] = table.Record{ID: r.ID, Values: r.Values}
+	}
+	return out
+}
+
+// checkJournalable verifies both journal records a request would emit
+// fit the WAL's per-record size limit (with slack for the sequence
+// number assigned at append time).
+func checkJournalable(req *RecordsRequest, aRecs, bRecs []table.Record) error {
+	const seqSlack = 32
+	for _, rec := range []wal.Record{
+		{Op: "record_delete", DelA: req.DeleteA, DelB: req.DeleteB},
+		{Op: "record_append", RecsA: aRecs, RecsB: bRecs},
+	} {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("encode journal record: %w", err)
+		}
+		if len(payload)+seqSlack > wal.MaxRecordBytes {
+			return fmt.Errorf("batch too large to journal: %d bytes (limit %d); split it into smaller batches",
+				len(payload), wal.MaxRecordBytes)
+		}
+	}
+	return nil
+}
+
 func reportOf(op incremental.OpReport) OpReport {
 	return OpReport{
 		Op:             op.Op,
 		PairsExamined:  op.PairsExamined,
 		OwnershipMoves: op.OwnershipMoves,
+		PairsAdded:     op.PairsAdded,
+		PairsRemoved:   op.PairsRemoved,
 		Stats:          op.Stats,
 	}
 }

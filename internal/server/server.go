@@ -101,6 +101,7 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /v1/sessions/{name}", s.hDelete)
 	route("GET /v1/sessions/{name}/rules", s.hRules)
 	route("POST /v1/sessions/{name}/edits", s.hEdit)
+	route("POST /v1/sessions/{name}/records", s.hRecords)
 	route("POST /v1/sessions/{name}/run", s.hRun)
 	route("POST /v1/sessions/{name}/sweep", s.hSweep)
 	route("GET /v1/sessions/{name}/matches", s.hMatches)

@@ -16,6 +16,13 @@ type Record struct {
 }
 
 // Table is a named collection of records sharing a schema.
+//
+// Records are append-only: a record's index is its permanent identity
+// (candidate pairs reference records by index), so DeleteRecord
+// tombstones the slot rather than compacting the slice. Deleted
+// records keep their ID reserved — re-appending the same ID is an
+// error — which keeps the id→index map a bijection for the table's
+// whole history.
 type Table struct {
 	Name    string
 	Attrs   []string
@@ -23,6 +30,8 @@ type Table struct {
 
 	attrIdx map[string]int
 	idIdx   map[string]int
+	deleted []bool // parallel to Records when non-nil; lazily allocated
+	numDel  int
 }
 
 // New creates an empty table with the given name and attribute names.
@@ -49,15 +58,112 @@ func MustNew(name string, attrs []string) *Table {
 }
 
 // Append adds a record. The number of values must equal the number of
-// attributes.
+// attributes, and the ID must not already be present (deleted records
+// keep their IDs reserved).
 func (t *Table) Append(id string, values ...string) error {
-	if len(values) != len(t.Attrs) {
-		return fmt.Errorf("table %q: record %q has %d values, schema has %d attributes",
-			t.Name, id, len(values), len(t.Attrs))
+	_, err := t.AppendRecord(Record{ID: id, Values: append([]string(nil), values...)})
+	return err
+}
+
+// AppendRecord adds a record and returns its index. The id→index map
+// is maintained incrementally, so the cost is O(1) amortized.
+func (t *Table) AppendRecord(r Record) (int, error) {
+	if len(r.Values) != len(t.Attrs) {
+		return -1, fmt.Errorf("table %q: record %q has %d values, schema has %d attributes",
+			t.Name, r.ID, len(r.Values), len(t.Attrs))
 	}
-	t.Records = append(t.Records, Record{ID: id, Values: append([]string(nil), values...)})
-	t.idIdx = nil // invalidate
-	return nil
+	t.ensureIDIdx()
+	if prev, dup := t.idIdx[r.ID]; dup {
+		return -1, fmt.Errorf("table %q: duplicate record ID %q (already at index %d)", t.Name, r.ID, prev)
+	}
+	i := len(t.Records)
+	t.Records = append(t.Records, r)
+	t.idIdx[r.ID] = i
+	if t.deleted != nil {
+		t.deleted = append(t.deleted, false)
+	}
+	return i, nil
+}
+
+// DeleteRecord tombstones the record with the given ID and returns its
+// index. The slot, its values and the ID stay in place — candidate
+// pairs reference records by index, so indices must remain stable —
+// but Deleted reports true and blockers skip the record. Deleting an
+// already-deleted record is an error.
+func (t *Table) DeleteRecord(id string) (int, error) {
+	i, ok := t.RecordByID(id)
+	if !ok {
+		return -1, fmt.Errorf("table %q: no record with ID %q", t.Name, id)
+	}
+	if t.deleted == nil {
+		t.deleted = make([]bool, len(t.Records))
+	}
+	if t.deleted[i] {
+		return -1, fmt.Errorf("table %q: record %q already deleted", t.Name, id)
+	}
+	t.deleted[i] = true
+	t.numDel++
+	return i, nil
+}
+
+// Deleted reports whether record i is tombstoned.
+func (t *Table) Deleted(i int) bool { return t.deleted != nil && t.deleted[i] }
+
+// NumDeleted returns the number of tombstoned records.
+func (t *Table) NumDeleted() int { return t.numDel }
+
+// DeletedIndices returns the indices of all tombstoned records in
+// ascending order (nil when there are none).
+func (t *Table) DeletedIndices() []int32 {
+	if t.numDel == 0 {
+		return nil
+	}
+	out := make([]int32, 0, t.numDel)
+	for i, d := range t.deleted {
+		if d {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// MarkDeleted tombstones record i without an ID lookup; used when
+// restoring a table's deletion state from a snapshot. Marking an
+// already-deleted record is a no-op.
+func (t *Table) MarkDeleted(i int) {
+	if t.deleted == nil {
+		t.deleted = make([]bool, len(t.Records))
+	}
+	if !t.deleted[i] {
+		t.deleted[i] = true
+		t.numDel++
+	}
+}
+
+// Clone returns a deep-enough copy sharing record values (records are
+// immutable once appended) but with independent bookkeeping, so
+// appends and deletes on the clone do not affect the original.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		Name:    t.Name,
+		Attrs:   t.Attrs,
+		Records: append([]Record(nil), t.Records...),
+		attrIdx: t.attrIdx,
+		numDel:  t.numDel,
+	}
+	if t.deleted != nil {
+		c.deleted = append([]bool(nil), t.deleted...)
+	}
+	return c
+}
+
+func (t *Table) ensureIDIdx() {
+	if t.idIdx == nil {
+		t.idIdx = make(map[string]int, len(t.Records))
+		for i, r := range t.Records {
+			t.idIdx[r.ID] = i
+		}
+	}
 }
 
 // Len returns the number of records.
@@ -72,14 +178,12 @@ func (t *Table) AttrIndex(name string) (int, bool) {
 // Value returns the value of attribute column col for record rec.
 func (t *Table) Value(rec, col int) string { return t.Records[rec].Values[col] }
 
-// RecordByID returns the index of the record with the given ID.
+// RecordByID returns the index of the record with the given ID. The
+// lookup is O(1): the id→index map is built once and maintained by
+// AppendRecord. Tombstoned records still resolve (their pairs remain
+// addressable); check Deleted for liveness.
 func (t *Table) RecordByID(id string) (int, bool) {
-	if t.idIdx == nil {
-		t.idIdx = make(map[string]int, len(t.Records))
-		for i, r := range t.Records {
-			t.idIdx[r.ID] = i
-		}
-	}
+	t.ensureIDIdx()
 	i, ok := t.idIdx[id]
 	return i, ok
 }

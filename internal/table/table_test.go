@@ -162,3 +162,98 @@ func TestCSVFileErrors(t *testing.T) {
 		t.Errorf("file round trip = %+v", got.Records)
 	}
 }
+
+func TestAppendRejectsDuplicateID(t *testing.T) {
+	tb := MustNew("t", []string{"a"})
+	if err := tb.Append("x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Append("x", "2")
+	if err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate record ID") {
+		t.Fatalf("error = %v", err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("failed append mutated the table: len = %d", tb.Len())
+	}
+}
+
+func TestDeleteRecord(t *testing.T) {
+	tb := MustNew("t", []string{"a"})
+	for _, id := range []string{"x", "y", "z"} {
+		if err := tb.Append(id, id+"-val"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i, err := tb.DeleteRecord("y")
+	if err != nil || i != 1 {
+		t.Fatalf("DeleteRecord(y) = %d, %v", i, err)
+	}
+	if !tb.Deleted(1) || tb.Deleted(0) || tb.Deleted(2) {
+		t.Fatal("wrong tombstones")
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("delete changed Len: %d", tb.Len())
+	}
+	if tb.NumDeleted() != 1 {
+		t.Fatalf("NumDeleted = %d", tb.NumDeleted())
+	}
+	// Values stay readable (pair indices reference them).
+	if got := tb.Value(1, 0); got != "y-val" {
+		t.Fatalf("deleted record value = %q", got)
+	}
+	// Double delete and unknown ID fail.
+	if _, err := tb.DeleteRecord("y"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, err := tb.DeleteRecord("nope"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	// The ID stays reserved: re-append is a duplicate.
+	if err := tb.Append("y", "again"); err == nil {
+		t.Fatal("re-append of deleted ID accepted")
+	}
+	if got := tb.DeletedIndices(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DeletedIndices = %v", got)
+	}
+}
+
+func TestMarkDeletedIdempotent(t *testing.T) {
+	tb := MustNew("t", []string{"a"})
+	tb.Append("x", "1")
+	tb.Append("y", "2")
+	tb.MarkDeleted(0)
+	tb.MarkDeleted(0)
+	if !tb.Deleted(0) || tb.NumDeleted() != 1 {
+		t.Fatalf("MarkDeleted not idempotent: NumDeleted = %d", tb.NumDeleted())
+	}
+}
+
+func TestClone(t *testing.T) {
+	tb := MustNew("t", []string{"a"})
+	tb.Append("x", "1")
+	tb.Append("y", "2")
+	tb.DeleteRecord("x")
+	cl := tb.Clone()
+	// Growing and deleting on the clone leaves the original alone.
+	if err := cl.Append("z", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.DeleteRecord("y"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 || cl.Len() != 3 {
+		t.Fatalf("lens: orig %d clone %d", tb.Len(), cl.Len())
+	}
+	if tb.Deleted(1) {
+		t.Fatal("clone delete leaked into the original")
+	}
+	if !cl.Deleted(0) || !cl.Deleted(1) {
+		t.Fatal("clone lost tombstones")
+	}
+	if _, ok := tb.RecordByID("z"); ok {
+		t.Fatal("clone append leaked into the original index")
+	}
+}

@@ -35,6 +35,10 @@ func Apply(s *incremental.Session, rec Record) error {
 		return s.AddRule(r)
 	case "remove_rule":
 		return s.RemoveRule(rec.Rule)
+	case "record_append":
+		return s.AddRecords(rec.RecsA, rec.RecsB)
+	case "record_delete":
+		return s.DeleteRecords(rec.DelA, rec.DelB)
 	default:
 		return fmt.Errorf("wal: record %d: unknown op %q", rec.Seq, rec.Op)
 	}

@@ -168,7 +168,10 @@ func Open(fsys faultio.FS, dir string, policy SyncPolicy, lib *sim.Library) (*St
 			replayed++
 		}
 	}
-	return st, &Recovered{Session: sess, A: a, B: b, Replayed: replayed, Torn: log.Torn}, nil
+	// Return the session's tables, not the CSV reloads: the snapshot
+	// may carry appended records past the CSV base (extras), and replay
+	// of record_append ops can grow them further.
+	return st, &Recovered{Session: sess, A: sess.M.C.A, B: sess.M.C.B, Replayed: replayed, Torn: log.Torn}, nil
 }
 
 // RecordEdit journals one committed edit (assigning it the next

@@ -30,23 +30,28 @@ import (
 	"time"
 
 	"rulematch/internal/faultio"
+	"rulematch/internal/table"
 )
 
 const (
 	// Magic opens every journal file.
 	Magic = "EMWAL1\n\x00"
 
-	// maxRecordBytes bounds a record's length prefix: a corrupt
+	// MaxRecordBytes bounds a record's length prefix: a corrupt
 	// length must not drive a huge allocation. Edit records are DSL
-	// snippets plus indices — a megabyte is generous.
-	maxRecordBytes = 1 << 20
+	// snippets plus indices, record batches are bounded by the server's
+	// request size limit — a megabyte is generous. Exported so callers
+	// accepting record batches (the emserve records endpoint) can
+	// reject an over-limit batch before applying it.
+	MaxRecordBytes = 1 << 20
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Record is one journaled edit operation. Op uses the same names as
 // the emserve edit API: add_predicate, remove_predicate, tighten,
-// relax, set_threshold, add_rule, remove_rule.
+// relax, set_threshold, add_rule, remove_rule — plus the data-side
+// ops record_append and record_delete.
 type Record struct {
 	// Seq numbers records 1,2,3,… within a session's history. A
 	// snapshot covering seq S makes every record with Seq <= S
@@ -59,6 +64,12 @@ type Record struct {
 	// Src carries DSL source: the predicate for add_predicate, the
 	// rule for add_rule.
 	Src string `json:"src,omitempty"`
+	// RecsA/RecsB carry the appended records for record_append, per
+	// side; DelA/DelB carry the deleted record IDs for record_delete.
+	RecsA []table.Record `json:"recs_a,omitempty"`
+	RecsB []table.Record `json:"recs_b,omitempty"`
+	DelA  []string       `json:"del_a,omitempty"`
+	DelB  []string       `json:"del_b,omitempty"`
 }
 
 // SyncMode selects when appends reach stable storage.
@@ -159,8 +170,8 @@ func (w *Writer) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("wal: encode record: %w", err)
 	}
-	if len(payload) > maxRecordBytes {
-		return fmt.Errorf("wal: record %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record %d bytes exceeds the %d-byte limit", len(payload), MaxRecordBytes)
 	}
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -259,7 +270,7 @@ func parseLog(data []byte) *Log {
 		}
 		n := binary.LittleEndian.Uint32(rest[0:4])
 		sum := binary.LittleEndian.Uint32(rest[4:8])
-		if n == 0 || n > maxRecordBytes || int64(n) > int64(len(rest)-8) {
+		if n == 0 || n > MaxRecordBytes || int64(n) > int64(len(rest)-8) {
 			log.Torn = true
 			return log
 		}

@@ -58,7 +58,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("read %d records, want %d", len(log.Records), len(recs))
 	}
 	for i := range recs {
-		if log.Records[i] != recs[i] {
+		if fmt.Sprintf("%+v", log.Records[i]) != fmt.Sprintf("%+v", recs[i]) {
 			t.Fatalf("record %d: %+v != %+v", i, log.Records[i], recs[i])
 		}
 	}
