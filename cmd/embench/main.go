@@ -9,7 +9,7 @@
 //
 // Experiments: table2, table3, fig3a, fig3b, fig3c, fig4, fig5a,
 // fig5b, fig5c, fig6, replay, memory, ablations, kernels, durability,
-// stream, all.
+// stream, serve, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|all)")
+		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|serve|all)")
 		dataset = flag.String("dataset", "products", "dataset domain for the figure experiments")
 		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
 		rules   = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
@@ -76,7 +76,7 @@ var knownExperiments = map[string]bool{
 	"fig3a": true, "fig3b": true, "fig3c": true, "fig4": true,
 	"fig5a": true, "fig5b": true, "fig5c": true,
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
-	"kernels": true, "durability": true, "stream": true,
+	"kernels": true, "durability": true, "stream": true, "serve": true,
 }
 
 func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int, jsonOut string) error {
@@ -100,6 +100,19 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 			fmt.Fprintf(out, "kernel results written to %s\n\n", jsonOut)
 		}
 		if exp == "kernels" {
+			return nil
+		}
+	}
+
+	// The serve experiment builds its own synthetic sessions behind a
+	// live HTTP listener; no task preparation needed.
+	if exp == "serve" || exp == "all" {
+		tbl, err := bench.Serve(bench.ServeConfig{})
+		if err != nil {
+			return err
+		}
+		tbl.Print(out)
+		if exp == "serve" {
 			return nil
 		}
 	}

@@ -8,12 +8,17 @@
 //	emserve -addr localhost:8080
 //	emserve -addr :9000 -parallel 0 -batch=false
 //	emserve -datadir /var/lib/emserve -fsync always
+//	emserve -datadir /var/lib/emserve -mem-budget 256MB -max-sessions 100
+//	emserve -listen unix:/run/emserve.sock
 //
 // With -datadir every session lives in a directory holding its tables,
 // a checksummed snapshot and an edit journal; committed edits are
 // journaled before they are acknowledged, and sessions are recovered
 // (snapshot + journal replay) on the next start — kill -9 included.
-// See docs/TUTORIAL.md for a curl walkthrough of the API.
+// With -mem-budget the server keeps hot sessions resident and evicts
+// cold ones to their snapshots (LRU), transparently reloading them on
+// the next touch — so the working set, not the session count, bounds
+// memory. See docs/TUTORIAL.md for a curl walkthrough of the API.
 package main
 
 import (
@@ -35,7 +40,8 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8080", "listen address")
+		addr     = flag.String("addr", "localhost:8080", "listen address (TCP)")
+		listen   = flag.String("listen", "", "listen spec: host:port or unix:/path/to.sock; overrides -addr")
 		maxBody  = flag.Int64("maxbody", server.DefaultMaxBodyBytes, "request body size cap in bytes")
 		drainFor = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		dataDir  = flag.String("datadir", "", "persist sessions here (snapshot + edit journal); empty = in-memory only")
@@ -45,10 +51,19 @@ func main() {
 	eng := cliflags.NewEngine()
 	eng.Register(flag.CommandLine)
 	eng.RegisterCaches(flag.CommandLine)
+	var limits cliflags.Limits
+	limits.Register(flag.CommandLine)
 	flag.Parse()
+
+	budget, err := limits.Budget()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(eng.Config())
 	srv.MaxBodyBytes = *maxBody
+	srv.SetLimits(limits.MaxSessions, budget, limits.MaxEdits)
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsyncPol)
 		if err != nil {
@@ -59,7 +74,9 @@ func main() {
 		if err != nil {
 			// Degrade rather than die: an unwritable datadir should not
 			// take the debugger down. The condition is logged and visible
-			// in /stats (durable=false) and expvar.
+			// in /stats (durable=false) and expvar. Without a datadir the
+			// memory budget becomes a hard admission cap (nothing to
+			// evict to).
 			log.Printf("emserve: datadir unavailable, running ephemeral: %v", err)
 		} else if n, err := srv.RecoverSessions(); err != nil {
 			log.Printf("emserve: session recovery: %v", err)
@@ -67,7 +84,17 @@ func main() {
 			log.Printf("emserve: datadir %s (fsync=%s), %d sessions recovered", *dataDir, policy, n)
 		}
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	spec := *listen
+	if spec == "" {
+		spec = *addr
+	}
+	ln, err := server.Listen(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
 
 	// On SIGINT/SIGTERM: refuse new work (503 except /healthz), then
 	// let in-flight edits and sweeps finish before exiting.
@@ -88,8 +115,12 @@ func main() {
 		close(done)
 	}()
 
-	log.Printf("emserve: listening on http://%s (workers=%d)", *addr, eng.Parallel)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if budget > 0 {
+		log.Printf("emserve: memory budget %d bytes, max sessions %d, max edits %d",
+			budget, limits.MaxSessions, limits.MaxEdits)
+	}
+	log.Printf("emserve: listening on %s (workers=%d)", ln.Addr(), eng.Parallel)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "emserve:", err)
 		os.Exit(1)
 	}

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"rulematch/internal/block"
@@ -87,6 +88,79 @@ func (e *Engine) ApplyPackageDefaults() {
 		core.SetDefaultEngine(core.EngineScalar)
 	}
 	core.SetDefaultDictProfiles(e.DictProfiles)
+}
+
+// Limits holds the session-store lifecycle flags emserve (and the
+// serve benchmark) expose: how many sessions a server admits, how many
+// bytes of session state it keeps resident before evicting cold
+// sessions to their snapshots, and how many edits one session may
+// absorb.
+type Limits struct {
+	MaxSessions int
+	MemBudget   string
+	MaxEdits    int64
+}
+
+// Register binds -max-sessions, -mem-budget and -max-edits.
+func (l *Limits) Register(fs *flag.FlagSet) {
+	fs.IntVar(&l.MaxSessions, "max-sessions", l.MaxSessions,
+		"maximum number of sessions, resident + evicted (0 = unlimited)")
+	fs.StringVar(&l.MemBudget, "mem-budget", l.MemBudget,
+		"resident session-state budget, e.g. 64MB or 1GiB; cold sessions are evicted to their snapshots past it (0 or empty = unlimited)")
+	fs.Int64Var(&l.MaxEdits, "max-edits", l.MaxEdits,
+		"per-session edit quota (0 = unlimited)")
+}
+
+// Budget parses the -mem-budget flag into bytes.
+func (l *Limits) Budget() (int64, error) {
+	if l.MemBudget == "" {
+		return 0, nil
+	}
+	n, err := ParseBytes(l.MemBudget)
+	if err != nil {
+		return 0, fmt.Errorf("-mem-budget: %w", err)
+	}
+	return n, nil
+}
+
+// ParseBytes parses a human byte size: a plain integer is bytes, and
+// the suffixes KB/MB/GB (decimal) and KiB/MiB/GiB (binary) scale it.
+// K/M/G alone mean the binary units, matching common tool usage.
+func ParseBytes(s string) (int64, error) {
+	num, unit := s, ""
+	for i, c := range s {
+		if (c < '0' || c > '9') && c != '.' {
+			num, unit = s[:i], s[i:]
+			break
+		}
+	}
+	if num == "" {
+		return 0, fmt.Errorf("byte size %q: missing number", s)
+	}
+	var scale float64
+	switch unit {
+	case "", "B", "b":
+		scale = 1
+	case "KB", "kb":
+		scale = 1e3
+	case "MB", "mb":
+		scale = 1e6
+	case "GB", "gb":
+		scale = 1e9
+	case "K", "k", "KiB", "kib":
+		scale = 1 << 10
+	case "M", "m", "MiB", "mib":
+		scale = 1 << 20
+	case "G", "g", "GiB", "gib":
+		scale = 1 << 30
+	default:
+		return 0, fmt.Errorf("byte size %q: unknown unit %q", s, unit)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("byte size %q: bad number %q", s, num)
+	}
+	return int64(f * scale), nil
 }
 
 // Data holds the shared input flags: tables, rules, blocking and

@@ -482,7 +482,12 @@ func LoadInfo(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Se
 // plus the snapshot's appended suffix and tombstones. The caller's
 // table may itself already contain some or all of the appended records
 // (a live table being restored to an earlier point); overlapping
-// records must agree on their IDs.
+// records must agree on their IDs. A snapshot with baseLen == 0 is
+// fully self-contained (physically compacted — see Compact): every
+// live record rides in extras and the caller's table contents are
+// ignored entirely, so the overlap check is skipped — the on-disk
+// CSVs may legitimately still hold the pre-compaction records if a
+// crash hit between snapshot publish and table rewrite.
 func extendTable(base *table.Table, baseLen int, extras []table.Record, dead []int32) (*table.Table, error) {
 	if base.Len() < baseLen {
 		return nil, fmt.Errorf("persist: table %q has %d records, snapshot expects at least %d base records",
@@ -498,7 +503,7 @@ func extendTable(base *table.Table, baseLen int, extras []table.Record, dead []i
 		}
 	}
 	for k, r := range extras {
-		if idx := baseLen + k; idx < base.Len() && base.Records[idx].ID != r.ID {
+		if idx := baseLen + k; baseLen > 0 && idx < base.Len() && base.Records[idx].ID != r.ID {
 			return nil, fmt.Errorf("persist: table %q record %d: snapshot has ID %q, reloaded table has %q",
 				base.Name, idx, r.ID, base.Records[idx].ID)
 		}

@@ -71,13 +71,32 @@ func (p *ConfigPatch) Apply(cfg *core.Config) {
 	}
 }
 
-// SessionInfo summarizes one session.
+// timeLayout formats lifecycle timestamps on the wire.
+const timeLayout = "2006-01-02T15:04:05.999999999Z07:00" // time.RFC3339Nano
+
+// SessionInfo summarizes one session. The counts come from the
+// store's cached metadata, so listing sessions never forces an
+// evicted one back into memory.
 type SessionInfo struct {
 	Name    string `json:"name"`
 	Pairs   int    `json:"pairs"`
 	Rules   int    `json:"rules"`
 	Matches int    `json:"matches"`
 	LastOp  string `json:"lastOp"`
+	// State is "resident" (in memory) or "evicted" (compacted to its
+	// durable snapshot; the next touch reloads it transparently).
+	State string `json:"state"`
+	// ResidentBytes is the session's §7.4 memory footprint (memo +
+	// bitmaps) as of the last accounting event; 0 while evicted.
+	ResidentBytes int64 `json:"residentBytes"`
+	// Created and LastTouch are RFC 3339 timestamps; LastTouch moves
+	// on every acquisition (any endpoint under the session's name).
+	Created   string `json:"created,omitempty"`
+	LastTouch string `json:"lastTouch,omitempty"`
+	// Evictions and Reloads count this session's round trips through
+	// the evicted state.
+	Evictions uint64 `json:"evictions"`
+	Reloads   uint64 `json:"reloads"`
 }
 
 // SessionList is the GET /v1/sessions response.
@@ -248,6 +267,18 @@ type StatsResponse struct {
 	// JournalBytes the current journal size. Both zero when not durable.
 	Seq          uint64 `json:"seq,omitempty"`
 	JournalBytes int64  `json:"journalBytes,omitempty"`
+	// Lifecycle accounting. State is always "resident" here — fetching
+	// stats touches the session, reloading it if it was evicted;
+	// Evictions/Reloads count its past round trips through the evicted
+	// state. Edits counts edit-mode acquisitions against MaxEdits
+	// (0 = unlimited).
+	State         string `json:"state"`
+	ResidentBytes int64  `json:"residentBytes"`
+	LastTouch     string `json:"lastTouch,omitempty"`
+	Evictions     uint64 `json:"evictions"`
+	Reloads       uint64 `json:"reloads"`
+	Edits         int64  `json:"edits"`
+	MaxEdits      int64  `json:"maxEdits,omitempty"`
 }
 
 // VerifyResponse is the POST .../verify response.

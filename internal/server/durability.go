@@ -1,191 +1,29 @@
 package server
 
-import (
-	"errors"
-	"fmt"
-	"log"
-	"os"
-	"path/filepath"
+import "rulematch/internal/sessionstore"
 
-	"rulematch/internal/faultio"
-	"rulematch/internal/sim"
-	"rulematch/internal/wal"
-)
+// Durability is the store's durability configuration, re-exported so
+// cmd/emserve keeps configuring the server without importing the
+// store package directly.
+type Durability = sessionstore.Durability
 
-// Durability configures the optional crash-safe session store: every
-// session gets a directory under Dir holding its tables, a checksummed
-// snapshot and an edit journal (see internal/wal). Committed edits are
-// journaled before the HTTP response is written, so a kill -9 between
-// responses never loses an acknowledged edit (modulo the sync policy).
-type Durability struct {
-	// Dir is the data directory; one subdirectory per session.
-	Dir string
-	// Policy is the journal fsync policy (always / interval / never).
-	Policy wal.SyncPolicy
-	// CompactAt is the journal size that triggers compaction;
-	// <=0 means wal.DefaultCompactBytes.
-	CompactAt int64
-	// FS is the filesystem seam; nil means the real one. Tests inject
-	// faults here.
-	FS faultio.FS
-}
-
-// EnableDurability switches the server into durable mode. It creates
-// Dir and probes that it is writable; an error means the caller should
-// fall back to ephemeral mode (every session in memory only).
+// EnableDurability switches the session store into durable mode. It
+// creates the datadir and probes that it is writable; an error means
+// the caller should fall back to ephemeral mode (every session in
+// memory only, no eviction — the memory budget degrades to a hard
+// admission cap).
 func (s *Server) EnableDurability(d Durability) error {
-	if d.FS == nil {
-		d.FS = faultio.OS
-	}
-	if err := d.FS.MkdirAll(d.Dir, 0o755); err != nil {
-		return fmt.Errorf("create datadir: %w", err)
-	}
-	// Probe writability now, not on the first session create.
-	probe := filepath.Join(d.Dir, ".probe")
-	f, err := d.FS.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("datadir not writable: %w", err)
-	}
-	_ = f.Close()
-	_ = d.FS.Remove(probe)
-	s.dur = d
-	s.durable = true
-	return nil
+	return s.store.EnableDurability(d)
 }
 
 // Durable reports whether the server persists sessions.
-func (s *Server) Durable() bool { return s.durable }
+func (s *Server) Durable() bool { return s.store.Durable() }
 
-// validSessionName restricts durable session names to filesystem-safe
-// tokens: they become directory names under the datadir.
-func validSessionName(name string) error {
-	if name == "" || len(name) > 128 {
-		return errors.New("session name must be 1-128 characters")
-	}
-	for _, c := range name {
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
-			c == '.', c == '_', c == '-':
-		default:
-			return fmt.Errorf("session name %q: durable sessions allow only letters, digits, '.', '_' and '-'", name)
-		}
-	}
-	if name == "." || name == ".." {
-		return fmt.Errorf("session name %q is reserved", name)
-	}
-	return nil
-}
-
-// sessionDir is the on-disk home of one durable session.
-func (s *Server) sessionDir(name string) string { return filepath.Join(s.dur.Dir, name) }
-
-// attachStore gives a freshly created session its durable store. A
-// failure degrades the session to ephemeral (logged, counted, visible
-// in /stats) rather than failing the create: losing durability is
-// better than losing the analyst's session.
-func (s *Server) attachStore(ds *debugSession) {
-	if !s.durable {
-		return
-	}
-	st, err := wal.Create(s.dur.FS, s.sessionDir(ds.name), s.dur.Policy, ds.sess, ds.a, ds.b)
-	if err != nil {
-		s.degrade(ds, fmt.Errorf("create store: %w", err))
-		return
-	}
-	st.CompactAt = s.dur.CompactAt
-	ds.store = st
-}
-
-// degrade flips a session to ephemeral mode after a persistence
-// failure. Caller must hold the session's write lock (or own the
-// session exclusively, as during create).
-func (s *Server) degrade(ds *debugSession, err error) {
-	if ds.store != nil {
-		_ = ds.store.Close()
-		ds.store = nil
-	}
-	ds.persistErr = err.Error()
-	ephemeralSessions.Add(1)
-	log.Printf("emserve: session %q degraded to ephemeral: %v", ds.name, err)
-}
-
-// recordEdit journals one committed edit. Must be called under the
-// session's write lock, after the edit was applied in memory and
-// before the HTTP response is written — the response acknowledges
-// durability. A journal failure degrades the session instead of
-// failing the edit.
-func (s *Server) recordEdit(ds *debugSession, rec wal.Record) {
-	if ds.store == nil {
-		return
-	}
-	if err := ds.store.RecordEdit(ds.sess, rec); err != nil {
-		s.degrade(ds, err)
-	}
-}
-
-// RecoverSessions scans the datadir and rebuilds every session found
-// there: tables from CSV, state from the last good snapshot, then the
-// journal suffix replayed (a torn tail is truncated). A directory that
-// fails to recover is logged and left on disk untouched for manual
-// inspection; it does not block the others. Returns the number of
-// sessions recovered.
-func (s *Server) RecoverSessions() (int, error) {
-	if !s.durable {
-		return 0, nil
-	}
-	entries, err := os.ReadDir(s.dur.Dir)
-	if err != nil {
-		return 0, fmt.Errorf("scan datadir: %w", err)
-	}
-	n := 0
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		name := e.Name()
-		dir := s.sessionDir(name)
-		if _, err := os.Stat(filepath.Join(dir, wal.SnapshotFile)); err != nil {
-			continue // not a session directory
-		}
-		st, rec, err := wal.Open(s.dur.FS, dir, s.dur.Policy, sim.Standard())
-		if err != nil {
-			log.Printf("emserve: session %q not recovered (left on disk): %v", name, err)
-			continue
-		}
-		st.CompactAt = s.dur.CompactAt
-		rec.Session.Reconfigure(s.cfg)
-		ds := newDebugSession(name, rec.Session, rec.A, rec.B)
-		ds.store = st
-		if err := s.add(ds); err != nil {
-			_ = st.Close()
-			log.Printf("emserve: session %q not recovered: %v", name, err)
-			continue
-		}
-		recoveredSessions.Add(1)
-		n++
-		torn := ""
-		if rec.Torn {
-			torn = ", torn journal tail truncated"
-		}
-		log.Printf("emserve: recovered session %q (seq %d, %d journal records replayed%s)",
-			name, st.Seq(), rec.Replayed, torn)
-	}
-	return n, nil
-}
+// RecoverSessions rebuilds every session found in the datadir: tables
+// from CSV, state from the last good snapshot, then the journal suffix
+// replayed (a torn tail is truncated). Returns the number recovered.
+func (s *Server) RecoverSessions() (int, error) { return s.store.RecoverAll() }
 
 // CloseSessions syncs and closes every session's journal. Called after
 // the HTTP server has drained, so no edits are in flight.
-func (s *Server) CloseSessions() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, ds := range s.sessions {
-		ds.mu.Lock()
-		if ds.store != nil {
-			if err := ds.store.Close(); err != nil {
-				log.Printf("emserve: close session %q journal: %v", ds.name, err)
-			}
-			ds.store = nil
-		}
-		ds.mu.Unlock()
-	}
-}
+func (s *Server) CloseSessions() { s.store.CloseAll() }

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,6 +15,7 @@ import (
 	"rulematch/internal/incremental"
 	"rulematch/internal/persist"
 	"rulematch/internal/rule"
+	"rulematch/internal/sessionstore"
 	"rulematch/internal/sim"
 	"rulematch/internal/table"
 	"rulematch/internal/wal"
@@ -23,9 +23,9 @@ import (
 
 var errDraining = errors.New("server is draining")
 
-// errCode maps an error to a status: cancelled contexts become 499
-// in spirit (client closed request; reported as 503 since Go's
-// net/http has no 499), validation errors 400.
+// errCode maps an operation error to a status: cancelled contexts
+// become 499 in spirit (client closed request; reported as 503 since
+// Go's net/http has no 499), validation errors 400.
 func errCode(err error) int {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusServiceUnavailable
@@ -33,9 +33,42 @@ func errCode(err error) int {
 	return http.StatusBadRequest
 }
 
+// storeErrCode maps a sessionstore acquisition/admission error to a
+// status. Quota rejections are 429 (the client can retry after
+// deleting sessions or waiting); anything else unrecognized is a
+// reload failure, which is the server's problem, not the client's.
+func storeErrCode(err error) int {
+	switch {
+	case errors.Is(err, sessionstore.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, sessionstore.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, sessionstore.ErrBadName):
+		return http.StatusBadRequest
+	case sessionstore.IsQuota(err):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// acquire resolves the {name} path wildcard to a session handle in the
+// given mode, writing the error response itself on failure. The
+// acquisition is the touch: an evicted session is transparently
+// reloaded before this returns. Callers must Release the handle.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request, mode sessionstore.Mode) (*sessionstore.Handle, bool) {
+	h, err := s.store.Acquire(r.PathValue("name"), mode)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return nil, false
+	}
+	return h, true
+}
+
 // hCreate builds a session from inline tables plus either DSL rules
 // and a blocker, or a persist snapshot, then runs the full
-// materializing pass under the request context.
+// materializing pass under the request context and admits the result
+// into the store.
 func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
 	if err := s.decode(w, r, &req); err != nil {
@@ -45,12 +78,6 @@ func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("name is required"))
 		return
-	}
-	if s.durable {
-		if err := validSessionName(req.Name); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
 	}
 	if req.TableA == "" || req.TableB == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("tableA and tableB are required"))
@@ -86,20 +113,21 @@ func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// Register the session's own tables, not the parses above: a warm
+	// Admit the session's own tables, not the parses above: a warm
 	// start from a snapshot with appended records rebuilds extended
-	// tables inside persist.Load.
-	ds := newDebugSession(req.Name, sess, sess.M.C.A, sess.M.C.B)
-	if err := s.add(ds); err != nil {
-		writeErr(w, http.StatusConflict, err)
+	// tables inside persist.Load. After Admit the store owns the
+	// session — it may already be racing toward eviction — so the
+	// response comes from the store's cached summary, not the pointer.
+	if err := s.store.Admit(req.Name, sess, sess.M.C.A, sess.M.C.B); err != nil {
+		writeErr(w, storeErrCode(err), err)
 		return
 	}
-	// The session is registered; give it its durable store (or degrade
-	// to ephemeral) under the write lock before anyone can edit it.
-	ds.mu.Lock()
-	s.attachStore(ds)
-	ds.mu.Unlock()
-	writeJSON(w, http.StatusCreated, infoOf(ds))
+	ei, ok := s.store.Info(req.Name)
+	if !ok {
+		// Deleted between admit and read-back; report what was admitted.
+		ei = sessionstore.EntryInfo{Name: req.Name, State: sessionstore.StateResident}
+	}
+	writeJSON(w, http.StatusCreated, infoOf(ei))
 }
 
 // buildSession is the cold-start path: parse, block, compile, run.
@@ -138,74 +166,67 @@ func (s *Server) buildSession(ctx context.Context, a, b *table.Table, cfg core.C
 	return sess, nil
 }
 
-func infoOf(ds *debugSession) SessionInfo {
-	return SessionInfo{
-		Name:    ds.name,
-		Pairs:   ds.sess.LivePairCount(),
-		Rules:   len(ds.sess.M.C.Rules),
-		Matches: ds.sess.MatchCount(),
-		LastOp:  ds.sess.LastOp.Op,
+func infoOf(ei sessionstore.EntryInfo) SessionInfo {
+	info := SessionInfo{
+		Name:          ei.Name,
+		Pairs:         ei.Meta.Pairs,
+		Rules:         ei.Meta.Rules,
+		Matches:       ei.Meta.Matches,
+		LastOp:        ei.Meta.LastOp,
+		State:         ei.State,
+		ResidentBytes: ei.ResidentBytes,
+		Evictions:     ei.Evictions,
+		Reloads:       ei.Reloads,
 	}
+	if !ei.Created.IsZero() {
+		info.Created = ei.Created.UTC().Format(timeLayout)
+	}
+	if !ei.LastTouch.IsZero() {
+		info.LastTouch = ei.LastTouch.UTC().Format(timeLayout)
+	}
+	return info
 }
 
+// hList describes every session, resident or evicted. Listing never
+// reloads an evicted session — summaries come from the store's cached
+// metadata, so monitoring a budget-constrained server is free.
 func (s *Server) hList(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	names := make([]*debugSession, 0, len(s.sessions))
-	for _, ds := range s.sessions {
-		names = append(names, ds)
-	}
-	s.mu.RUnlock()
-	out := SessionList{Sessions: []SessionInfo{}}
-	for _, ds := range names {
-		ds.mu.RLock()
-		out.Sessions = append(out.Sessions, infoOf(ds))
-		ds.mu.RUnlock()
+	infos := s.store.List()
+	out := SessionList{Sessions: make([]SessionInfo, 0, len(infos))}
+	for _, ei := range infos {
+		out.Sessions = append(out.Sessions, infoOf(ei))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// hGet is a touch: acquiring the handle transparently reloads an
+// evicted session, so the returned state is always resident.
 func (s *Server) hGet(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	h, ok := s.acquire(w, r, sessionstore.ModeRead)
+	if !ok {
 		return
 	}
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	writeJSON(w, http.StatusOK, infoOf(ds))
+	defer h.Release()
+	ei, _ := s.store.Info(h.Name())
+	writeJSON(w, http.StatusOK, infoOf(ei))
 }
 
 func (s *Server) hDelete(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	name := r.PathValue("name")
+	if !s.store.Remove(name) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
 		return
 	}
-	if !s.remove(ds.name) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", ds.name))
-		return
-	}
-	ds.mu.Lock()
-	if ds.store != nil {
-		// Deleting the session deletes its durable home too.
-		if err := ds.store.Destroy(); err != nil {
-			log.Printf("emserve: destroy session %q store: %v", ds.name, err)
-		}
-		ds.store = nil
-	}
-	ds.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) hRules(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	h, ok := s.acquire(w, r, sessionstore.ModeRead)
+	if !ok {
 		return
 	}
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	sess := ds.sess
+	defer h.Release()
+	sess := h.Session()
 	out := RuleList{Rules: make([]RuleInfo, len(sess.M.C.Rules))}
 	for ri := range sess.M.C.Rules {
 		cr := &sess.M.C.Rules[ri]
@@ -245,21 +266,20 @@ func resolveRule(sess *incremental.Session, idx int, name string) (int, error) {
 }
 
 // hEdit applies one incremental operation (Algorithms 7–10) under the
-// session's write lock.
+// session's write lock. Edit-mode acquisition charges the per-session
+// edit quota.
 func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
 	var req EditRequest
 	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	sess := ds.sess
+	h, ok := s.acquire(w, r, sessionstore.ModeEdit)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	sess := h.Session()
 	ri, err := resolveRule(sess, req.Rule, req.RuleName)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -300,7 +320,7 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 	if req.Op == "add_rule" {
 		src = req.RuleSrc
 	}
-	s.recordEdit(ds, wal.Record{
+	h.RecordEdit(wal.Record{
 		Op: req.Op, Rule: ri, Pred: req.Pred,
 		Threshold: req.Threshold, Src: src,
 	})
@@ -320,11 +340,6 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 // size limit, so an oversized batch fails the request instead of
 // degrading the session to ephemeral at journaling time.
 func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
 	var req RecordsRequest
 	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -336,14 +351,17 @@ func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	aRecs := rowsToRecords(req.AppendA)
 	bRecs := rowsToRecords(req.AppendB)
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	sess := ds.sess
+	h, ok := s.acquire(w, r, sessionstore.ModeEdit)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	sess := h.Session()
 	if err := sess.ValidateAppend(aRecs, bRecs); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if ds.store != nil {
+	if h.Durable() {
 		if err := checkJournalable(&req, aRecs, bRecs); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -358,7 +376,7 @@ func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 		resp.Deleted = len(req.DeleteA) + len(req.DeleteB)
 		rep := reportOf(sess.LastOp)
 		resp.DeleteReport = &rep
-		s.recordEdit(ds, wal.Record{Op: "record_delete", DelA: req.DeleteA, DelB: req.DeleteB})
+		h.RecordEdit(wal.Record{Op: "record_delete", DelA: req.DeleteA, DelB: req.DeleteB})
 	}
 	if len(aRecs)+len(bRecs) > 0 {
 		if err := sess.AddRecords(aRecs, bRecs); err != nil {
@@ -368,7 +386,7 @@ func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 		resp.Appended = len(aRecs) + len(bRecs)
 		rep := reportOf(sess.LastOp)
 		resp.AppendReport = &rep
-		s.recordEdit(ds, wal.Record{Op: "record_append", RecsA: aRecs, RecsB: bRecs})
+		h.RecordEdit(wal.Record{Op: "record_append", RecsA: aRecs, RecsB: bRecs})
 	}
 	resp.Matches = sess.MatchCount()
 	resp.Pairs = sess.LivePairCount()
@@ -422,20 +440,18 @@ func reportOf(op incremental.OpReport) OpReport {
 // hRun re-materializes from scratch (with the warm memo) under the
 // request context; a cancelled run leaves the previous state standing.
 func (s *Server) hRun(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	h, ok := s.acquire(w, r, sessionstore.ModeWrite)
+	if !ok {
 		return
 	}
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	if err := ds.sess.Run(r.Context()); err != nil {
+	defer h.Release()
+	if err := h.Session().Run(r.Context()); err != nil {
 		writeErr(w, errCode(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{
-		Report:  reportOf(ds.sess.LastOp),
-		Matches: ds.sess.MatchCount(),
+		Report:  reportOf(h.Session().LastOp),
+		Matches: h.Session().MatchCount(),
 	})
 }
 
@@ -444,19 +460,17 @@ func (s *Server) hRun(w http.ResponseWriter, r *http.Request) {
 // never moves a live threshold; cancellation mid-sweep leaves the
 // session untouched.
 func (s *Server) hSweep(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
 	var req SweepRequest
 	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	sess := ds.sess
+	h, ok := s.acquire(w, r, sessionstore.ModeWrite)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	sess := h.Session()
 	ri, err := resolveRule(sess, req.Rule, req.RuleName)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -485,12 +499,8 @@ func (s *Server) hSweep(w http.ResponseWriter, r *http.Request) {
 // hMatches pages through the matched pairs. The cursor is a candidate
 // pair index (start at 0); NextCursor is -1 on the last page.
 func (s *Server) hMatches(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
 	cursor, limit := 0, 100
+	var err error
 	if v := r.URL.Query().Get("cursor"); v != "" {
 		if cursor, err = strconv.Atoi(v); err != nil || cursor < 0 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor %q", v))
@@ -503,9 +513,13 @@ func (s *Server) hMatches(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	sess := ds.sess
+	h, ok := s.acquire(w, r, sessionstore.ModeRead)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	sess := h.Session()
+	a, b := h.Tables()
 	page := MatchPage{Matches: []MatchedPair{}, NextCursor: -1, Total: sess.MatchCount()}
 	for pi := cursor; pi < len(sess.M.Pairs); pi++ {
 		if !sess.St.Matched.Get(pi) {
@@ -518,8 +532,8 @@ func (s *Server) hMatches(w http.ResponseWriter, r *http.Request) {
 		p := sess.M.Pairs[pi]
 		page.Matches = append(page.Matches, MatchedPair{
 			Pair: pi,
-			IDA:  ds.a.Records[p.A].ID,
-			IDB:  ds.b.Records[p.B].ID,
+			IDA:  a.Records[p.A].ID,
+			IDB:  b.Records[p.B].ID,
 			Rule: owningRule(sess, pi),
 		})
 	}
@@ -537,14 +551,12 @@ func owningRule(sess *incremental.Session, pi int) string {
 }
 
 func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	h, ok := s.acquire(w, r, sessionstore.ModeRead)
+	if !ok {
 		return
 	}
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	sess := ds.sess
+	defer h.Release()
+	sess := h.Session()
 	memo, bitmaps := sess.MemoryBytes()
 	st := sess.M.Stats
 	rate := 0.0
@@ -555,35 +567,43 @@ func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
 	if sess.M.Memo != nil {
 		entries = sess.M.Memo.Entries()
 	}
+	lc := h.Lifecycle()
 	resp := StatsResponse{
-		Pairs:       len(sess.M.Pairs),
-		Rules:       len(sess.M.C.Rules),
-		Matches:     sess.MatchCount(),
-		MemoBytes:   memo,
-		BitmapBytes: bitmaps,
-		MemoEntries: entries,
-		Stats:       st,
-		MemoHitRate: rate,
-		LastOp:      reportOf(sess.LastOp),
-		PersistErr:  ds.persistErr,
+		Pairs:         len(sess.M.Pairs),
+		Rules:         len(sess.M.C.Rules),
+		Matches:       sess.MatchCount(),
+		MemoBytes:     memo,
+		BitmapBytes:   bitmaps,
+		MemoEntries:   entries,
+		Stats:         st,
+		MemoHitRate:   rate,
+		LastOp:        reportOf(sess.LastOp),
+		PersistErr:    h.PersistErr(),
+		State:         lc.State,
+		ResidentBytes: lc.ResidentBytes,
+		Evictions:     lc.Evictions,
+		Reloads:       lc.Reloads,
+		Edits:         lc.Edits,
+		MaxEdits:      lc.MaxEdits,
 	}
-	if ds.store != nil {
+	if !lc.LastTouch.IsZero() {
+		resp.LastTouch = lc.LastTouch.UTC().Format(timeLayout)
+	}
+	if h.Durable() {
 		resp.Durable = true
-		resp.Seq = ds.store.Seq()
-		resp.JournalBytes = ds.store.JournalSize()
+		resp.Seq = h.Seq()
+		resp.JournalBytes = h.JournalBytes()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) hVerify(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	h, ok := s.acquire(w, r, sessionstore.ModeRead)
+	if !ok {
 		return
 	}
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	if err := ds.sess.Verify(); err != nil {
+	defer h.Release()
+	if err := h.Session().Verify(); err != nil {
 		writeJSON(w, http.StatusOK, VerifyResponse{OK: false, Error: err.Error()})
 		return
 	}
@@ -594,15 +614,13 @@ func (s *Server) hVerify(w http.ResponseWriter, r *http.Request) {
 // emdebug's save command writes, so a session can move between the
 // service and the CLIs.
 func (s *Server) hSnapshot(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.lookup(r)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	h, ok := s.acquire(w, r, sessionstore.ModeRead)
+	if !ok {
 		return
 	}
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
+	defer h.Release()
 	var buf bytes.Buffer
-	if err := persist.Save(&buf, ds.sess); err != nil {
+	if err := persist.Save(&buf, h.Session()); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+// Listen opens the listener named by spec. Two forms:
+//
+//	host:port          — TCP (the default form, e.g. ":8080")
+//	unix:/path/to.sock — a Unix domain socket at that path
+//
+// A stale socket file from a previous unclean shutdown is removed
+// before binding — but only if nothing is listening on it, so two
+// servers can't silently steal each other's socket. Callers own
+// closing the listener; the socket file is unlinked on Close by the
+// net package.
+func Listen(spec string) (net.Listener, error) {
+	path, ok := strings.CutPrefix(spec, "unix:")
+	if !ok {
+		return net.Listen("tcp", spec)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("listen spec %q: empty socket path", spec)
+	}
+	if _, err := os.Stat(path); err == nil {
+		// Something is there. Live listener → refuse; stale socket from
+		// a crashed process → connect fails and we reclaim the path.
+		if c, err := net.Dial("unix", path); err == nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("listen unix %s: already in use", path)
+		}
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("remove stale socket %s: %w", path, err)
+		}
+	}
+	return net.Listen("unix", path)
+}

@@ -20,21 +20,16 @@ var (
 	reqNanos *expvar.Map
 	// reqDrained counts requests refused by the drain gate.
 	reqDrained *expvar.Int
-	// ephemeralSessions counts sessions that lost (or never got) their
-	// durable store and now live in memory only.
-	ephemeralSessions *expvar.Int
-	// recoveredSessions counts sessions rebuilt from the datadir at
-	// startup.
-	recoveredSessions *expvar.Int
 )
 
+// initMetrics registers the HTTP-layer metrics. Session lifecycle
+// gauges (sessions_resident, bytes_resident, ...) live in
+// internal/sessionstore with the state they measure.
 func initMetrics() {
 	metricsOnce.Do(func() {
 		reqCount = expvar.NewMap("emserve_requests")
 		reqNanos = expvar.NewMap("emserve_request_ns")
 		reqDrained = expvar.NewInt("emserve_drained_requests")
-		ephemeralSessions = expvar.NewInt("emserve_ephemeral_sessions")
-		recoveredSessions = expvar.NewInt("emserve_recovered_sessions")
 	})
 }
 

@@ -1,23 +1,32 @@
 // Package server implements the HTTP/JSON debug service behind
-// cmd/emserve: named incremental matching sessions held in memory,
-// edited over the paper's Algorithms 7–10 without ever discarding the
-// memo or the materialized bitmaps.
+// cmd/emserve: named incremental matching sessions edited over the
+// paper's Algorithms 7–10 without ever discarding the memo or the
+// materialized bitmaps.
 //
-// Concurrency model: each session has a single-writer lock. Edits,
-// full runs and sweeps (which warm the shared memo) take the write
-// side; reads — rule listings, match pages, stats, verification,
-// snapshots — share the read side, so a slow snapshot download never
-// blocks another reader and an edit waits only for in-flight readers.
-// Long operations (full runs, sweeps) run under the request context,
-// so a disconnected or timed-out client cancels the work; cancelled
-// operations leave the session exactly as it was (see
-// incremental.RunFullParallelCtx / SweepThresholdParallelCtx).
+// Session ownership lives in internal/sessionstore, not here: the
+// server is a thin adapter that decodes requests, acquires a session
+// handle (read- or write-mode; the store's per-session single-writer
+// lock is held for the duration of the request), runs the operation
+// and releases. The store enforces memory budgets with LRU eviction
+// and transparently reloads an evicted session on the next touch, so
+// handlers never see an evicted session — acquisition blocks on the
+// reload instead.
+//
+// Concurrency model: edits, full runs and sweeps (which warm the
+// shared memo) take the write side; reads — rule listings, match
+// pages, stats, verification, snapshots — share the read side, so a
+// slow snapshot download never blocks another reader and an edit waits
+// only for in-flight readers. Long operations (full runs, sweeps) run
+// under the request context, so a disconnected or timed-out client
+// cancels the work; cancelled operations leave the session exactly as
+// it was (see incremental.RunFullParallelCtx /
+// SweepThresholdParallelCtx).
 //
 // Robustness: request bodies are capped (MaxBodyBytes), every
 // endpoint's count and latency are published through expvar
-// (/debug/vars), and SetDraining(true) makes the server answer 503 to
-// everything except /healthz while http.Server.Shutdown drains
-// in-flight edits.
+// (/debug/vars) alongside the store's lifecycle gauges, and
+// SetDraining(true) makes the server answer 503 to everything except
+// /healthz while http.Server.Shutdown drains in-flight edits.
 package server
 
 import (
@@ -25,14 +34,10 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"rulematch/internal/core"
-	"rulematch/internal/incremental"
-	"rulematch/internal/table"
-	"rulematch/internal/wal"
+	"rulematch/internal/sessionstore"
 )
 
 // DefaultMaxBodyBytes caps request bodies (tables ride inline in
@@ -47,34 +52,8 @@ type Server struct {
 	// MaxBodyBytes caps request bodies; set before Handler is called.
 	MaxBodyBytes int64
 
-	mu       sync.RWMutex
-	sessions map[string]*debugSession
-
+	store    *sessionstore.Store
 	draining atomic.Bool
-
-	// dur configures the crash-safe session store (see durability.go);
-	// durable is false until EnableDurability succeeds.
-	dur     Durability
-	durable bool
-}
-
-// debugSession is one named session plus its single-writer lock.
-type debugSession struct {
-	name    string
-	mu      sync.RWMutex
-	sess    *incremental.Session
-	a, b    *table.Table
-	created time.Time
-
-	// store persists the session (nil in ephemeral mode — either the
-	// server has no datadir, or persistence failed and the session was
-	// degraded; persistErr keeps the reason for /stats).
-	store      *wal.Store
-	persistErr string
-}
-
-func newDebugSession(name string, sess *incremental.Session, a, b *table.Table) *debugSession {
-	return &debugSession{name: name, sess: sess, a: a, b: b, created: time.Now()}
 }
 
 // New returns a server whose sessions default to cfg.
@@ -83,8 +62,21 @@ func New(cfg core.Config) *Server {
 	return &Server{
 		cfg:          cfg,
 		MaxBodyBytes: DefaultMaxBodyBytes,
-		sessions:     make(map[string]*debugSession),
+		store:        sessionstore.New(sessionstore.Config{Core: cfg}),
 	}
+}
+
+// Store exposes the session store — cmd/emserve and the load
+// generator configure limits and read counters through it.
+func (s *Server) Store() *sessionstore.Store { return s.store }
+
+// SetLimits configures the store's admission and quota knobs:
+// maxSessions caps the session count, memBudget the total resident
+// bytes (LRU eviction on a durable server, hard admission cap on an
+// ephemeral one), maxEdits the per-session edit quota. Zero values
+// mean unlimited.
+func (s *Server) SetLimits(maxSessions int, memBudget, maxEdits int64) {
+	s.store.SetLimits(maxSessions, memBudget, maxEdits)
 }
 
 // Handler returns the route table. Go 1.22 method+wildcard patterns
@@ -121,12 +113,8 @@ func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
 // Draining reports whether the drain gate is up.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// SessionCount returns the number of live sessions.
-func (s *Server) SessionCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sessions)
-}
+// SessionCount returns the number of sessions, resident + evicted.
+func (s *Server) SessionCount() int { return s.store.Len() }
 
 func (s *Server) hHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
@@ -134,40 +122,6 @@ func (s *Server) hHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
-}
-
-// lookup fetches a session by the {name} path value.
-func (s *Server) lookup(r *http.Request) (*debugSession, error) {
-	name := r.PathValue("name")
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ds, ok := s.sessions[name]
-	if !ok {
-		return nil, fmt.Errorf("no session %q", name)
-	}
-	return ds, nil
-}
-
-// add registers a new session; the name must be free.
-func (s *Server) add(ds *debugSession) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[ds.name]; ok {
-		return fmt.Errorf("session %q already exists", ds.name)
-	}
-	s.sessions[ds.name] = ds
-	return nil
-}
-
-// remove drops a session by name.
-func (s *Server) remove(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[name]; !ok {
-		return false
-	}
-	delete(s.sessions, name)
-	return true
 }
 
 // decode reads a JSON body under the size cap.

@@ -1,0 +1,91 @@
+package sessionstore
+
+import (
+	"time"
+
+	"rulematch/internal/incremental"
+	"rulematch/internal/table"
+	"rulematch/internal/wal"
+)
+
+// Accessors on an acquired handle. All of them require the handle to
+// still be held (before Release); the returned pointers must not be
+// retained past Release — the evictor may drop them at any point
+// after.
+
+// Name returns the session name.
+func (h *Handle) Name() string { return h.e.name }
+
+// Session returns the live session. Never nil while held.
+func (h *Handle) Session() *incremental.Session { return h.e.sess }
+
+// Tables returns the session's tables (the session's own, which grow
+// with record appends).
+func (h *Handle) Tables() (a, b *table.Table) { return h.e.a, h.e.b }
+
+// Durable reports whether the session has an open durable store.
+func (h *Handle) Durable() bool { return h.e.wst != nil }
+
+// PersistErr returns the reason the session degraded to ephemeral, or
+// "" if it never did.
+func (h *Handle) PersistErr() string { return h.e.persistErr }
+
+// Seq returns the journal sequence of the last committed edit (0 when
+// not durable).
+func (h *Handle) Seq() uint64 {
+	if h.e.wst == nil {
+		return 0
+	}
+	return h.e.wst.Seq()
+}
+
+// JournalBytes returns the current journal size (0 when not durable).
+func (h *Handle) JournalBytes() int64 {
+	if h.e.wst == nil {
+		return 0
+	}
+	return h.e.wst.JournalSize()
+}
+
+// RecordEdit journals one committed edit. Requires a write-mode
+// handle, after the edit was applied in memory and before the HTTP
+// response is written — the response acknowledges durability. A
+// journal failure degrades the session instead of failing the edit.
+func (h *Handle) RecordEdit(rec wal.Record) {
+	if !h.write || h.e.wst == nil {
+		return
+	}
+	if err := h.e.wst.RecordEdit(h.e.sess, rec); err != nil {
+		h.s.degradeLocked(h.e, err)
+	}
+}
+
+// LifecycleInfo is the per-session lifecycle view for /stats.
+type LifecycleInfo struct {
+	State         string
+	ResidentBytes int64
+	LastTouch     time.Time
+	Evictions     uint64
+	Reloads       uint64
+	Edits         int64
+	MaxEdits      int64
+}
+
+// Lifecycle reports the session's lifecycle accounting. The state is
+// always resident while a handle is held (acquisition reloads);
+// ResidentBytes is as of the last accounting event (admit, reload, or
+// write release).
+func (h *Handle) Lifecycle() LifecycleInfo {
+	s, e := h.s, h.e
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return LifecycleInfo{
+		State:         StateResident,
+		ResidentBytes: e.bytes,
+		LastTouch:     e.lastTouch,
+		Evictions:     e.evictions,
+		Reloads:       e.reloads,
+		Edits:         e.edits,
+		MaxEdits:      s.cfg.MaxEdits,
+	}
+}

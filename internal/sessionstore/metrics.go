@@ -1,0 +1,53 @@
+package sessionstore
+
+import (
+	"expvar"
+	"sync"
+)
+
+// expvar publication is package-global and once-only: expvar.NewInt
+// panics on duplicate names, and tests construct many Stores in one
+// process. All stores in a process therefore share the gauges, which
+// matches expvar's process-wide model (one emserve process runs one
+// store).
+var (
+	metricsOnce sync.Once
+	// sessionsResident gauges the currently resident session count.
+	sessionsResident *expvar.Int
+	// sessionsEvictedTotal counts evictions over the process lifetime.
+	sessionsEvictedTotal *expvar.Int
+	// sessionsReloadedTotal counts transparent reloads of evicted
+	// sessions.
+	sessionsReloadedTotal *expvar.Int
+	// bytesResident gauges total resident session bytes (§7.4 memo +
+	// bitmap accounting) against the budget.
+	bytesResident *expvar.Int
+	// ephemeralSessions counts sessions that lost (or never got) their
+	// durable store and now live in memory only.
+	ephemeralSessions *expvar.Int
+	// recoveredSessions counts sessions rebuilt from the datadir at
+	// startup.
+	recoveredSessions *expvar.Int
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		sessionsResident = expvar.NewInt("sessions_resident")
+		sessionsEvictedTotal = expvar.NewInt("sessions_evicted_total")
+		sessionsReloadedTotal = expvar.NewInt("sessions_reloaded_total")
+		bytesResident = expvar.NewInt("bytes_resident")
+		ephemeralSessions = expvar.NewInt("emserve_ephemeral_sessions")
+		recoveredSessions = expvar.NewInt("emserve_recovered_sessions")
+	})
+}
+
+// publishGauges refreshes the point-in-time gauges. Caller holds the
+// store mutex. Counters are set, not added: multiple stores in one
+// test process each publish their own totals last-writer-wins, which
+// is harmless (production runs one store per process).
+func (s *Store) publishGauges() {
+	sessionsResident.Set(int64(s.resident))
+	bytesResident.Set(s.residentBytes)
+	sessionsEvictedTotal.Set(int64(s.evictedTotal))
+	sessionsReloadedTotal.Set(int64(s.reloadedTotal))
+}

@@ -210,8 +210,81 @@ func (st *Store) Compact(sess *incremental.Session) error {
 	if err := persist.SaveFileFS(st.fsys, st.path(SnapshotFile), sess, opts...); err != nil {
 		return err
 	}
-	// Rotate: build a fresh header-only journal beside the live one,
-	// then atomically swap it in.
+	return st.rotateJournal()
+}
+
+// CompactRewrite is Compact for a physically compacted session (see
+// persist.Compact): it additionally rewrites the table CSVs to the
+// compacted records, physically dropping tombstones from disk. The
+// crash-consistency argument needs one extra step beyond Compact's:
+//
+//  1. The snapshot is published atomically first. A compacted session
+//     reports base lengths of zero, so its snapshot is fully
+//     self-contained — recovery never reads record *contents* from the
+//     CSVs — and a crash right after this step recovers correctly
+//     against the stale, uncompacted tables still on disk.
+//  2. Each table CSV is then rewritten atomically (temp + rename), so
+//     no crash point ever exposes a torn CSV.
+//  3. The journal rotates last, exactly as in Compact.
+//
+// sess must be the compacted twin of the session this store journals
+// (same seq coverage); a and b are its compacted tables.
+func (st *Store) CompactRewrite(sess *incremental.Session, a, b *table.Table) error {
+	opts := []persist.SaveOption{persist.WithSeq(st.seq)}
+	if st.policy.Mode == SyncNever {
+		opts = append(opts, persist.NoFsync())
+	}
+	if err := persist.SaveFileFS(st.fsys, st.path(SnapshotFile), sess, opts...); err != nil {
+		return err
+	}
+	if err := st.writeTableAtomic(TableAFile, a); err != nil {
+		return err
+	}
+	if err := st.writeTableAtomic(TableBFile, b); err != nil {
+		return err
+	}
+	return st.rotateJournal()
+}
+
+// writeTableAtomic rewrites one table CSV via temp + fsync + rename +
+// dir-fsync, so a crash leaves either the old or the new file.
+func (st *Store) writeTableAtomic(name string, t *table.Table) error {
+	tmp := st.path(name + ".tmp")
+	f, err := st.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rewrite %s: %w", name, err)
+	}
+	cleanup := func(err error) error {
+		_ = st.fsys.Remove(tmp)
+		return fmt.Errorf("wal: rewrite %s: %w", name, err)
+	}
+	if err := t.WriteCSV(f); err != nil {
+		_ = f.Close()
+		return cleanup(err)
+	}
+	if st.policy.Mode != SyncNever {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return cleanup(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := st.fsys.Rename(tmp, st.path(name)); err != nil {
+		return cleanup(err)
+	}
+	if st.policy.Mode != SyncNever {
+		if err := st.fsys.SyncDir(st.dir); err != nil {
+			return fmt.Errorf("wal: rewrite %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// rotateJournal swaps in a fresh header-only journal: build it beside
+// the live one, then atomically rename it over.
+func (st *Store) rotateJournal() error {
 	tmp := st.path(JournalFile + ".new")
 	f, err := st.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
