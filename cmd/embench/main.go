@@ -9,7 +9,7 @@
 //
 // Experiments: table2, table3, fig3a, fig3b, fig3c, fig4, fig5a,
 // fig5b, fig5c, fig6, replay, memory, ablations, kernels, durability,
-// stream, serve, all.
+// stream, serve, ingest, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|serve|all)")
+		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|serve|ingest|all)")
 		dataset = flag.String("dataset", "products", "dataset domain for the figure experiments")
 		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
 		rules   = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
@@ -77,6 +77,7 @@ var knownExperiments = map[string]bool{
 	"fig5a": true, "fig5b": true, "fig5c": true,
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
 	"kernels": true, "durability": true, "stream": true, "serve": true,
+	"ingest": true,
 }
 
 func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int, jsonOut string) error {
@@ -100,6 +101,33 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 			fmt.Fprintf(out, "kernel results written to %s\n\n", jsonOut)
 		}
 		if exp == "kernels" {
+			return nil
+		}
+	}
+
+	// The ingest experiment works on raw CSV blobs of the dataset; it
+	// needs no prepared task either.
+	if exp == "ingest" || exp == "all" {
+		dom, err := domainByName(dataset)
+		if err != nil {
+			return err
+		}
+		tbl, res, err := bench.Ingest(dom, scale)
+		if err != nil {
+			return err
+		}
+		tbl.Print(out)
+		if exp == "ingest" {
+			if jsonOut != "" {
+				data, err := bench.IngestResultJSON(res)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "ingest results written to %s\n\n", jsonOut)
+			}
 			return nil
 		}
 	}

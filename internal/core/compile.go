@@ -59,6 +59,11 @@ type Compiled struct {
 	dictProfiles bool               // encode profiles against shared dictionaries
 	dicts        map[string]*sim.Dict
 	sharedSides  map[string]*[2][]any // encoded profile sets keyed by kind|colA|colB
+	// streams caches the sealed token stream per dictionary key so a
+	// feature bound later over the same token space encodes its profile
+	// kind without re-tokenizing. Invalidated whenever the tables grow
+	// or the cache representation is reset.
+	streams map[string]*sim.TokenStream
 }
 
 // Compile binds a matching function to two tables using the similarity
@@ -77,6 +82,7 @@ func Compile(f rule.Function, lib *sim.Library, a, b *table.Table) (*Compiled, e
 		dictProfiles: DefaultDictProfiles(),
 		dicts:        make(map[string]*sim.Dict),
 		sharedSides:  make(map[string]*[2][]any),
+		streams:      make(map[string]*sim.TokenStream),
 	}
 	for _, r := range f.Rules {
 		if err := c.AddRule(r); err != nil {

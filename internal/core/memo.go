@@ -35,11 +35,30 @@ type ArrayMemo struct {
 	vals     [][]float64
 	present  []*bitmap.Bits
 	entries  int64
+	// slab is the arena rows are carved from: feature rows are all
+	// numPairs long, so allocating a few rows' worth at a time and
+	// slicing with full capacity cuts row allocations (and the GC's
+	// pointer-scanning work) without changing the layout rows expose.
+	slab []float64
 }
+
+// memoSlabRows is how many feature rows one slab allocation covers.
+const memoSlabRows = 4
 
 // NewArrayMemo creates an array memo for numPairs candidate pairs.
 func NewArrayMemo(numPairs int) *ArrayMemo {
 	return &ArrayMemo{numPairs: numPairs}
+}
+
+// newRow carves one zeroed numPairs-long row out of the slab arena.
+func (m *ArrayMemo) newRow() []float64 {
+	n := m.numPairs
+	if len(m.slab) < n {
+		m.slab = make([]float64, memoSlabRows*n)
+	}
+	row := m.slab[:n:n]
+	m.slab = m.slab[n:]
+	return row
 }
 
 func (m *ArrayMemo) grow(fi int) {
@@ -48,7 +67,7 @@ func (m *ArrayMemo) grow(fi int) {
 		m.present = append(m.present, nil)
 	}
 	if m.vals[fi] == nil {
-		m.vals[fi] = make([]float64, m.numPairs)
+		m.vals[fi] = m.newRow()
 		m.present[fi] = bitmap.New(m.numPairs)
 	}
 }
@@ -96,6 +115,7 @@ func (m *ArrayMemo) ExtendPairs(numPairs int) {
 	if numPairs <= m.numPairs {
 		return
 	}
+	m.slab = nil // remaining arena space is sized for the old width
 	for fi := range m.vals {
 		if m.vals[fi] == nil {
 			continue

@@ -53,7 +53,27 @@ type featureProfiles struct {
 // defaultEngine (CLI toggles vs. racing workers).
 var dictProfilesDefault atomic.Bool
 
-func init() { dictProfilesDefault.Store(true) }
+// streamProfilesDefault gates the single-pass ingest fast path: when
+// on (the default), dictionary-encoded profile sets are built by
+// running an ID-emitting tokenizer over the column pair once —
+// interning tokens and recording the ID stream — and then encoding
+// every record's profile out of shared slab arrays. When off, each
+// record is tokenized and encoded individually (the original path).
+// The two paths produce bit-identical profiles; the toggle exists so
+// embench -exp ingest can measure them against each other.
+var streamProfilesDefault atomic.Bool
+
+func init() {
+	dictProfilesDefault.Store(true)
+	streamProfilesDefault.Store(true)
+}
+
+// SetStreamProfiles switches the single-pass ID-stream profile build
+// on or off for subsequent binds. Scores are bit-identical either way.
+func SetStreamProfiles(on bool) { streamProfilesDefault.Store(on) }
+
+// StreamProfilesEnabled reports whether the ID-stream build is on.
+func StreamProfilesEnabled() bool { return streamProfilesDefault.Load() }
 
 // SetDefaultDictProfiles changes whether functions compiled afterwards
 // cache dictionary-encoded profiles (true) or map profiles (false).
@@ -96,6 +116,7 @@ func (c *Compiled) SetProfileCache(on bool) {
 	c.profiles = nil
 	c.dicts = make(map[string]*sim.Dict)
 	c.sharedSides = make(map[string]*[2][]any)
+	c.streams = make(map[string]*sim.TokenStream)
 }
 
 // SetDictProfiles switches between dictionary-encoded and map profile
@@ -112,6 +133,7 @@ func (c *Compiled) SetDictProfiles(on bool) {
 	c.profiles = nil
 	c.dicts = make(map[string]*sim.Dict)
 	c.sharedSides = make(map[string]*[2][]any)
+	c.streams = make(map[string]*sim.TokenStream)
 	for fi := range c.Features {
 		c.buildProfiles(fi)
 	}
@@ -149,19 +171,30 @@ func (c *Compiled) buildProfiles(fi int) {
 
 // buildDictProfiles builds (or reuses) the dictionary-encoded profile
 // set of one feature. The dictionary is looked up by token space and
-// column pair; the profile set by profile kind and column pair.
+// column pair; the profile set by profile kind and column pair. When
+// the stream path is enabled and the similarity has an ID emitter, the
+// whole set is built in a single pass over the ID stream with slab
+// allocation; the per-record ProfileDict loop is the fallback.
 func (c *Compiled) buildDictProfiles(f *BoundFeature, dp sim.DictProfiler) *featureProfiles {
 	spec := dp.ProfileSpec()
 	colKey := strconv.Itoa(f.ColA) + "|" + strconv.Itoa(f.ColB)
-	fp := &featureProfiles{
-		fn:       dp,
-		shareKey: spec.Kind + "|" + colKey,
-		dict:     c.dictFor(spec.Space+"|"+colKey, dp, f.ColA, f.ColB),
-	}
+	dictKey := spec.Space + "|" + colKey
+	fp := &featureProfiles{fn: dp, shareKey: spec.Kind + "|" + colKey}
 	if sides, ok := c.sharedSides[fp.shareKey]; ok {
 		fp.side = *sides
+		fp.dict = c.dictFor(dictKey, dp, f.ColA, f.ColB)
 		return fp
 	}
+	if StreamProfilesEnabled() {
+		if em, ok := sim.EmitterFor(dp); ok {
+			if c.bindStreamProfiles(fp, dp, em, dictKey, f.ColA, f.ColB) {
+				sides := fp.side
+				c.sharedSides[fp.shareKey] = &sides
+				return fp
+			}
+		}
+	}
+	fp.dict = c.dictFor(dictKey, dp, f.ColA, f.ColB)
 	fp.side[0] = make([]any, c.A.Len())
 	for i := range c.A.Records {
 		fp.side[0][i] = dp.ProfileDict(c.A.Value(i, f.ColA), fp.dict)
@@ -173,6 +206,78 @@ func (c *Compiled) buildDictProfiles(f *BoundFeature, dp sim.DictProfiler) *feat
 	sides := fp.side
 	c.sharedSides[fp.shareKey] = &sides
 	return fp
+}
+
+// bindStreamProfiles encodes one share group through the single-pass
+// token stream: the column pair is scanned once by the ID emitter
+// (interning into a fresh dictionary, or re-emitting against an
+// already-sealed one), the stream is cached per dictionary key for
+// later kinds over the same token space, and every record's profile is
+// carved out of shared slabs. Reports false when the kind has no
+// stream encoding.
+func (c *Compiled) bindStreamProfiles(fp *featureProfiles, dp sim.DictProfiler, em sim.IDEmitter, dictKey string, colA, colB int) bool {
+	ts := c.streams[dictKey]
+	if ts == nil {
+		if d, ok := c.dicts[dictKey]; ok {
+			ts = c.emitSealedStream(em, d, colA, colB)
+			if ts == nil {
+				return false
+			}
+		} else {
+			sb := sim.NewStreamBuilder(em)
+			for i := range c.A.Records {
+				sb.AddValue(c.A.Value(i, colA))
+			}
+			for j := range c.B.Records {
+				sb.AddValue(c.B.Value(j, colB))
+			}
+			ts = sb.Seal()
+			c.dicts[dictKey] = ts.Dict
+		}
+		c.streams[dictKey] = ts
+	}
+	all, ok := sim.ProfilesFromStream(dp, ts)
+	if !ok {
+		return false
+	}
+	fp.dict = ts.Dict
+	nA := c.A.Len()
+	// Full-capacity slices: a later ExtendRecords append reallocates
+	// instead of writing side B's profiles over side A's tail.
+	fp.side[0] = all[:nA:nA]
+	fp.side[1] = all[nA:]
+	return true
+}
+
+// emitSealedStream re-emits both columns against an already-sealed
+// dictionary, yielding rank IDs directly. A coverage miss (nil return)
+// cannot happen when the dictionary was built over the same columns;
+// the nil path is defensive.
+func (c *Compiled) emitSealedStream(em sim.IDEmitter, d *sim.Dict, colA, colB int) *sim.TokenStream {
+	nA, nB := c.A.Len(), c.B.Len()
+	ids := make([]uint32, 0, 4*(nA+nB))
+	offs := make([]int32, 1, nA+nB+1)
+	var sc sim.TokScratch
+	add := func(s string) bool {
+		var ok bool
+		ids, ok = em.AppendTokenIDs(ids, s, d, &sc)
+		if !ok {
+			return false
+		}
+		offs = append(offs, int32(len(ids)))
+		return true
+	}
+	for i := 0; i < nA; i++ {
+		if !add(c.A.Value(i, colA)) {
+			return nil
+		}
+	}
+	for j := 0; j < nB; j++ {
+		if !add(c.B.Value(j, colB)) {
+			return nil
+		}
+	}
+	return &sim.TokenStream{Dict: d, IDs: ids, Offs: offs}
 }
 
 // dictFor returns (building and sealing on first use) the shared
@@ -210,6 +315,11 @@ func (c *Compiled) dictFor(key string, dp sim.DictProfiler, colA, colB int) *sim
 func (c *Compiled) ExtendRecords() {
 	if !c.profilesOn {
 		return
+	}
+	// Cached streams describe the old table lengths; drop them all. The
+	// rebuild path below re-caches fresh full-coverage streams.
+	if len(c.streams) != 0 {
+		c.streams = make(map[string]*sim.TokenStream)
 	}
 	rebuilt := make(map[string]bool) // dict keys rebuilt during this call
 	doneSets := make(map[string]bool)
@@ -249,18 +359,38 @@ func (c *Compiled) extendSharedSides(shareKey, dictKey string, dp sim.DictProfil
 	sides := c.sharedSides[shareKey]
 	oldA, oldB := len(sides[0]), len(sides[1])
 	d := c.dicts[dictKey]
-	if !rebuilt[dictKey] && c.dictCovers(d, dp, colA, colB, oldA, oldB) {
-		for i := oldA; i < c.A.Len(); i++ {
-			sides[0] = append(sides[0], dp.ProfileDict(c.A.Value(i, colA), d))
-		}
-		for j := oldB; j < c.B.Len(); j++ {
-			sides[1] = append(sides[1], dp.ProfileDict(c.B.Value(j, colB), d))
-		}
-		return
+	var em sim.IDEmitter
+	useStream := false
+	if StreamProfilesEnabled() {
+		em, useStream = sim.EmitterFor(dp)
 	}
 	if !rebuilt[dictKey] {
+		if useStream {
+			// Emit the new records against the sealed dictionary: the
+			// emission itself is the coverage check, and on success the
+			// IDs are already in hand for encoding.
+			if c.appendStreamProfiles(sides, em, dp, d, colA, colB, oldA, oldB) {
+				return
+			}
+		} else if c.dictCovers(d, dp, colA, colB, oldA, oldB) {
+			for i := oldA; i < c.A.Len(); i++ {
+				sides[0] = append(sides[0], dp.ProfileDict(c.A.Value(i, colA), d))
+			}
+			for j := oldB; j < c.B.Len(); j++ {
+				sides[1] = append(sides[1], dp.ProfileDict(c.B.Value(j, colB), d))
+			}
+			return
+		}
 		rebuilt[dictKey] = true
 		delete(c.dicts, dictKey)
+		delete(c.streams, dictKey)
+	}
+	if useStream {
+		var fp featureProfiles
+		if c.bindStreamProfiles(&fp, dp, em, dictKey, colA, colB) {
+			sides[0], sides[1] = fp.side[0], fp.side[1]
+			return
+		}
 	}
 	d = c.dictFor(dictKey, dp, colA, colB)
 	sides[0] = make([]any, c.A.Len())
@@ -271,6 +401,42 @@ func (c *Compiled) extendSharedSides(shareKey, dictKey string, dp sim.DictProfil
 	for j := range sides[1] {
 		sides[1][j] = dp.ProfileDict(c.B.Value(j, colB), d)
 	}
+}
+
+// appendStreamProfiles append-encodes records added past (oldA, oldB)
+// by emitting their token IDs against the sealed dictionary d. Reports
+// false — leaving sides untouched — when a new record carries a token
+// outside d (the caller must rebuild) or the kind has no ID encoding.
+func (c *Compiled) appendStreamProfiles(sides *[2][]any, em sim.IDEmitter, dp sim.DictProfiler, d *sim.Dict, colA, colB, oldA, oldB int) bool {
+	var sc sim.TokScratch
+	var ids []uint32
+	encode := func(val string) (any, bool) {
+		var ok bool
+		ids, ok = em.AppendTokenIDs(ids[:0], val, d, &sc)
+		if !ok {
+			return nil, false
+		}
+		return sim.ProfileFromIDs(dp, d, ids)
+	}
+	newA := make([]any, 0, c.A.Len()-oldA)
+	for i := oldA; i < c.A.Len(); i++ {
+		p, ok := encode(c.A.Value(i, colA))
+		if !ok {
+			return false
+		}
+		newA = append(newA, p)
+	}
+	newB := make([]any, 0, c.B.Len()-oldB)
+	for j := oldB; j < c.B.Len(); j++ {
+		p, ok := encode(c.B.Value(j, colB))
+		if !ok {
+			return false
+		}
+		newB = append(newB, p)
+	}
+	sides[0] = append(sides[0], newA...)
+	sides[1] = append(sides[1], newB...)
+	return true
 }
 
 // dictCovers reports whether d contains every token the profiler draws
@@ -311,6 +477,9 @@ func (c *Compiled) ProfileEntries() int {
 // it).
 func (c *Compiled) ProfileBytes() int {
 	b := 0
+	for _, ts := range c.streams {
+		b += ts.Bytes()
+	}
 	seenSets := make(map[string]struct{})
 	seenDicts := make(map[*sim.Dict]struct{})
 	for _, fp := range c.profiles {

@@ -1,0 +1,179 @@
+package incremental
+
+import (
+	"errors"
+	"testing"
+
+	"rulematch/internal/rule"
+)
+
+// mustParsePred is a test shorthand for rule.ParsePredicate.
+func mustParsePred(t *testing.T, src string) rule.Predicate {
+	t.Helper()
+	p, err := rule.ParsePredicate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// assertCanonical checks the live compiled function is a fixed point of
+// rule.Canonicalize — the invariant persist.Load relies on when it maps
+// the per-predicate bitmaps of a snapshot positionally.
+func assertCanonical(t *testing.T, s *Session, context string) {
+	t.Helper()
+	f := s.M.C.Function()
+	for _, r := range f.Rules {
+		canon, err := rule.Canonicalize(r)
+		if err != nil {
+			t.Fatalf("%s: live rule %q does not canonicalize: %v", context, r.Name, err)
+		}
+		if len(canon.Preds) != len(r.Preds) {
+			t.Fatalf("%s: rule %q has %d predicates, canonical form %d",
+				context, r.Name, len(r.Preds), len(canon.Preds))
+		}
+		for i := range r.Preds {
+			if canon.Preds[i] != r.Preds[i] {
+				t.Fatalf("%s: rule %q predicate %d = %s, canonical %s",
+					context, r.Name, i, r.Preds[i], canon.Preds[i])
+			}
+		}
+	}
+}
+
+// TestAddPredicateMergesStricterLower: a second lower bound on the same
+// feature replaces the existing one when stricter, instead of growing
+// the predicate list.
+func TestAddPredicateMergesStricterLower(t *testing.T) {
+	s := newSession(t, baseFunc)
+	r := &s.M.C.Rules[2] // r3: trigram(name, name) >= 0.8
+	if len(r.Preds) != 1 {
+		t.Fatalf("fixture rule has %d predicates", len(r.Preds))
+	}
+	if err := s.AddPredicate(2, mustParsePred(t, "trigram(name, name) >= 0.9")); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Preds) != 1 {
+		t.Fatalf("merge grew the predicate list to %d", len(r.Preds))
+	}
+	if r.Preds[0].Threshold != 0.9 {
+		t.Fatalf("threshold = %g, want 0.9", r.Preds[0].Threshold)
+	}
+	if s.LastOp.Op != "add_predicate" {
+		t.Errorf("op = %q", s.LastOp.Op)
+	}
+	mustVerify(t, s, "after stricter-lower merge")
+	assertCanonical(t, s, "after stricter-lower merge")
+
+	// A weaker bound on the same feature is a no-op.
+	st := s.M.Stats
+	if err := s.AddPredicate(2, mustParsePred(t, "trigram(name, name) >= 0.85")); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastOp.Op != "add_predicate_noop" {
+		t.Errorf("op = %q, want add_predicate_noop", s.LastOp.Op)
+	}
+	if r.Preds[0].Threshold != 0.9 || len(r.Preds) != 1 {
+		t.Fatalf("no-op changed the rule: %v", r.Preds)
+	}
+	if s.M.Stats != st {
+		t.Error("no-op did work")
+	}
+	mustVerify(t, s, "after redundant add")
+}
+
+// TestAddPredicateInsertsOppositeBound: an upper bound on a feature
+// that only has a lower bound joins the group in canonical order
+// (lower first), and vice versa.
+func TestAddPredicateInsertsOppositeBound(t *testing.T) {
+	s := newSession(t, baseFunc)
+	r := &s.M.C.Rules[2] // r3: trigram(name, name) >= 0.8
+	if err := s.AddPredicate(2, mustParsePred(t, "trigram(name, name) <= 0.95")); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Preds) != 2 || r.Preds[0].Op != rule.Ge || r.Preds[1].Op != rule.Le {
+		t.Fatalf("group not canonical after upper insert: %v", r.Preds)
+	}
+	mustVerify(t, s, "after upper insert")
+	assertCanonical(t, s, "after upper insert")
+
+	// Stricter upper merges in place.
+	if err := s.AddPredicate(2, mustParsePred(t, "trigram(name, name) < 0.93")); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Preds) != 2 || r.Preds[1].Op != rule.Lt || r.Preds[1].Threshold != 0.93 {
+		t.Fatalf("stricter upper did not merge: %v", r.Preds)
+	}
+	mustVerify(t, s, "after stricter-upper merge")
+	assertCanonical(t, s, "after stricter-upper merge")
+
+	// A lower bound contradicting the upper is rejected.
+	err := s.AddPredicate(2, mustParsePred(t, "trigram(name, name) >= 0.95"))
+	if !errors.Is(err, rule.ErrAlwaysFalse) {
+		t.Fatalf("contradictory add: err = %v, want ErrAlwaysFalse", err)
+	}
+	mustVerify(t, s, "after rejected add")
+
+	// Lower-before-upper position on a feature seen upper-first.
+	if err := s.AddPredicate(0, mustParsePred(t, "soundex(name, name) <= 0.9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPredicate(0, mustParsePred(t, "soundex(name, name) >= 0.1")); err != nil {
+		t.Fatal(err)
+	}
+	r0 := &s.M.C.Rules[0]
+	n := len(r0.Preds)
+	if r0.Preds[n-2].Op != rule.Ge || r0.Preds[n-1].Op != rule.Le {
+		t.Fatalf("lower bound not inserted before upper: %v", r0.Preds)
+	}
+	mustVerify(t, s, "after lower insert before upper")
+	assertCanonical(t, s, "after lower insert before upper")
+}
+
+// TestAddPredicateEqualityGroups: equality predicates subsume
+// consistent bounds and reject inconsistent ones.
+func TestAddPredicateEqualityGroups(t *testing.T) {
+	s := newSession(t, baseFunc)
+	if err := s.AddRule(mustParseRule(t, "req: exact_match(city, city) == 1")); err != nil {
+		t.Fatal(err)
+	}
+	ri := len(s.M.C.Rules) - 1
+
+	// A bound satisfied at the equality value is a no-op.
+	if err := s.AddPredicate(ri, mustParsePred(t, "exact_match(city, city) >= 0.5")); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastOp.Op != "add_predicate_noop" {
+		t.Errorf("op = %q, want add_predicate_noop", s.LastOp.Op)
+	}
+	// The same equality again is a no-op too.
+	if err := s.AddPredicate(ri, mustParsePred(t, "exact_match(city, city) == 1")); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastOp.Op != "add_predicate_noop" {
+		t.Errorf("op = %q, want add_predicate_noop", s.LastOp.Op)
+	}
+	// A bound excluded at the equality value is a contradiction.
+	if err := s.AddPredicate(ri, mustParsePred(t, "exact_match(city, city) < 1")); !errors.Is(err, rule.ErrAlwaysFalse) {
+		t.Fatalf("bound excluding the equality: err = %v, want ErrAlwaysFalse", err)
+	}
+	// A different equality is a contradiction.
+	if err := s.AddPredicate(ri, mustParsePred(t, "exact_match(city, city) == 0")); !errors.Is(err, rule.ErrAlwaysFalse) {
+		t.Fatalf("conflicting equality: err = %v, want ErrAlwaysFalse", err)
+	}
+	// An equality onto an existing bound group is refused outright.
+	if err := s.AddPredicate(2, mustParsePred(t, "trigram(name, name) == 0.9")); err == nil {
+		t.Fatal("equality onto a bounded feature accepted")
+	}
+	mustVerify(t, s, "after equality-group edits")
+	assertCanonical(t, s, "after equality-group edits")
+}
+
+func mustParseRule(t *testing.T, src string) rule.Rule {
+	t.Helper()
+	r, err := rule.ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -38,10 +38,21 @@ func (s *Session) setOwner(pi, ri int) {
 	s.owners[pi] = int32(ri)
 }
 
-// AddPredicate appends predicate p to rule ri and incrementally updates
+// AddPredicate adds predicate p to rule ri and incrementally updates
 // the match result (Algorithm 7): only pairs previously matched *by*
 // rule ri are re-examined; those that now fail are re-evaluated against
 // the rules after ri.
+//
+// The compiled rule stays in canonical form (Lemma 2 per-feature
+// groups): a predicate over a feature the rule already bounds is merged
+// into the existing group the way Canonicalize would — the strictest
+// bound wins, a redundant bound is a no-op (LastOp "add_predicate_noop"),
+// and a contradictory bound is rejected with rule.ErrAlwaysFalse.
+// Keeping the live predicate list a Canonicalize fixed point matters
+// for durability: persist.Load re-parses the printed function through
+// Canonicalize and maps the recorded per-predicate bitmaps
+// positionally, so a duplicate-feature predicate appended verbatim
+// would make the session's own snapshot unloadable.
 func (s *Session) AddPredicate(ri int, p rule.Predicate) error {
 	if err := s.checkState(); err != nil {
 		return err
@@ -53,16 +64,126 @@ func (s *Session) AddPredicate(ri int, p rule.Predicate) error {
 	if err != nil {
 		return err
 	}
+	r := &s.M.C.Rules[ri]
+
+	// Locate the rule's existing bounds on this feature (canonical form:
+	// at most one lower and one upper — adjacent — or a single equality).
+	li, ui, ei := -1, -1, -1
+	for qj := range r.Preds {
+		if r.Preds[qj].Feat != cp.Feat {
+			continue
+		}
+		switch r.Preds[qj].Op {
+		case rule.Eq:
+			ei = qj
+		case rule.Le, rule.Lt:
+			ui = qj
+		default:
+			li = qj
+		}
+	}
+	if li < 0 && ui < 0 && ei < 0 {
+		// First bound on this feature: a fresh group appended at the end
+		// is canonical (groups keep first-appearance order).
+		return s.insertPredicate(ri, len(r.Preds), cp)
+	}
+
+	asPred := func(q core.CompiledPred) rule.Predicate {
+		return rule.Predicate{Feature: p.Feature, Op: q.Op, Threshold: q.Threshold}
+	}
+	noop := func() error {
+		s.LastOp = OpReport{Op: "add_predicate_noop"}
+		return nil
+	}
+	contradiction := func(other core.CompiledPred) error {
+		return fmt.Errorf("incremental: adding %s to rule %q contradicts %s: %w",
+			p, r.Name, asPred(other), rule.ErrAlwaysFalse)
+	}
+
+	if ei >= 0 {
+		// The group is an equality; any consistent add is subsumed by it.
+		if p.Op == rule.Eq && p.Threshold == r.Preds[ei].Threshold {
+			return noop()
+		}
+		if p.Op != rule.Eq && p.Eval(r.Preds[ei].Threshold) {
+			return noop()
+		}
+		return contradiction(r.Preds[ei])
+	}
+	if p.Op == rule.Eq {
+		// Replacing a bound group by an equality would delete predicates
+		// and their recorded state; keep that edit explicit.
+		return fmt.Errorf("incremental: rule %q already bounds %s; remove the bounds before adding an equality predicate",
+			r.Name, p.Feature.Key())
+	}
+
+	if p.Op.Upper() {
+		if li >= 0 && rule.BoundsContradict(asPred(r.Preds[li]), p) {
+			return contradiction(r.Preds[li])
+		}
+		if ui >= 0 {
+			if !rule.StricterUpper(p, asPred(r.Preds[ui])) {
+				return noop()
+			}
+			return s.mergePredicate(ri, ui, cp)
+		}
+		// New upper bound: canonical position is right after the group's
+		// lower bound.
+		return s.insertPredicate(ri, li+1, cp)
+	}
+	if ui >= 0 && rule.BoundsContradict(p, asPred(r.Preds[ui])) {
+		return contradiction(r.Preds[ui])
+	}
+	if li >= 0 {
+		if !rule.StricterLower(p, asPred(r.Preds[li])) {
+			return noop()
+		}
+		return s.mergePredicate(ri, li, cp)
+	}
+	// New lower bound: canonical position is right before the group's
+	// upper bound.
+	return s.insertPredicate(ri, ui, cp)
+}
+
+// insertPredicate splices cp (with a fresh false bitmap) into rule ri
+// at predicate position pos and constrains the rule's current matches.
+func (s *Session) insertPredicate(ri, pos int, cp core.CompiledPred) error {
 	before := s.M.Stats
 	r := &s.M.C.Rules[ri]
-	r.Preds = append(r.Preds, cp)
-	pj := len(r.Preds) - 1
-	s.St.PredFalse[ri] = append(s.St.PredFalse[ri], bitmap.New(len(s.M.Pairs)))
+	r.Preds = append(r.Preds, core.CompiledPred{})
+	copy(r.Preds[pos+1:], r.Preds[pos:])
+	r.Preds[pos] = cp
+	pf := append(s.St.PredFalse[ri], nil)
+	copy(pf[pos+1:], pf[pos:])
+	pf[pos] = bitmap.New(len(s.M.Pairs))
+	s.St.PredFalse[ri] = pf
+	examined := s.constrainScan(ri, pos)
+	s.LastOp = OpReport{Op: "add_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
+	return nil
+}
 
+// mergePredicate replaces predicate pj of rule ri by the strictly
+// stricter same-direction bound cp and constrains the rule's current
+// matches. The recorded false set is kept: every pair that failed the
+// old bound fails the stricter one too.
+func (s *Session) mergePredicate(ri, pj int, cp core.CompiledPred) error {
+	before := s.M.Stats
+	s.M.C.Rules[ri].Preds[pj] = cp
+	examined := s.constrainScan(ri, pj)
+	s.LastOp = OpReport{Op: "add_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
+	return nil
+}
+
+// constrainScan re-examines the pairs currently matched by rule ri
+// against predicate pj (just added or made stricter): failures are
+// recorded in the predicate's false set, the pair falls out of the
+// rule's match set and is re-evaluated against the rules after ri.
+// Live NextSet iteration is safe: the loop body only clears the
+// *current* bit of RuleTrue[ri] (never a later one) and reEvalAfter
+// writes to other rules' bitmaps.
+func (s *Session) constrainScan(ri, pj int) int {
+	cp := s.M.C.Rules[ri].Preds[pj]
 	examined := 0
-	// Live NextSet iteration is safe: the loop body only clears the
-	// *current* bit of RuleTrue[ri] (never a later one) and reEvalAfter
-	// writes to other rules' bitmaps.
 	owned := s.St.RuleTrue[ri]
 	for pi := owned.NextSet(0); pi >= 0; pi = owned.NextSet(pi + 1) {
 		examined++
@@ -79,8 +200,7 @@ func (s *Session) AddPredicate(ri int, p rule.Predicate) error {
 			s.setOwner(pi, s.findOwnerAfter(ri, pi))
 		}
 	}
-	s.LastOp = OpReport{Op: "add_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
-	return nil
+	return examined
 }
 
 // findOwnerAfter locates the rule (after ri) whose RuleTrue was just set
@@ -112,25 +232,7 @@ func (s *Session) TightenPredicate(ri, pj int, newThreshold float64) error {
 	before := s.M.Stats
 	p.Threshold = newThreshold
 
-	examined := 0
-	// Safe live iteration: only the current bit is ever cleared (see
-	// AddPredicate).
-	owned := s.St.RuleTrue[ri]
-	for pi := owned.NextSet(0); pi >= 0; pi = owned.NextSet(pi + 1) {
-		examined++
-		v := s.M.FeatureValue(p.Feat, pi)
-		s.M.Stats.PredEvals++
-		if p.Eval(v) {
-			continue
-		}
-		s.St.PredFalse[ri][pj].Set(pi)
-		s.St.RuleTrue[ri].Clear(pi)
-		s.St.Matched.Clear(pi)
-		s.setOwner(pi, -1)
-		if s.reEvalAfter(ri, pi) {
-			s.setOwner(pi, s.findOwnerAfter(ri, pi))
-		}
-	}
+	examined := s.constrainScan(ri, pj)
 	s.LastOp = OpReport{Op: "tighten_predicate", PairsExamined: examined, Stats: diffStats(before, s.M.Stats)}
 	return nil
 }

@@ -113,6 +113,63 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveLoadAfterDuplicateFeatureAdds is the regression test for the
+// AddPredicate/Canonicalize divergence: adding predicates over features
+// a rule already bounds used to append them verbatim, so the reloaded
+// (re-canonicalized) function had fewer predicates than the snapshot
+// had bitmaps and Load failed with "rule N has X predicate bitmaps for
+// Y predicates". AddPredicate now merges into the canonical group, so
+// the durable round trip must survive a burst of duplicate-feature
+// edits.
+func TestSaveLoadAfterDuplicateFeatureAdds(t *testing.T) {
+	s, a, b := buildSession(t)
+	for _, src := range []string{
+		"trigram(name, name) >= 0.8",       // stricter: merges into r2's lower bound
+		"trigram(name, name) >= 0.6",       // weaker: no-op
+		"trigram(name, name) <= 0.99",      // opposite direction: joins the group
+		"jaro_winkler(name, name) >= 0.95", // stricter: merges into r1
+	} {
+		p, err := rule.ParsePredicate(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := 1
+		if strings.HasPrefix(src, "jaro") {
+			ri = 0
+		}
+		if err := s.AddPredicate(ri, p); err != nil {
+			t.Fatalf("add %s: %v", src, err)
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, sim.Standard(), a, b)
+	if err != nil {
+		t.Fatalf("reload after duplicate-feature adds: %v", err)
+	}
+	if got.M.C.Function().String() != s.M.C.Function().String() {
+		t.Errorf("function mismatch:\n%s\nvs\n%s", got.M.C.Function(), s.M.C.Function())
+	}
+	if !got.St.Matched.Equal(s.St.Matched) {
+		t.Error("matched bitmaps differ")
+	}
+	for ri := range s.St.PredFalse {
+		for pj := range s.St.PredFalse[ri] {
+			if !got.St.PredFalse[ri][pj].Equal(s.St.PredFalse[ri][pj]) {
+				t.Errorf("rule %d predicate %d false set differs", ri, pj)
+			}
+		}
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatalf("restored session inconsistent: %v", err)
+	}
+}
+
 // A session bootstrapped in parallel must survive the snapshot
 // round-trip exactly like a serial one: same state bytes, warm memo,
 // and full invariant validation on the restored session.

@@ -92,11 +92,8 @@ func GroupsOf(r Rule) ([]Group, error) {
 			groups = append(groups, Group{Feature: b.feature, Preds: []Predicate{*b.eq}})
 			continue
 		}
-		if b.lower != nil && b.upper != nil {
-			lo, hi := b.lower.Threshold, b.upper.Threshold
-			if lo > hi || (lo == hi && (b.lower.Op == Gt || b.upper.Op == Lt)) {
-				return nil, fmt.Errorf("rule %q: %s: %w", r.Name, k, ErrAlwaysFalse)
-			}
+		if b.lower != nil && b.upper != nil && BoundsContradict(*b.lower, *b.upper) {
+			return nil, fmt.Errorf("rule %q: %s: %w", r.Name, k, ErrAlwaysFalse)
 		}
 		g := Group{Feature: b.feature}
 		if b.lower != nil {
@@ -124,6 +121,24 @@ func stricterUpper(a, b Predicate) bool {
 		return a.Threshold < b.Threshold
 	}
 	return a.Op == Lt && b.Op == Le
+}
+
+// StricterLower reports whether lower bound a is stricter than lower
+// bound b: a higher threshold, or Gt over Ge at the same threshold.
+// Exported for the incremental editor, which merges same-feature
+// predicate adds into the canonical group the way Canonicalize would.
+func StricterLower(a, b Predicate) bool { return stricterLower(a, b) }
+
+// StricterUpper reports whether upper bound a is stricter than upper
+// bound b: a lower threshold, or Lt over Le at the same threshold.
+func StricterUpper(a, b Predicate) bool { return stricterUpper(a, b) }
+
+// BoundsContradict reports whether lower bound lo and upper bound hi on
+// one feature exclude every value — the ErrAlwaysFalse condition of
+// Canonicalize.
+func BoundsContradict(lo, hi Predicate) bool {
+	return lo.Threshold > hi.Threshold ||
+		(lo.Threshold == hi.Threshold && (lo.Op == Gt || hi.Op == Lt))
 }
 
 // AttrChecker reports whether a table has the named attribute. It is

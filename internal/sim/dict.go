@@ -49,6 +49,16 @@ func (d *Dict) ID(tok string) (uint32, bool) {
 	return id, ok
 }
 
+// TokenID implements TokenSink against a sealed dictionary: a
+// lookup-only sink that never allocates (the map probe on a
+// string-converted byte slice is compiled to a no-copy lookup) and
+// reports ok=false for tokens outside the sealed universe. Streaming
+// appends use it to detect dictionary coverage while encoding.
+func (d *Dict) TokenID(tok []byte) (uint32, bool) {
+	id, ok := d.ids[string(tok)]
+	return id, ok
+}
+
 // Bytes estimates the dictionary's memory footprint: token bytes, the
 // id->token slice, and the token->id map (Go maps hold ~8 bytes of
 // bucket overhead per entry beyond key+value).
@@ -81,36 +91,68 @@ func (d *Dict) jwPair(ia, ib uint32) float64 {
 // DictBuilder accumulates the token universe before sealing it into a
 // Dict. Rank-ordered IDs require the full universe up front, which is
 // why dictionaries are built in one pass over a column pair rather than
-// interned on the fly.
+// interned on the fly. While building, the builder doubles as a
+// TokenSink handing out provisional insertion-order IDs, so an
+// ID-emitting tokenizer can intern and encode in the same scan;
+// BuildRemap then converts the provisional stream to rank IDs.
 type DictBuilder struct {
-	set map[string]struct{}
+	ids  map[string]uint32 // token -> provisional (insertion-order) ID
+	toks []string          // provisional ID -> token
 }
 
 // NewDictBuilder returns an empty builder.
 func NewDictBuilder() *DictBuilder {
-	return &DictBuilder{set: make(map[string]struct{})}
+	return &DictBuilder{ids: make(map[string]uint32)}
 }
 
 // Add interns each token of one value.
 func (b *DictBuilder) Add(tokens []string) {
 	for _, t := range tokens {
-		b.set[t] = struct{}{}
+		if _, ok := b.ids[t]; !ok {
+			b.ids[t] = uint32(len(b.toks))
+			b.toks = append(b.toks, t)
+		}
 	}
+}
+
+// TokenID implements TokenSink: tok is interned (the string copy is
+// made only the first time a token is seen — the lookup itself does not
+// allocate) and its provisional ID returned. ok is always true.
+func (b *DictBuilder) TokenID(tok []byte) (uint32, bool) {
+	if id, ok := b.ids[string(tok)]; ok {
+		return id, true
+	}
+	id := uint32(len(b.toks))
+	t := string(tok)
+	b.ids[t] = id
+	b.toks = append(b.toks, t)
+	return id, true
 }
 
 // Build seals the accumulated universe: tokens are sorted and assigned
 // IDs equal to their lexicographic rank.
 func (b *DictBuilder) Build() *Dict {
-	toks := make([]string, 0, len(b.set))
-	for t := range b.set {
-		toks = append(toks, t)
-	}
+	d, _ := b.BuildRemap()
+	return d
+}
+
+// BuildRemap seals the universe and additionally returns the mapping
+// from the builder's provisional IDs to the sealed rank IDs
+// (remap[provisional] = rank), which a StreamBuilder applies to the
+// token stream it emitted during interning.
+func (b *DictBuilder) BuildRemap() (*Dict, []uint32) {
+	toks := make([]string, len(b.toks))
+	copy(toks, b.toks)
 	sort.Strings(toks)
 	ids := make(map[string]uint32, len(toks))
 	for i, t := range toks {
 		ids[t] = uint32(i)
 	}
-	return &Dict{ids: ids, toks: toks}
+	remap := make([]uint32, len(b.toks))
+	for prov, t := range b.toks {
+		remap[prov] = ids[t]
+	}
+	return &Dict{ids: ids, toks: toks}, remap
 }
 
 // ProfileSpec identifies the universe of an encoded profile for

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"math"
+	"slices"
+	"strings"
+)
+
+// Token streams: the single-pass, arena-backed profile build. A
+// StreamBuilder runs an IDEmitter over every value of a column pair,
+// interning tokens and recording the full ID stream; Seal remaps the
+// provisional IDs to rank IDs in place. ProfilesFromStream then encodes
+// every record's profile out of shared slab arrays — one []uint32, one
+// []float64 and one struct slab per profile set instead of three small
+// allocations per record — producing values bit-identical to
+// ProfileDict (same IDs, same float operations in the same order).
+
+// TokenStream is the dictionary-ID form of every value of a column
+// pair: record r's token IDs, in token order with duplicates, are
+// IDs[Offs[r]:Offs[r+1]]. After Seal the IDs are lexicographic ranks in
+// Dict.
+type TokenStream struct {
+	Dict *Dict
+	IDs  []uint32
+	Offs []int32
+}
+
+// NumRecords returns the number of values recorded in the stream.
+func (ts *TokenStream) NumRecords() int { return len(ts.Offs) - 1 }
+
+// Record returns record r's token IDs. The slice aliases the stream;
+// ProfilesFromStream sorts it in place.
+func (ts *TokenStream) Record(r int) []uint32 { return ts.IDs[ts.Offs[r]:ts.Offs[r+1]] }
+
+// Bytes estimates the stream's memory footprint (excluding the Dict,
+// which is accounted separately).
+func (ts *TokenStream) Bytes() int {
+	return 2*24 + 4*len(ts.IDs) + 4*len(ts.Offs)
+}
+
+// StreamBuilder accumulates a token stream while interning tokens into
+// a DictBuilder, fusing dictionary construction and value encoding into
+// one scan over the data.
+type StreamBuilder struct {
+	b    *DictBuilder
+	em   IDEmitter
+	sc   TokScratch
+	ids  []uint32
+	offs []int32
+}
+
+// NewStreamBuilder returns a builder emitting through em.
+func NewStreamBuilder(em IDEmitter) *StreamBuilder {
+	return &StreamBuilder{b: NewDictBuilder(), em: em, offs: []int32{0}}
+}
+
+// AddValue emits one value's tokens into the stream.
+func (sb *StreamBuilder) AddValue(s string) {
+	// A DictBuilder sink interns every token, so emission cannot fail.
+	sb.ids, _ = sb.em.AppendTokenIDs(sb.ids, s, sb.b, &sb.sc)
+	sb.offs = append(sb.offs, int32(len(sb.ids)))
+}
+
+// Seal sorts the token universe, remaps the provisional stream IDs to
+// lexicographic ranks in place, and returns the stream with its sealed
+// dictionary.
+func (sb *StreamBuilder) Seal() *TokenStream {
+	d, remap := sb.b.BuildRemap()
+	for i, id := range sb.ids {
+		sb.ids[i] = remap[id]
+	}
+	return &TokenStream{Dict: d, IDs: sb.ids, Offs: sb.offs}
+}
+
+// ProfilesFromStream encodes every record's profile of dp's kind from a
+// sealed stream. ok=false when the kind has no stream encoding (caller
+// falls back to ProfileDict per record). Each record's stream subslice
+// is sorted in place; kinds only consume the token multiset, so a
+// shared stream may be encoded by several kinds in any order.
+func ProfilesFromStream(dp DictProfiler, ts *TokenStream) ([]any, bool) {
+	switch kindPrefix(dp) {
+	case "set":
+		return setProfilesFromStream(ts), true
+	case "count":
+		return countProfilesFromStream(ts), true
+	case "tfidf":
+		c := corpusOf(dp)
+		if c == nil {
+			return nil, false
+		}
+		return weightProfilesFromStream(ts, c), true
+	}
+	return nil, false
+}
+
+// ProfileFromIDs encodes one record's profile of dp's kind from its
+// (unsorted, duplicate-preserving) token IDs against the sealed dict d.
+// ids is sorted in place. ok=false when the kind has no ID encoding.
+// Streaming appends use this after emitting a new record against a
+// covering dictionary.
+func ProfileFromIDs(dp DictProfiler, d *Dict, ids []uint32) (any, bool) {
+	slices.Sort(ids)
+	switch kindPrefix(dp) {
+	case "set":
+		set := slices.Compact(slices.Clone(ids))
+		return &setProfile{d: d, ids: set}, true
+	case "count":
+		p := &countProfile{d: d}
+		for k := 0; k < len(ids); {
+			id := ids[k]
+			j := k + 1
+			for j < len(ids) && ids[j] == id {
+				j++
+			}
+			x := float64(j - k)
+			p.ids = append(p.ids, id)
+			p.counts = append(p.counts, x)
+			p.norm += x * x
+			k = j
+		}
+		if p.ids == nil {
+			p.ids = []uint32{}
+			p.counts = []float64{}
+		}
+		return p, true
+	case "tfidf":
+		c := corpusOf(dp)
+		if c == nil {
+			return nil, false
+		}
+		p := &weightProfile{d: d}
+		var norm float64
+		for k := 0; k < len(ids); {
+			id := ids[k]
+			j := k + 1
+			for j < len(ids) && ids[j] == id {
+				j++
+			}
+			v := (1 + math.Log(float64(j-k))) * c.IDF(d.Token(id))
+			p.ids = append(p.ids, id)
+			p.w = append(p.w, v)
+			norm += v * v
+			k = j
+		}
+		if norm == 0 {
+			return &weightProfile{d: d, ids: []uint32{}, w: []float64{}}, true
+		}
+		norm = math.Sqrt(norm)
+		for i := range p.w {
+			p.w[i] /= norm
+		}
+		return p, true
+	}
+	return nil, false
+}
+
+// kindPrefix returns the profile-kind family of dp ("set", "count",
+// "tfidf").
+func kindPrefix(dp DictProfiler) string {
+	kind := dp.ProfileSpec().Kind
+	if i := strings.IndexByte(kind, '|'); i >= 0 {
+		return kind[:i]
+	}
+	return kind
+}
+
+// corpusOf returns the corpus behind a TF-IDF family profiler.
+func corpusOf(dp DictProfiler) *Corpus {
+	switch v := dp.(type) {
+	case TFIDF:
+		return v.Corpus
+	case SoftTFIDF:
+		return v.Corpus
+	}
+	return nil
+}
+
+func setProfilesFromStream(ts *TokenStream) []any {
+	n := ts.NumRecords()
+	out := make([]any, n)
+	slab := make([]setProfile, n)
+	// The deduped IDs of all records fit in len(IDs), so the slab never
+	// reallocates and earlier subslices stay valid.
+	idSlab := make([]uint32, 0, len(ts.IDs))
+	for r := 0; r < n; r++ {
+		rec := ts.Record(r)
+		slices.Sort(rec)
+		start := len(idSlab)
+		var prev uint32
+		for k, id := range rec {
+			if k == 0 || id != prev {
+				idSlab = append(idSlab, id)
+				prev = id
+			}
+		}
+		// Full-capacity subslices: appending to a profile can never
+		// clobber its neighbor in the shared slab.
+		slab[r] = setProfile{d: ts.Dict, ids: idSlab[start:len(idSlab):len(idSlab)]}
+		out[r] = &slab[r]
+	}
+	return out
+}
+
+func countProfilesFromStream(ts *TokenStream) []any {
+	n := ts.NumRecords()
+	out := make([]any, n)
+	slab := make([]countProfile, n)
+	idSlab := make([]uint32, 0, len(ts.IDs))
+	cntSlab := make([]float64, 0, len(ts.IDs))
+	for r := 0; r < n; r++ {
+		rec := ts.Record(r)
+		slices.Sort(rec)
+		start := len(idSlab)
+		var norm float64
+		for k := 0; k < len(rec); {
+			id := rec[k]
+			j := k + 1
+			for j < len(rec) && rec[j] == id {
+				j++
+			}
+			x := float64(j - k)
+			idSlab = append(idSlab, id)
+			cntSlab = append(cntSlab, x)
+			norm += x * x
+			k = j
+		}
+		slab[r] = countProfile{
+			d:      ts.Dict,
+			ids:    idSlab[start:len(idSlab):len(idSlab)],
+			counts: cntSlab[start:len(cntSlab):len(cntSlab)],
+			norm:   norm,
+		}
+		out[r] = &slab[r]
+	}
+	return out
+}
+
+func weightProfilesFromStream(ts *TokenStream, c *Corpus) []any {
+	// IDF per dictionary token, computed once: IDs ascend in token rank,
+	// so per-record weights below accumulate terms in exactly the sorted
+	// token order Corpus.weights uses — bit-identical floats.
+	idf := make([]float64, ts.Dict.Len())
+	for id := range idf {
+		idf[id] = c.IDF(ts.Dict.Token(uint32(id)))
+	}
+	n := ts.NumRecords()
+	out := make([]any, n)
+	slab := make([]weightProfile, n)
+	idSlab := make([]uint32, 0, len(ts.IDs))
+	wSlab := make([]float64, 0, len(ts.IDs))
+	for r := 0; r < n; r++ {
+		rec := ts.Record(r)
+		slices.Sort(rec)
+		start := len(idSlab)
+		var norm float64
+		for k := 0; k < len(rec); {
+			id := rec[k]
+			j := k + 1
+			for j < len(rec) && rec[j] == id {
+				j++
+			}
+			v := (1 + math.Log(float64(j-k))) * idf[id]
+			idSlab = append(idSlab, id)
+			wSlab = append(wSlab, v)
+			norm += v * v
+			k = j
+		}
+		if norm == 0 {
+			// Matches weights() returning nil: an empty profile. Drop
+			// any zero-weight entries appended above.
+			idSlab = idSlab[:start]
+			wSlab = wSlab[:start]
+			slab[r] = weightProfile{d: ts.Dict, ids: idSlab[start:start:start], w: wSlab[start:start:start]}
+		} else {
+			norm = math.Sqrt(norm)
+			for i := start; i < len(wSlab); i++ {
+				wSlab[i] /= norm
+			}
+			slab[r] = weightProfile{
+				d:   ts.Dict,
+				ids: idSlab[start:len(idSlab):len(idSlab)],
+				w:   wSlab[start:len(wSlab):len(wSlab)],
+			}
+		}
+		out[r] = &slab[r]
+	}
+	return out
+}

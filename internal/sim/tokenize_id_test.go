@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// tokenCorpus stresses the lowercase/classify edge cases shared by the
+// string tokenizers and the ID emitters: Turkish dotted I (U+0130
+// lowercases to plain i under Go's simple mapping), dotless i (U+0131,
+// uppercases back INTO ASCII I for Soundex), ligatures (U+FB01/FB02
+// stay themselves under simple lowering), long s (U+017F uppercases to
+// S), titlecase digraphs, combining marks (separators), NBSP,
+// multi-byte scripts, invalid UTF-8, sentinel bytes, and empty or
+// whitespace-only values.
+var tokenCorpus = []string{
+	"",
+	" ",
+	"   \t\n  ",
+	"  ",
+	"a",
+	"A",
+	"Hello, World!",
+	"ABC-def_123",
+	"İstanbul ŞİŞLİ",
+	"ı I İ i",
+	"ﬁle ﬂow ﬃ",
+	"ſtraße STRASSE",
+	"ǅungla ǄUNGLA ǆungla",
+	"résumé CAFÉ",
+	"étude",
+	"日本 語 中文",
+	"ΑΒΓ αβγ",
+	"МОСКВА москва",
+	"\xff\xfe broken \xc3(",
+	"\x01\x01ab\x01",
+	"pneumonia pnuemonia",
+	"robert rupert rubin",
+	"washington w2shington",
+	"12 345 6,78",
+	"q",
+	"qu",
+	"quí",
+	"ﬀ",
+}
+
+// tokenizersUnderTest pairs each string tokenizer with its emitter.
+var tokenizersUnderTest = []Tokenizer{
+	Whitespace{},
+	QGram{Q: 2},
+	QGram{Q: 3},
+	QGram{Q: 3, Pad: true},
+	QGram{Q: 2, Pad: true},
+	QGram{Q: 4, Pad: true},
+	QGram{}, // Q<=0 defaults to 3
+}
+
+// emitTokens runs the emitter over s through a fresh builder and
+// resolves the emitted IDs back to token strings.
+func emitTokens(t *testing.T, em IDEmitter, s string) []string {
+	t.Helper()
+	sb := NewStreamBuilder(em)
+	sb.AddValue(s)
+	ts := sb.Seal()
+	rec := ts.Record(0)
+	out := make([]string, len(rec))
+	for i, id := range rec {
+		out[i] = ts.Dict.Token(id)
+	}
+	return out
+}
+
+func assertTokensEqual(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tokens, want %d\ngot  %q\nwant %q", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: token %d = %q, want %q\ngot  %q\nwant %q", label, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestEmitterParity proves each ID emitter reproduces its string
+// tokenizer token for token (order and multiplicity included) on the
+// edge-case corpus.
+func TestEmitterParity(t *testing.T) {
+	for _, tok := range tokenizersUnderTest {
+		em, ok := emitterForTokenizer(tok)
+		if !ok {
+			t.Fatalf("no emitter for tokenizer %s", tok.Name())
+		}
+		for _, s := range tokenCorpus {
+			assertTokensEqual(t, tok.Name()+" "+s, emitTokens(t, em, s), tok.Tokens(s))
+		}
+	}
+	// Soundex emits phonetic codes; DictTokens is the string reference.
+	var sdx Soundex
+	em, ok := EmitterFor(sdx)
+	if !ok {
+		t.Fatal("no emitter for Soundex")
+	}
+	for _, s := range tokenCorpus {
+		assertTokensEqual(t, "soundex "+s, emitTokens(t, em, s), sdx.DictTokens(s))
+	}
+}
+
+// TestEmitterSealedDict checks the sealed-dictionary sink: emitting a
+// covered value yields rank IDs directly, and an uncovered token
+// reports ok=false instead of a bogus ID.
+func TestEmitterSealedDict(t *testing.T) {
+	em, _ := emitterForTokenizer(Whitespace{})
+	sb := NewStreamBuilder(em)
+	sb.AddValue("red apple")
+	sb.AddValue("green apple")
+	ts := sb.Seal()
+	var sc TokScratch
+	ids, ok := em.AppendTokenIDs(nil, "Apple RED", ts.Dict, &sc)
+	if !ok {
+		t.Fatal("covered value rejected by sealed dict")
+	}
+	want := []string{"apple", "red"}
+	if len(ids) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(ids), len(want))
+	}
+	for i, id := range ids {
+		if ts.Dict.Token(id) != want[i] {
+			t.Fatalf("id %d resolves to %q, want %q", i, ts.Dict.Token(id), want[i])
+		}
+	}
+	if _, ok := em.AppendTokenIDs(nil, "banana", ts.Dict, &sc); ok {
+		t.Fatal("uncovered token accepted by sealed dict")
+	}
+}
+
+// streamProfilers is every DictProfiler kind the stream path encodes.
+func streamProfilers(corpus *Corpus) []DictProfiler {
+	return []DictProfiler{
+		Jaccard{},
+		Dice{},
+		Overlap{},
+		Jaccard{Tok: QGram{Q: 2}},
+		Trigram{},
+		Cosine{},
+		Cosine{Tok: QGram{Q: 3, Pad: true}},
+		TFIDF{Corpus: corpus},
+		SoftTFIDF{Corpus: corpus},
+		Soundex{},
+	}
+}
+
+// profileEqual compares two encoded profiles bit for bit.
+func profileEqual(a, b any) bool {
+	switch pa := a.(type) {
+	case *setProfile:
+		pb, ok := b.(*setProfile)
+		if !ok || len(pa.ids) != len(pb.ids) {
+			return false
+		}
+		for i := range pa.ids {
+			if pa.ids[i] != pb.ids[i] {
+				return false
+			}
+		}
+		return true
+	case *countProfile:
+		pb, ok := b.(*countProfile)
+		if !ok || len(pa.ids) != len(pb.ids) || math.Float64bits(pa.norm) != math.Float64bits(pb.norm) {
+			return false
+		}
+		for i := range pa.ids {
+			if pa.ids[i] != pb.ids[i] || math.Float64bits(pa.counts[i]) != math.Float64bits(pb.counts[i]) {
+				return false
+			}
+		}
+		return true
+	case *weightProfile:
+		pb, ok := b.(*weightProfile)
+		if !ok || len(pa.ids) != len(pb.ids) {
+			return false
+		}
+		for i := range pa.ids {
+			if pa.ids[i] != pb.ids[i] || math.Float64bits(pa.w[i]) != math.Float64bits(pb.w[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// TestProfilesFromStreamParity proves the arena-backed stream encoding
+// produces profiles bit-identical to the per-record ProfileDict path —
+// same IDs, same counts, same weight bits — for every encodable kind,
+// and that ProfileFromIDs (the streaming-append path) agrees too.
+func TestProfilesFromStreamParity(t *testing.T) {
+	values := append([]string(nil), tokenCorpus...)
+	values = append(values, "red apple pie", "green apple", "apple apple apple pie")
+	corpus := NewCorpus(nil)
+	corpus.AddAll(values)
+
+	for _, dp := range streamProfilers(corpus) {
+		em, ok := EmitterFor(dp)
+		if !ok {
+			t.Fatalf("no emitter for %s kind %s", dp.Name(), dp.ProfileSpec().Kind)
+		}
+		// Reference path: string tokens -> builder -> per-record encode.
+		b := NewDictBuilder()
+		for _, v := range values {
+			b.Add(dp.DictTokens(v))
+		}
+		d := b.Build()
+		want := make([]any, len(values))
+		for i, v := range values {
+			want[i] = dp.ProfileDict(v, d)
+		}
+		// Stream path.
+		sb := NewStreamBuilder(em)
+		for _, v := range values {
+			sb.AddValue(v)
+		}
+		ts := sb.Seal()
+		if ts.Dict.Len() != d.Len() {
+			t.Fatalf("%s: stream dict has %d tokens, reference %d", dp.Name(), ts.Dict.Len(), d.Len())
+		}
+		for id := 0; id < d.Len(); id++ {
+			if ts.Dict.Token(uint32(id)) != d.Token(uint32(id)) {
+				t.Fatalf("%s: dict token %d = %q, reference %q", dp.Name(), id, ts.Dict.Token(uint32(id)), d.Token(uint32(id)))
+			}
+		}
+		got, ok := ProfilesFromStream(dp, ts)
+		if !ok {
+			t.Fatalf("%s: kind %s not stream-encodable", dp.Name(), dp.ProfileSpec().Kind)
+		}
+		for i := range values {
+			if !profileEqual(want[i], got[i]) {
+				t.Fatalf("%s: profile %d (%q) differs\nwant %#v\ngot  %#v", dp.Name(), i, values[i], want[i], got[i])
+			}
+		}
+		// Append path: re-emit each value against the sealed dict.
+		var sc TokScratch
+		var ids []uint32
+		for i, v := range values {
+			var emitOK bool
+			ids, emitOK = em.AppendTokenIDs(ids[:0], v, d, &sc)
+			if !emitOK {
+				t.Fatalf("%s: sealed dict rejected covered value %q", dp.Name(), v)
+			}
+			p, pOK := ProfileFromIDs(dp, d, ids)
+			if !pOK {
+				t.Fatalf("%s: ProfileFromIDs not supported", dp.Name())
+			}
+			if !profileEqual(want[i], p) {
+				t.Fatalf("%s: append profile %d (%q) differs\nwant %#v\ngot  %#v", dp.Name(), i, values[i], want[i], p)
+			}
+		}
+	}
+}
+
+// FuzzEmitterParity is the differential property test behind the CI
+// fuzz-seed run: on any input string, every emitter must reproduce its
+// string tokenizer token for token.
+func FuzzEmitterParity(f *testing.F) {
+	for _, s := range tokenCorpus {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range tokenizersUnderTest {
+			em, ok := emitterForTokenizer(tok)
+			if !ok {
+				t.Fatalf("no emitter for %s", tok.Name())
+			}
+			got := emitTokens(t, em, s)
+			want := tok.Tokens(s)
+			if len(got) != len(want) {
+				t.Fatalf("%s(%q): %d tokens, want %d", tok.Name(), s, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s(%q): token %d = %q, want %q", tok.Name(), s, i, got[i], want[i])
+				}
+			}
+		}
+		var sdx Soundex
+		em, _ := EmitterFor(sdx)
+		got := emitTokens(t, em, s)
+		want := sdx.DictTokens(s)
+		if len(got) != len(want) {
+			t.Fatalf("soundex(%q): %d codes, want %d", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("soundex(%q): code %d = %q, want %q", s, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,414 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+)
+
+// Zero-copy CSV scanning. csvScanner reads RFC-4180 CSV (the exact
+// dialect encoding/csv accepts with default settings: comma separator,
+// strict quotes, "\r\n" normalized to "\n", a trailing "\r" before EOF
+// dropped, empty lines skipped) from a block buffer, producing fields
+// as byte slices over that buffer. Nothing is copied on the happy
+// path: an unquoted field, or a quoted field without escapes, is a
+// window into the read buffer, valid until the next Scan. Only quoted
+// fields containing "" escapes or "\r\n" line breaks are unescaped
+// into a per-record scratch buffer. Callers materialize strings once
+// per retained field (ReadCSV joins a whole record into a single
+// allocation).
+//
+// Delimiter search runs word-at-a-time: an 8-byte SWAR probe finds the
+// earliest of the three structural bytes (',' '\n' '"' outside quotes;
+// '"' '\r' '\n' inside) per load instead of per byte.
+//
+// Exactness contract: the record stream (fields and errors) matches
+// encoding/csv byte for byte; FuzzCSVParity and the corpus tests in
+// fastcsv_test.go enforce it. Unlike the hand-counted line numbers the
+// old reader reported, errors carry the scanner's actual physical line
+// and column, which stay correct across multi-line quoted fields.
+
+// fieldSpan locates one parsed field. Offsets are relative to the
+// record start (buffer compaction shifts absolute positions) and index
+// the scratch buffer instead when unesc is set.
+type fieldSpan struct {
+	off, end int32
+	unesc    bool
+}
+
+type csvScanner struct {
+	r   io.Reader
+	buf []byte
+	pos int // next unread byte (absolute index into buf)
+	n   int // valid bytes in buf
+	eof bool
+
+	recStart  int // absolute index of the current record's first byte
+	line      int // physical line (1-based) containing the next unread byte
+	recLine   int // physical line the current record started on
+	lineStart int // start of the current physical line, relative to recStart
+
+	spans   []fieldSpan
+	scratch []byte   // unescape buffer, reset per record
+	fields  [][]byte // reused Fields() backing slice
+
+	err     error // sticky parse error
+	readErr error // deferred non-EOF read error
+}
+
+const csvBlockSize = 64 * 1024
+
+func newCSVScanner(r io.Reader) *csvScanner {
+	return &csvScanner{r: r, buf: make([]byte, csvBlockSize), line: 1}
+}
+
+// fill reads more input. The buffer is compacted (or grown, when the
+// current record alone fills it) so every byte from recStart on stays
+// resident. It returns how far existing data moved left — callers
+// holding absolute offsets must subtract it — and whether at least one
+// new byte arrived.
+func (s *csvScanner) fill() (shift int, ok bool) {
+	if s.recStart > 0 {
+		copy(s.buf, s.buf[s.recStart:s.n])
+		shift = s.recStart
+		s.n -= shift
+		s.pos -= shift
+		s.recStart = 0
+	}
+	if s.n == len(s.buf) {
+		nb := make([]byte, 2*len(s.buf))
+		copy(nb, s.buf[:s.n])
+		s.buf = nb
+	}
+	for !s.eof {
+		m, err := s.r.Read(s.buf[s.n:])
+		s.n += m
+		if err != nil {
+			s.eof = true
+			if err != io.EOF {
+				s.readErr = err
+			}
+		}
+		if m > 0 {
+			return shift, true
+		}
+	}
+	return shift, false
+}
+
+// ensure makes at least k bytes available at pos, returning the total
+// compaction shift and whether it succeeded.
+func (s *csvScanner) ensure(k int) (int, bool) {
+	shift := 0
+	for s.n-s.pos < k {
+		sh, ok := s.fill()
+		shift += sh
+		if !ok {
+			return shift, false
+		}
+	}
+	return shift, true
+}
+
+// rel converts an absolute buffer index to a record-relative offset.
+func (s *csvScanner) rel(abs int) int32 { return int32(abs - s.recStart) }
+
+// col returns the 1-based byte column of absolute position abs on the
+// current physical line, as encoding/csv counts it.
+func (s *csvScanner) col(abs int) int { return abs - (s.recStart + s.lineStart) + 1 }
+
+func (s *csvScanner) parseErr(line, column int, msg string) bool {
+	s.err = fmt.Errorf("parse error on line %d, column %d: %s", line, column, msg)
+	return false
+}
+
+// newline advances past a '\n' at s.pos.
+func (s *csvScanner) newline() {
+	s.pos++
+	s.line++
+	s.lineStart = int(s.rel(s.pos))
+}
+
+// Scan advances to the next record. It returns false at end of input
+// or on a malformed record; Err distinguishes the two.
+func (s *csvScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	s.spans = s.spans[:0]
+	s.scratch = s.scratch[:0]
+
+	// Skip lines that hold nothing but their line ending. A lone '\r'
+	// as the very last byte of input is dropped, matching encoding/csv.
+	for {
+		s.recStart = s.pos
+		s.lineStart = 0
+		if _, ok := s.ensure(1); !ok {
+			if s.readErr != nil {
+				s.err = s.readErr
+			}
+			return false
+		}
+		c := s.buf[s.pos]
+		if c == '\n' {
+			s.newline()
+			continue
+		}
+		if c == '\r' {
+			if _, ok := s.ensure(2); !ok {
+				s.pos++ // trailing '\r' before EOF: dropped, then EOF
+				continue
+			}
+			if s.buf[s.pos+1] == '\n' {
+				s.pos++
+				s.newline()
+				continue
+			}
+		}
+		break
+	}
+	s.recLine = s.line
+
+	for {
+		done, ok := s.scanField()
+		if !ok {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+// scanField parses one field, appending its span. done reports that
+// the field ended its record; ok is false on a parse error.
+func (s *csvScanner) scanField() (done, ok bool) {
+	if _, have := s.ensure(1); !have {
+		// EOF at field start: an empty final field (e.g. after a
+		// trailing comma), ending the record.
+		s.spans = append(s.spans, fieldSpan{off: s.rel(s.pos), end: s.rel(s.pos)})
+		return true, true
+	}
+	if s.buf[s.pos] == '"' {
+		return s.scanQuoted()
+	}
+
+	start := s.pos
+	for {
+		i := delimIndex3(s.buf[s.pos:s.n], ',', '\n', '"')
+		if i < 0 {
+			s.pos = s.n
+			if sh, more := s.fill(); more {
+				start -= sh
+				continue
+			} else {
+				start -= sh
+			}
+			// Field runs to EOF; drop one trailing '\r'.
+			end := s.n
+			if end > start && s.buf[end-1] == '\r' {
+				end--
+			}
+			s.spans = append(s.spans, fieldSpan{off: s.rel(start), end: s.rel(end)})
+			return true, true
+		}
+		s.pos += i
+		switch s.buf[s.pos] {
+		case '"':
+			return false, s.parseErr(s.line, s.col(s.pos), `bare " in non-quoted field`)
+		case ',':
+			s.spans = append(s.spans, fieldSpan{off: s.rel(start), end: s.rel(s.pos)})
+			s.pos++
+			return false, true
+		default: // '\n'
+			end := s.pos
+			if end > start && s.buf[end-1] == '\r' {
+				end--
+			}
+			s.spans = append(s.spans, fieldSpan{off: s.rel(start), end: s.rel(end)})
+			s.newline()
+			return true, true
+		}
+	}
+}
+
+// scanQuoted parses a quoted field, s.pos on the opening quote.
+func (s *csvScanner) scanQuoted() (done, ok bool) {
+	openLine, openCol := s.line, s.col(s.pos)
+	s.pos++
+	start := s.pos            // current raw chunk start
+	copied := false           // scratch holds earlier chunks
+	ustart := len(s.scratch)  // this field's start in scratch
+	flush := func(upto int) { // move the raw chunk into scratch
+		s.scratch = append(s.scratch, s.buf[start:upto]...)
+		copied = true
+	}
+	endField := func(upto int) {
+		if copied {
+			flush(upto)
+			s.spans = append(s.spans, fieldSpan{off: int32(ustart), end: int32(len(s.scratch)), unesc: true})
+		} else {
+			s.spans = append(s.spans, fieldSpan{off: s.rel(start), end: s.rel(upto)})
+		}
+	}
+	for {
+		i := delimIndex3(s.buf[s.pos:s.n], '"', '\r', '\n')
+		if i < 0 {
+			s.pos = s.n
+			sh, more := s.fill()
+			start -= sh
+			if more {
+				continue
+			}
+			if s.readErr != nil {
+				s.err = s.readErr
+				return false, false
+			}
+			return false, s.parseErr(s.line, s.col(s.n), `extraneous or missing " in quoted-field`)
+		}
+		s.pos += i
+		switch s.buf[s.pos] {
+		case '\n':
+			// Line break inside the field: literal content.
+			s.newline()
+		case '\r':
+			sh, have := s.ensure(2)
+			start -= sh
+			if !have {
+				// '\r' as the last input byte is dropped; the quote is
+				// then unterminated.
+				return false, s.parseErr(s.line, s.col(s.pos), `extraneous or missing " in quoted-field`)
+			}
+			if s.buf[s.pos+1] == '\n' {
+				// "\r\n" normalizes to "\n" inside quoted fields.
+				flush(s.pos)
+				s.scratch = append(s.scratch, '\n')
+				s.pos++
+				s.newline()
+				start = s.pos
+			} else {
+				s.pos++ // lone '\r': literal content
+			}
+		case '"':
+			close := s.pos
+			s.pos++
+			sh, have := s.ensure(1)
+			start -= sh
+			close -= sh
+			if !have {
+				endField(close) // closing quote at EOF ends the record
+				return true, true
+			}
+			switch s.buf[s.pos] {
+			case '"': // escaped quote
+				flush(close)
+				s.scratch = append(s.scratch, '"')
+				s.pos++
+				start = s.pos
+			case ',':
+				endField(close)
+				s.pos++
+				return false, true
+			case '\n':
+				endField(close)
+				s.newline()
+				return true, true
+			case '\r':
+				sh, have := s.ensure(2)
+				start -= sh
+				close -= sh
+				if !have || s.buf[s.pos+1] == '\n' {
+					// "\r\n" (or a dropped trailing '\r') ends the record.
+					endField(close)
+					s.pos++
+					if have {
+						s.newline()
+					}
+					return true, true
+				}
+				return false, s.parseErr(s.line, s.col(s.pos), `extraneous or missing " in quoted-field`)
+			default:
+				return false, s.parseErr(openLine, openCol, `extraneous or missing " in quoted-field`)
+			}
+		}
+	}
+}
+
+// Fields returns the current record's fields as byte slices, valid
+// until the next Scan.
+func (s *csvScanner) Fields() [][]byte {
+	s.fields = s.fields[:0]
+	for _, sp := range s.spans {
+		if sp.unesc {
+			s.fields = append(s.fields, s.scratch[sp.off:sp.end])
+		} else {
+			s.fields = append(s.fields, s.buf[s.recStart+int(sp.off):s.recStart+int(sp.end)])
+		}
+	}
+	return s.fields
+}
+
+// RecordLine returns the physical input line the current record
+// started on; unlike a record counter it stays correct across
+// multi-line quoted fields.
+func (s *csvScanner) RecordLine() int { return s.recLine }
+
+// Err returns the error that stopped scanning, nil at clean EOF.
+func (s *csvScanner) Err() error { return s.err }
+
+// SWAR byte search: delimIndex3 returns the index of the first byte in
+// b equal to c1, c2 or c3, or -1, examining 8 bytes per step.
+//
+// hasByte marks (with the 0x80 bit of its lane) every byte of x equal
+// to c; borrow propagation can flag false positives only in lanes
+// *above* the first true match, so the lowest set bit of the OR-ed
+// masks is exactly the earliest match of any delimiter.
+func hasByte(x uint64, c byte) uint64 {
+	const lo = 0x0101010101010101
+	const hi = 0x8080808080808080
+	y := x ^ (lo * uint64(c))
+	return (y - lo) &^ y & hi
+}
+
+func delimIndex3(b []byte, c1, c2, c3 byte) int {
+	i, n := 0, len(b)
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(b[i:])
+		if m := hasByte(x, c1) | hasByte(x, c2) | hasByte(x, c3); m != 0 {
+			return i + bits.TrailingZeros64(m)/8
+		}
+	}
+	for ; i < n; i++ {
+		if c := b[i]; c == c1 || c == c2 || c == c3 {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendFields adds one record parsed as raw byte fields (ID first).
+// All field bytes are materialized as a single string allocation that
+// the ID and values window into.
+func (t *Table) appendFields(fields [][]byte) error {
+	n := 0
+	for _, f := range fields {
+		n += len(f)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, f := range fields {
+		b.Write(f)
+	}
+	s := b.String()
+	vals := make([]string, len(fields)-1)
+	off := len(fields[0])
+	id := s[:off]
+	for i, f := range fields[1:] {
+		vals[i] = s[off : off+len(f)]
+		off += len(f)
+	}
+	_, err := t.AppendRecord(Record{ID: id, Values: vals})
+	return err
+}
