@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|serve|ingest|all)")
+		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|serve|ingest|replicate|all)")
 		dataset = flag.String("dataset", "products", "dataset domain for the figure experiments")
 		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
 		rules   = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
@@ -77,7 +77,7 @@ var knownExperiments = map[string]bool{
 	"fig5a": true, "fig5b": true, "fig5c": true,
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
 	"kernels": true, "durability": true, "stream": true, "serve": true,
-	"ingest": true,
+	"ingest": true, "replicate": true,
 }
 
 func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int, jsonOut string) error {
@@ -141,6 +141,19 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 		}
 		tbl.Print(out)
 		if exp == "serve" {
+			return nil
+		}
+	}
+
+	// The replication experiment spins up its own primary and followers
+	// behind live listeners; no task preparation needed.
+	if exp == "replicate" || exp == "all" {
+		tbl, err := bench.Replicate(bench.ReplicateConfig{})
+		if err != nil {
+			return err
+		}
+		tbl.Print(out)
+		if exp == "replicate" {
 			return nil
 		}
 	}

@@ -10,6 +10,7 @@
 //	emserve -datadir /var/lib/emserve -fsync always
 //	emserve -datadir /var/lib/emserve -mem-budget 256MB -max-sessions 100
 //	emserve -listen unix:/run/emserve.sock
+//	emserve -role replica -primary http://primary:8080 -addr :8081
 //
 // With -datadir every session lives in a directory holding its tables,
 // a checksummed snapshot and an edit journal; committed edits are
@@ -18,7 +19,14 @@
 // With -mem-budget the server keeps hot sessions resident and evicts
 // cold ones to their snapshots (LRU), transparently reloading them on
 // the next touch — so the working set, not the session count, bounds
-// memory. See docs/TUTORIAL.md for a curl walkthrough of the API.
+// memory.
+//
+// With -role replica the server follows a durable primary instead of
+// taking writes: it bootstraps every session from the primary's
+// snapshot, tails the primary's edit journal over HTTP, and serves the
+// read endpoints from the replayed state. Writes answer 421 with the
+// primary's URL; /stats reports replication lag per session. See
+// docs/TUTORIAL.md for a curl walkthrough of the API.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"rulematch/internal/cliflags"
+	"rulematch/internal/replica"
 	"rulematch/internal/server"
 	"rulematch/internal/wal"
 )
@@ -47,6 +56,8 @@ func main() {
 		dataDir  = flag.String("datadir", "", "persist sessions here (snapshot + edit journal); empty = in-memory only")
 		fsyncPol = flag.String("fsync", "always", "journal sync policy: always, never, or an interval like 500ms")
 		compact  = flag.Int64("compact", wal.DefaultCompactBytes, "journal bytes that trigger snapshot compaction")
+		role     = flag.String("role", "primary", "server role: primary (takes writes) or replica (follows -primary)")
+		primary  = flag.String("primary", "", "primary base URL to replicate from (required with -role replica)")
 	)
 	eng := cliflags.NewEngine()
 	eng.Register(flag.CommandLine)
@@ -61,9 +72,39 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *role != "primary" && *role != "replica" {
+		fmt.Fprintf(os.Stderr, "emserve: -role must be primary or replica, not %q\n", *role)
+		os.Exit(2)
+	}
+	if *role == "replica" && *primary == "" {
+		fmt.Fprintln(os.Stderr, "emserve: -role replica requires -primary URL")
+		os.Exit(2)
+	}
+
 	srv := server.New(eng.Config())
 	srv.MaxBodyBytes = *maxBody
 	srv.SetLimits(limits.MaxSessions, budget, limits.MaxEdits)
+	srv.SetTenantQuota(limits.MaxTenantEdits)
+
+	var mgr *replica.Manager
+	if *role == "replica" {
+		if *dataDir != "" {
+			// A replica's state is fully determined by the primary's
+			// snapshot + journal; re-journaling it locally would only race
+			// the replication stream. Replicas run ephemeral.
+			log.Printf("emserve: -datadir is ignored with -role replica")
+			*dataDir = ""
+		}
+		srv.SetPrimary(*primary)
+		mgr = replica.New(replica.Config{
+			PrimaryURL: *primary,
+			Store:      srv.Store(),
+			Core:       eng.Config(),
+		})
+		srv.SetReplicaSource(mgr)
+		mgr.Start()
+		log.Printf("emserve: replica of %s", *primary)
+	}
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsyncPol)
 		if err != nil {
@@ -109,6 +150,9 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("emserve: shutdown: %v", err)
+		}
+		if mgr != nil {
+			mgr.Stop()
 		}
 		// All requests drained: sync and close the session journals.
 		srv.CloseSessions()

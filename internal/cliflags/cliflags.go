@@ -96,12 +96,14 @@ func (e *Engine) ApplyPackageDefaults() {
 // sessions to their snapshots, and how many edits one session may
 // absorb.
 type Limits struct {
-	MaxSessions int
-	MemBudget   string
-	MaxEdits    int64
+	MaxSessions    int
+	MemBudget      string
+	MaxEdits       int64
+	MaxTenantEdits int64
 }
 
-// Register binds -max-sessions, -mem-budget and -max-edits.
+// Register binds -max-sessions, -mem-budget, -max-edits and
+// -max-tenant-edits.
 func (l *Limits) Register(fs *flag.FlagSet) {
 	fs.IntVar(&l.MaxSessions, "max-sessions", l.MaxSessions,
 		"maximum number of sessions, resident + evicted (0 = unlimited)")
@@ -109,6 +111,8 @@ func (l *Limits) Register(fs *flag.FlagSet) {
 		"resident session-state budget, e.g. 64MB or 1GiB; cold sessions are evicted to their snapshots past it (0 or empty = unlimited)")
 	fs.Int64Var(&l.MaxEdits, "max-edits", l.MaxEdits,
 		"per-session edit quota (0 = unlimited)")
+	fs.Int64Var(&l.MaxTenantEdits, "max-tenant-edits", l.MaxTenantEdits,
+		"aggregate edit quota across all of a tenant's sessions (0 = unlimited)")
 }
 
 // Budget parses the -mem-budget flag into bytes.

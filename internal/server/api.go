@@ -12,6 +12,9 @@ import "rulematch/internal/core"
 // previous GET .../snapshot — then only the tables are needed.
 type CreateSessionRequest struct {
 	Name string `json:"name"`
+	// Tenant optionally attributes the session to a tenant for
+	// aggregate edit-quota accounting (emserve -max-tenant-edits).
+	Tenant string `json:"tenant,omitempty"`
 	// TableA and TableB are CSV with the id in the first column — the
 	// same files the CLIs read, inlined.
 	TableA string `json:"tableA"`
@@ -235,11 +238,13 @@ type MatchedPair struct {
 	Rule string `json:"rule"`
 }
 
-// MatchPage is one page of matched pairs. NextCursor is -1 on the
-// last page; otherwise pass it back as ?cursor= for the next page.
+// MatchPage is one page of matched pairs. NextCursor is an opaque
+// token: pass it back as ?cursor= for the next page; empty on the last
+// page. The token survives session eviction/reload and replica
+// failover — it addresses state both nodes hold identically.
 type MatchPage struct {
 	Matches    []MatchedPair `json:"matches"`
-	NextCursor int           `json:"nextCursor"`
+	NextCursor string        `json:"nextCursor,omitempty"`
 	Total      int           `json:"total"`
 }
 
@@ -279,6 +284,45 @@ type StatsResponse struct {
 	Reloads       uint64 `json:"reloads"`
 	Edits         int64  `json:"edits"`
 	MaxEdits      int64  `json:"maxEdits,omitempty"`
+	// Tenant accounting: the tenant the session was admitted under and
+	// its cumulative edit spend against the per-tenant quota
+	// (0 = unlimited).
+	Tenant         string `json:"tenant,omitempty"`
+	TenantEdits    int64  `json:"tenantEdits,omitempty"`
+	MaxTenantEdits int64  `json:"maxTenantEdits,omitempty"`
+	// Replication is present on replicas (and on primaries for
+	// symmetry): role, the primary's URL, and the follower's progress.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// ReplicationStats reports a node's replication posture for one
+// session. On a replica, AppliedSeq is the last WAL sequence replayed
+// into the local state, PrimarySeq the primary's last known sequence,
+// and Lag their difference — 0 means caught up as of the last poll.
+type ReplicationStats struct {
+	Role       string `json:"role"` // "primary" or "replica"
+	PrimaryURL string `json:"primaryUrl,omitempty"`
+	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
+	PrimarySeq uint64 `json:"primarySeq,omitempty"`
+	Lag        uint64 `json:"lag"`
+}
+
+// BootstrapResponse is the GET .../bootstrap payload: the base table
+// CSVs plus a snapshot of the current state stamped with the journal
+// sequence it covers. encoding/json transports the []byte fields as
+// base64. A follower loads Snapshot against TableA/TableB and then
+// tails GET .../wal?from=<seq>.
+type BootstrapResponse struct {
+	Name string `json:"name"`
+	// Tenant is the tenant the session was admitted under, replicated
+	// so follower stats attribute the session the same way.
+	Tenant string `json:"tenant,omitempty"`
+	// Seq is the journal sequence the snapshot covers: the first WAL
+	// record to apply on top is Seq+1.
+	Seq      uint64 `json:"seq"`
+	TableA   []byte `json:"tableA"`
+	TableB   []byte `json:"tableB"`
+	Snapshot []byte `json:"snapshot"`
 }
 
 // VerifyResponse is the POST .../verify response.
@@ -291,9 +335,4 @@ type VerifyResponse struct {
 type RunResponse struct {
 	Report  OpReport `json:"report"`
 	Matches int      `json:"matches"`
-}
-
-// ErrorResponse is the body of every non-2xx JSON response.
-type ErrorResponse struct {
-	Error string `json:"error"`
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,35 +24,6 @@ import (
 
 var errDraining = errors.New("server is draining")
 
-// errCode maps an operation error to a status: cancelled contexts
-// become 499 in spirit (client closed request; reported as 503 since
-// Go's net/http has no 499), validation errors 400.
-func errCode(err error) int {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusBadRequest
-}
-
-// storeErrCode maps a sessionstore acquisition/admission error to a
-// status. Quota rejections are 429 (the client can retry after
-// deleting sessions or waiting); anything else unrecognized is a
-// reload failure, which is the server's problem, not the client's.
-func storeErrCode(err error) int {
-	switch {
-	case errors.Is(err, sessionstore.ErrNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, sessionstore.ErrExists):
-		return http.StatusConflict
-	case errors.Is(err, sessionstore.ErrBadName):
-		return http.StatusBadRequest
-	case sessionstore.IsQuota(err):
-		return http.StatusTooManyRequests
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
 // acquire resolves the {name} path wildcard to a session handle in the
 // given mode, writing the error response itself on failure. The
 // acquisition is the touch: an evicted session is transparently
@@ -59,7 +31,7 @@ func storeErrCode(err error) int {
 func (s *Server) acquire(w http.ResponseWriter, r *http.Request, mode sessionstore.Mode) (*sessionstore.Handle, bool) {
 	h, err := s.store.Acquire(r.PathValue("name"), mode)
 	if err != nil {
-		writeErr(w, storeErrCode(err), err)
+		s.writeStoreErr(w, err)
 		return nil, false
 	}
 	return h, true
@@ -72,25 +44,25 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request, mode sessionsto
 func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("name is required"))
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("name is required"))
 		return
 	}
 	if req.TableA == "" || req.TableB == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("tableA and tableB are required"))
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("tableA and tableB are required"))
 		return
 	}
 	a, err := table.ReadCSV(strings.NewReader(req.TableA), "A")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("tableA: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("tableA: %w", err))
 		return
 	}
 	b, err := table.ReadCSV(strings.NewReader(req.TableB), "B")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("tableB: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("tableB: %w", err))
 		return
 	}
 	cfg := s.cfg
@@ -102,14 +74,14 @@ func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 		// bitmaps; only the engine knobs need applying.
 		sess, err = persist.Load(bytes.NewReader(req.Snapshot), sim.Standard(), a, b)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		sess.Reconfigure(cfg)
 	} else {
 		sess, err = s.buildSession(r.Context(), a, b, cfg, &req)
 		if err != nil {
-			writeErr(w, errCode(err), err)
+			writeOpErr(w, err)
 			return
 		}
 	}
@@ -118,8 +90,8 @@ func (s *Server) hCreate(w http.ResponseWriter, r *http.Request) {
 	// tables inside persist.Load. After Admit the store owns the
 	// session — it may already be racing toward eviction — so the
 	// response comes from the store's cached summary, not the pointer.
-	if err := s.store.Admit(req.Name, sess, sess.M.C.A, sess.M.C.B); err != nil {
-		writeErr(w, storeErrCode(err), err)
+	if err := s.store.AdmitTenant(req.Name, req.Tenant, sess, sess.M.C.A, sess.M.C.B); err != nil {
+		s.writeStoreErr(w, err)
 		return
 	}
 	ei, ok := s.store.Info(req.Name)
@@ -214,7 +186,7 @@ func (s *Server) hGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) hDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.store.Remove(name) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
+		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no session %q", name))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -271,7 +243,7 @@ func resolveRule(sess *incremental.Session, idx int, name string) (int, error) {
 func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 	var req EditRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	h, ok := s.acquire(w, r, sessionstore.ModeEdit)
@@ -282,7 +254,7 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 	sess := h.Session()
 	ri, err := resolveRule(sess, req.Rule, req.RuleName)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	switch req.Op {
@@ -310,7 +282,7 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("unknown op %q (want add_predicate, remove_predicate, tighten, relax, set_threshold, add_rule or remove_rule)", req.Op)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	// Journal the committed edit before acknowledging it. The record
@@ -342,11 +314,11 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 	var req RecordsRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	if len(req.AppendA)+len(req.AppendB)+len(req.DeleteA)+len(req.DeleteB) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("empty batch: nothing to append or delete"))
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("empty batch: nothing to append or delete"))
 		return
 	}
 	aRecs := rowsToRecords(req.AppendA)
@@ -358,19 +330,19 @@ func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 	defer h.Release()
 	sess := h.Session()
 	if err := sess.ValidateAppend(aRecs, bRecs); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	if h.Durable() {
 		if err := checkJournalable(&req, aRecs, bRecs); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 	}
 	var resp RecordsResponse
 	if len(req.DeleteA)+len(req.DeleteB) > 0 {
 		if err := sess.DeleteRecords(req.DeleteA, req.DeleteB); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		resp.Deleted = len(req.DeleteA) + len(req.DeleteB)
@@ -380,7 +352,7 @@ func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(aRecs)+len(bRecs) > 0 {
 		if err := sess.AddRecords(aRecs, bRecs); err != nil {
-			writeErr(w, errCode(err), err)
+			writeOpErr(w, err)
 			return
 		}
 		resp.Appended = len(aRecs) + len(bRecs)
@@ -446,7 +418,7 @@ func (s *Server) hRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.Release()
 	if err := h.Session().Run(r.Context()); err != nil {
-		writeErr(w, errCode(err), err)
+		writeOpErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{
@@ -462,7 +434,7 @@ func (s *Server) hRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) hSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	h, ok := s.acquire(w, r, sessionstore.ModeWrite)
@@ -473,7 +445,7 @@ func (s *Server) hSweep(w http.ResponseWriter, r *http.Request) {
 	sess := h.Session()
 	ri, err := resolveRule(sess, req.Rule, req.RuleName)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	thresholds := req.Thresholds
@@ -486,7 +458,7 @@ func (s *Server) hSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	points, err := sess.SweepThresholdParallelCtx(r.Context(), ri, req.Pred, thresholds, sess.M.Workers)
 	if err != nil {
-		writeErr(w, errCode(err), err)
+		writeOpErr(w, err)
 		return
 	}
 	out := SweepResponse{Points: make([]SweepPoint, len(points))}
@@ -496,20 +468,66 @@ func (s *Server) hSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// hMatches pages through the matched pairs. The cursor is a candidate
-// pair index (start at 0); NextCursor is -1 on the last page.
+// matchCursor is the decoded form of the opaque page token: a format
+// version and the candidate pair index the next page starts at. The
+// pair index is stable across eviction/reload (reload rebuilds the
+// identical pair order) and across replica failover (a caught-up
+// replica's state is byte-identical), so a client can resume a page
+// walk against a different node.
+type matchCursor struct {
+	V int `json:"v"`
+	P int `json:"p"`
+}
+
+// encodeCursor packs a pair index into the opaque wire token.
+func encodeCursor(p int) string {
+	b, _ := json.Marshal(matchCursor{V: 1, P: p})
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// decodeCursor unpacks a wire token from encodeCursor.
+func decodeCursor(s string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad cursor %q", s)
+	}
+	var c matchCursor
+	if err := json.Unmarshal(raw, &c); err != nil || c.V != 1 || c.P < 0 {
+		return 0, fmt.Errorf("bad cursor %q", s)
+	}
+	return c.P, nil
+}
+
+// hMatches pages through the matched pairs. Pagination is by opaque
+// cursor: pass a response's nextCursor back as ?cursor= until it comes
+// back empty. The legacy numeric ?offset= (a bare pair index) is still
+// accepted for one release and answered with a Deprecation header.
 func (s *Server) hMatches(w http.ResponseWriter, r *http.Request) {
-	cursor, limit := 0, 100
+	q := r.URL.Query()
+	start, limit := 0, 100
 	var err error
-	if v := r.URL.Query().Get("cursor"); v != "" {
-		if cursor, err = strconv.Atoi(v); err != nil || cursor < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor %q", v))
+	cursorParam, offsetParam := q.Get("cursor"), q.Get("offset")
+	switch {
+	case cursorParam != "" && offsetParam != "":
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("cursor and offset are mutually exclusive"))
+		return
+	case cursorParam != "":
+		if start, err = decodeCursor(cursorParam); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
+	case offsetParam != "":
+		if start, err = strconv.Atoi(offsetParam); err != nil || start < 0 {
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad offset %q", offsetParam))
+			return
+		}
+		// Per the IETF Deprecation header draft: the parameter is
+		// deprecated now; switch to the opaque cursor.
+		w.Header().Set("Deprecation", "true")
 	}
-	if v := r.URL.Query().Get("limit"); v != "" {
+	if v := q.Get("limit"); v != "" {
 		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad limit %q", v))
 			return
 		}
 	}
@@ -520,13 +538,13 @@ func (s *Server) hMatches(w http.ResponseWriter, r *http.Request) {
 	defer h.Release()
 	sess := h.Session()
 	a, b := h.Tables()
-	page := MatchPage{Matches: []MatchedPair{}, NextCursor: -1, Total: sess.MatchCount()}
-	for pi := cursor; pi < len(sess.M.Pairs); pi++ {
+	page := MatchPage{Matches: []MatchedPair{}, Total: sess.MatchCount()}
+	for pi := start; pi < len(sess.M.Pairs); pi++ {
 		if !sess.St.Matched.Get(pi) {
 			continue
 		}
 		if len(page.Matches) == limit {
-			page.NextCursor = pi
+			page.NextCursor = encodeCursor(pi)
 			break
 		}
 		p := sess.M.Pairs[pi]
@@ -569,22 +587,25 @@ func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
 	}
 	lc := h.Lifecycle()
 	resp := StatsResponse{
-		Pairs:         len(sess.M.Pairs),
-		Rules:         len(sess.M.C.Rules),
-		Matches:       sess.MatchCount(),
-		MemoBytes:     memo,
-		BitmapBytes:   bitmaps,
-		MemoEntries:   entries,
-		Stats:         st,
-		MemoHitRate:   rate,
-		LastOp:        reportOf(sess.LastOp),
-		PersistErr:    h.PersistErr(),
-		State:         lc.State,
-		ResidentBytes: lc.ResidentBytes,
-		Evictions:     lc.Evictions,
-		Reloads:       lc.Reloads,
-		Edits:         lc.Edits,
-		MaxEdits:      lc.MaxEdits,
+		Pairs:          len(sess.M.Pairs),
+		Rules:          len(sess.M.C.Rules),
+		Matches:        sess.MatchCount(),
+		MemoBytes:      memo,
+		BitmapBytes:    bitmaps,
+		MemoEntries:    entries,
+		Stats:          st,
+		MemoHitRate:    rate,
+		LastOp:         reportOf(sess.LastOp),
+		PersistErr:     h.PersistErr(),
+		State:          lc.State,
+		ResidentBytes:  lc.ResidentBytes,
+		Evictions:      lc.Evictions,
+		Reloads:        lc.Reloads,
+		Edits:          lc.Edits,
+		MaxEdits:       lc.MaxEdits,
+		Tenant:         lc.Tenant,
+		TenantEdits:    lc.TenantEdits,
+		MaxTenantEdits: lc.MaxTenantEdits,
 	}
 	if !lc.LastTouch.IsZero() {
 		resp.LastTouch = lc.LastTouch.UTC().Format(timeLayout)
@@ -593,6 +614,23 @@ func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
 		resp.Durable = true
 		resp.Seq = h.Seq()
 		resp.JournalBytes = h.JournalBytes()
+	}
+	if s.Replica() {
+		rs := &ReplicationStats{Role: "replica", PrimaryURL: s.primaryURL}
+		if s.replicaSrc != nil {
+			if applied, ok := s.replicaSrc.AppliedSeq(h.Name()); ok {
+				rs.AppliedSeq = applied
+			}
+			if pseq, ok := s.replicaSrc.PrimarySeq(h.Name()); ok {
+				rs.PrimarySeq = pseq
+			}
+			if rs.PrimarySeq > rs.AppliedSeq {
+				rs.Lag = rs.PrimarySeq - rs.AppliedSeq
+			}
+		}
+		resp.Replication = rs
+	} else if h.Durable() {
+		resp.Replication = &ReplicationStats{Role: "primary", PrimarySeq: h.Seq()}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -612,16 +650,25 @@ func (s *Server) hVerify(w http.ResponseWriter, r *http.Request) {
 
 // hSnapshot streams the session in persist format — the same bytes
 // emdebug's save command writes, so a session can move between the
-// service and the CLIs.
+// service and the CLIs. The snapshot is stamped with the journal
+// sequence it covers: the local seq on a primary, the applied seq on a
+// replica — so a caught-up replica's snapshot is byte-identical to the
+// primary's at the same sequence.
 func (s *Server) hSnapshot(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.acquire(w, r, sessionstore.ModeRead)
 	if !ok {
 		return
 	}
 	defer h.Release()
+	seq := h.Seq()
+	if s.Replica() && s.replicaSrc != nil {
+		if applied, rok := s.replicaSrc.AppliedSeq(h.Name()); rok {
+			seq = applied
+		}
+	}
 	var buf bytes.Buffer
-	if err := persist.Save(&buf, h.Session()); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+	if err := persist.Save(&buf, h.Session(), persist.WithSeq(seq)); err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

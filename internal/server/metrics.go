@@ -40,7 +40,7 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
 			reqDrained.Add(1)
-			writeErr(w, http.StatusServiceUnavailable, errDraining)
+			writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, errDraining)
 			return
 		}
 		start := time.Now()

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rulematch/internal/persist"
+	"rulematch/internal/sessionstore"
+)
+
+// Replication wire protocol. A follower bootstraps once from
+// GET .../bootstrap (base tables + a seq-stamped snapshot), then tails
+// GET .../wal?from=<applied>, applying each framed record in order.
+// When compaction rotates the journal past a follower's cursor the WAL
+// endpoint answers 410 wal_rotated and the follower re-bootstraps.
+
+// maxWalWait caps the WAL endpoint's long-poll budget.
+const maxWalWait = 30 * time.Second
+
+// walPollInterval is how often the long poll re-checks the journal.
+// The check acquires and releases the session's read lock each round,
+// so a waiting poll never blocks an edit.
+const walPollInterval = 25 * time.Millisecond
+
+// Em-* headers carry replication coordinates alongside the binary
+// frame stream.
+const (
+	// HeaderSeq is the last sequence included in the response body
+	// (equal to ?from when the body is empty).
+	HeaderSeq = "Em-Seq"
+	// HeaderSnapshotSeq is the primary's current snapshot coverage; a
+	// follower whose cursor falls below it must re-bootstrap.
+	HeaderSnapshotSeq = "Em-Snapshot-Seq"
+)
+
+// hWal streams framed journal records with Seq > from. When the
+// follower is caught up and ?wait is set, the handler long-polls: it
+// re-checks the journal every walPollInterval without holding the
+// session lock across the wait, so edits proceed unimpeded.
+func (s *Server) hWal(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var from uint64
+	var err error
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("bad from: want a decimal sequence number"))
+			return
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("bad wait: want milliseconds"))
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxWalWait {
+			wait = maxWalWait
+		}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		frames, last, snapSeq, ok := s.walPoll(w, r, from)
+		if !ok {
+			return // error response already written
+		}
+		if len(frames) > 0 || !time.Now().Before(deadline) {
+			w.Header().Set(HeaderSeq, strconv.FormatUint(last, 10))
+			w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(snapSeq, 10))
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(frames)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(walPollInterval):
+		}
+	}
+}
+
+// walPoll does one locked check of the session's journal. It writes
+// the error response itself and reports ok=false when the request
+// cannot proceed. Lock scope is one call — the long poll's waits
+// happen outside, with no handle held.
+func (s *Server) walPoll(w http.ResponseWriter, r *http.Request, from uint64) (frames []byte, last, snapSeq uint64, ok bool) {
+	h, acquired := s.acquire(w, r, sessionstore.ModeRead)
+	if !acquired {
+		return nil, 0, 0, false
+	}
+	defer h.Release()
+	if !h.Durable() {
+		writeErr(w, http.StatusConflict, CodeNotDurable, errors.New("session is not durable: no journal to ship"))
+		return nil, 0, 0, false
+	}
+	snapSeq = h.SnapshotSeq()
+	frames, last, err := h.WalFrames(from)
+	if err != nil {
+		w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(snapSeq, 10))
+		writeWalErr(w, err)
+		return nil, 0, 0, false
+	}
+	return frames, last, snapSeq, true
+}
+
+// hBootstrap ships everything a follower needs to start replicating a
+// session: the base table CSVs (what the snapshot's base lengths refer
+// to) and a snapshot of the current state stamped with the journal
+// sequence it covers. A follower loads the snapshot against the base
+// tables and then tails /wal?from=<seq>.
+func (s *Server) hBootstrap(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.acquire(w, r, sessionstore.ModeRead)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	if !h.Durable() {
+		writeErr(w, http.StatusConflict, CodeNotDurable, errors.New("session is not durable: nothing to bootstrap from"))
+		return
+	}
+	a, b, err := h.BaseTables()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, h.Session(), persist.WithSeq(h.Seq())); err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BootstrapResponse{
+		Name:     h.Name(),
+		Tenant:   h.Tenant(),
+		Seq:      h.Seq(),
+		TableA:   a,
+		TableB:   b,
+		Snapshot: buf.Bytes(),
+	})
+}

@@ -54,6 +54,25 @@ type Server struct {
 
 	store    *sessionstore.Store
 	draining atomic.Bool
+
+	// replica mode: when primaryURL is set the store is read-only,
+	// write routes answer 421 not_primary pointing at primaryURL, and
+	// replicaSrc (when wired) reports replication progress for /stats.
+	primaryURL string
+	replicaSrc ReplicaSource
+}
+
+// ReplicaSource reports a follower's replication progress. Implemented
+// by internal/replica; wired with SetReplicaSource so the server
+// package never imports the replication machinery.
+type ReplicaSource interface {
+	// AppliedSeq returns the last WAL sequence applied to the named
+	// session's replayed state, or false if the session is not (yet)
+	// replicated here.
+	AppliedSeq(name string) (uint64, bool)
+	// PrimarySeq returns the primary's last known journal sequence for
+	// the named session (the replication target), or false if unknown.
+	PrimarySeq(name string) (uint64, bool)
 }
 
 // New returns a server whose sessions default to cfg.
@@ -79,31 +98,48 @@ func (s *Server) SetLimits(maxSessions int, memBudget, maxEdits int64) {
 	s.store.SetLimits(maxSessions, memBudget, maxEdits)
 }
 
-// Handler returns the route table. Go 1.22 method+wildcard patterns
-// dispatch; the draining gate and per-endpoint metrics wrap every
-// route.
+// Handler builds the mux from the route table (see routes.go), which
+// doubles as the OpenAPI source of truth. Go 1.22 method+wildcard
+// patterns dispatch; the draining gate and per-endpoint metrics wrap
+// every route, and write routes additionally carry the replica gate.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	route := func(pattern string, h http.HandlerFunc) {
+	for _, rt := range routes() {
+		pattern := rt.Method + " " + rt.Path
+		h := rt.handler(s)
+		if rt.Write {
+			h = s.requirePrimary(h)
+		}
 		mux.Handle(pattern, s.instrument(pattern, h))
 	}
-	route("POST /v1/sessions", s.hCreate)
-	route("GET /v1/sessions", s.hList)
-	route("GET /v1/sessions/{name}", s.hGet)
-	route("DELETE /v1/sessions/{name}", s.hDelete)
-	route("GET /v1/sessions/{name}/rules", s.hRules)
-	route("POST /v1/sessions/{name}/edits", s.hEdit)
-	route("POST /v1/sessions/{name}/records", s.hRecords)
-	route("POST /v1/sessions/{name}/run", s.hRun)
-	route("POST /v1/sessions/{name}/sweep", s.hSweep)
-	route("GET /v1/sessions/{name}/matches", s.hMatches)
-	route("GET /v1/sessions/{name}/stats", s.hStats)
-	route("POST /v1/sessions/{name}/verify", s.hVerify)
-	route("GET /v1/sessions/{name}/snapshot", s.hSnapshot)
 	mux.HandleFunc("GET /healthz", s.hHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
+
+// SetTenantQuota caps cumulative edits per tenant across all of a
+// tenant's sessions (0 = unlimited). Counts are in-memory, like the
+// per-session edit counts.
+func (s *Server) SetTenantQuota(n int64) { s.store.SetTenantQuota(n) }
+
+// SetPrimary switches the server into replica mode: the store refuses
+// edits (reads and the replication apply path still work) and write
+// routes answer 421 not_primary naming the primary's base URL. Call
+// before Handler.
+func (s *Server) SetPrimary(url string) {
+	s.primaryURL = url
+	s.store.SetReadOnly(true)
+}
+
+// Replica reports whether the server is in replica mode.
+func (s *Server) Replica() bool { return s.primaryURL != "" }
+
+// PrimaryURL returns the primary's base URL ("" on a primary).
+func (s *Server) PrimaryURL() string { return s.primaryURL }
+
+// SetReplicaSource wires the replication manager's progress view into
+// /stats. Call before Handler.
+func (s *Server) SetReplicaSource(rs ReplicaSource) { s.replicaSrc = rs }
 
 // SetDraining switches the 503 gate: once draining, every endpoint
 // but /healthz refuses new work so http.Server.Shutdown can finish
@@ -140,8 +176,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }

@@ -234,8 +234,8 @@ func TestEditSequenceAgreesWithBatch(t *testing.T) {
 	// And the matches page reports the same pairs.
 	var page MatchPage
 	doJSON(t, "GET", ts.URL+"/v1/sessions/agree/matches?limit=1000", nil, &page)
-	if page.Total != sess.MatchCount() || len(page.Matches) != page.Total || page.NextCursor != -1 {
-		t.Fatalf("match page inconsistent: total %d, got %d, cursor %d",
+	if page.Total != sess.MatchCount() || len(page.Matches) != page.Total || page.NextCursor != "" {
+		t.Fatalf("match page inconsistent: total %d, got %d, cursor %q",
 			page.Total, len(page.Matches), page.NextCursor)
 	}
 	for _, m := range page.Matches {
@@ -506,31 +506,51 @@ func TestStatsMemoHitRate(t *testing.T) {
 	}
 }
 
-// Pagination walks the full match set in small pages without overlap.
+// Pagination walks the full match set in small pages without overlap,
+// passing each response's opaque nextCursor back verbatim.
 func TestMatchPagination(t *testing.T) {
 	ts, _ := newTestServer(t)
 	createSession(t, ts, "pg")
 	seen := map[int]bool{}
-	cursor, total := 0, -1
+	cursor, total, pages := "", -1, 0
 	for {
 		var page MatchPage
-		url := fmt.Sprintf("%s/v1/sessions/pg/matches?cursor=%d&limit=2", ts.URL, cursor)
+		url := fmt.Sprintf("%s/v1/sessions/pg/matches?limit=2", ts.URL)
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
 		if code := doJSON(t, "GET", url, nil, &page); code != http.StatusOK {
-			t.Fatalf("page at %d: status %d", cursor, code)
+			t.Fatalf("page at %q: status %d", cursor, code)
 		}
 		total = page.Total
+		pages++
 		for _, m := range page.Matches {
 			if seen[m.Pair] {
 				t.Fatalf("pair %d returned twice", m.Pair)
 			}
 			seen[m.Pair] = true
 		}
-		if page.NextCursor < 0 {
+		if page.NextCursor == "" {
 			break
 		}
 		cursor = page.NextCursor
 	}
-	if len(seen) != total {
-		t.Fatalf("pagination saw %d of %d matches", len(seen), total)
+	if len(seen) != total || pages < 2 {
+		t.Fatalf("pagination saw %d of %d matches over %d pages", len(seen), total, pages)
+	}
+
+	// The deprecated numeric offset still works, flagged as deprecated.
+	resp, err := http.Get(ts.URL + "/v1/sessions/pg/matches?offset=0&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("offset page: status %d, Deprecation %q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+	// Mixing the two addressing schemes is rejected.
+	var e ErrorResponse
+	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/pg/matches?offset=0&cursor=x", nil, &e); code != http.StatusBadRequest || e.Error.Code != CodeInvalidRequest {
+		t.Fatalf("mixed cursor+offset: status %d code %q", code, e.Error.Code)
 	}
 }

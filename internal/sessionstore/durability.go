@@ -222,5 +222,9 @@ func errorsIsAny(err error, targets ...error) bool {
 // IsQuota reports whether err is an admission/quota rejection (maps to
 // 429 Too Many Requests).
 func IsQuota(err error) bool {
-	return errorsIsAny(err, ErrTooManySessions, ErrSessionTooLarge, ErrEditQuota)
+	return errorsIsAny(err, ErrTooManySessions, ErrSessionTooLarge, ErrEditQuota, ErrTenantQuota)
 }
+
+// IsReadOnly reports whether err is a read-only rejection (maps to 421
+// Misdirected Request: the write belongs on the primary).
+func IsReadOnly(err error) bool { return errors.Is(err, ErrReadOnly) }

@@ -1,6 +1,7 @@
 package sessionstore
 
 import (
+	"errors"
 	"time"
 
 	"rulematch/internal/incremental"
@@ -47,6 +48,41 @@ func (h *Handle) JournalBytes() int64 {
 	return h.e.wst.JournalSize()
 }
 
+// Tenant returns the tenant the session was admitted under ("" when
+// none was given).
+func (h *Handle) Tenant() string { return h.e.tenant }
+
+// SnapshotSeq returns the sequence the session's durable snapshot
+// covers (0 when not durable): records at or below it are no longer
+// served from the journal.
+func (h *Handle) SnapshotSeq() uint64 {
+	if h.e.wst == nil {
+		return 0
+	}
+	return h.e.wst.SnapshotSeq()
+}
+
+// WalFrames returns the framed journal bytes of every committed record
+// with Seq > from plus the last sequence included — the payload of the
+// replication WAL endpoint. Returns wal.ErrRotated when compaction has
+// folded part of that range into the snapshot. Requires durability.
+func (h *Handle) WalFrames(from uint64) ([]byte, uint64, error) {
+	if h.e.wst == nil {
+		return nil, 0, errors.New("session is not durable")
+	}
+	return h.e.wst.FramesAfter(from)
+}
+
+// BaseTables returns the raw CSV bytes of the session's base tables —
+// what a follower needs alongside the snapshot to bootstrap. Requires
+// durability.
+func (h *Handle) BaseTables() (a, b []byte, err error) {
+	if h.e.wst == nil {
+		return nil, nil, errors.New("session is not durable")
+	}
+	return h.e.wst.TableBytes()
+}
+
 // RecordEdit journals one committed edit. Requires a write-mode
 // handle, after the edit was applied in memory and before the HTTP
 // response is written — the response acknowledges durability. A
@@ -62,13 +98,16 @@ func (h *Handle) RecordEdit(rec wal.Record) {
 
 // LifecycleInfo is the per-session lifecycle view for /stats.
 type LifecycleInfo struct {
-	State         string
-	ResidentBytes int64
-	LastTouch     time.Time
-	Evictions     uint64
-	Reloads       uint64
-	Edits         int64
-	MaxEdits      int64
+	State          string
+	ResidentBytes  int64
+	LastTouch      time.Time
+	Evictions      uint64
+	Reloads        uint64
+	Edits          int64
+	MaxEdits       int64
+	Tenant         string
+	TenantEdits    int64
+	MaxTenantEdits int64
 }
 
 // Lifecycle reports the session's lifecycle accounting. The state is
@@ -80,12 +119,15 @@ func (h *Handle) Lifecycle() LifecycleInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return LifecycleInfo{
-		State:         StateResident,
-		ResidentBytes: e.bytes,
-		LastTouch:     e.lastTouch,
-		Evictions:     e.evictions,
-		Reloads:       e.reloads,
-		Edits:         e.edits,
-		MaxEdits:      s.cfg.MaxEdits,
+		State:          StateResident,
+		ResidentBytes:  e.bytes,
+		LastTouch:      e.lastTouch,
+		Evictions:      e.evictions,
+		Reloads:        e.reloads,
+		Edits:          e.edits,
+		MaxEdits:       s.cfg.MaxEdits,
+		Tenant:         e.tenant,
+		TenantEdits:    s.tenantEdits[e.tenant],
+		MaxTenantEdits: s.cfg.MaxTenantEdits,
 	}
 }

@@ -64,6 +64,11 @@ var (
 	ErrSessionTooLarge = errors.New("session exceeds memory budget")
 	// ErrEditQuota: the per-session edit quota is exhausted.
 	ErrEditQuota = errors.New("edit quota exhausted")
+	// ErrTenantQuota: the per-tenant edit quota is exhausted.
+	ErrTenantQuota = errors.New("tenant edit quota exhausted")
+	// ErrReadOnly: the store is read-only (a replica); edits belong on
+	// the primary.
+	ErrReadOnly = errors.New("store is read-only")
 )
 
 // Lifecycle states reported by List and stats.
@@ -89,6 +94,10 @@ type Config struct {
 	// MaxEdits caps write-class operations per session (edits, record
 	// batches). <=0 = unlimited.
 	MaxEdits int64
+	// MaxTenantEdits caps write-class operations per tenant, summed over
+	// every session the tenant owns (sessions admitted without a tenant
+	// share the "" bucket). <=0 = unlimited.
+	MaxTenantEdits int64
 }
 
 // Store is the lifecycle manager. Create with New.
@@ -103,6 +112,15 @@ type Store struct {
 	evictedTotal  uint64
 	reloadedTotal uint64
 
+	// tenantEdits accumulates edit-mode acquisitions per tenant over the
+	// store's lifetime (deleting a session does not refund its tenant).
+	tenantEdits map[string]int64
+
+	// readOnly refuses ModeEdit acquisitions: the store belongs to a
+	// replica, whose sessions are mutated only by the replication
+	// apply path (ModeApply).
+	readOnly bool
+
 	dur     Durability
 	durable bool
 }
@@ -110,6 +128,7 @@ type Store struct {
 // Entry is one named session in any lifecycle state.
 type Entry struct {
 	name    string
+	tenant  string
 	created time.Time
 
 	// mu is the session's single-writer lock, held for the duration of
@@ -150,6 +169,7 @@ type Meta struct {
 // EntryInfo is one session's lifecycle view for listings.
 type EntryInfo struct {
 	Name          string
+	Tenant        string
 	State         string
 	ResidentBytes int64
 	Created       time.Time
@@ -176,8 +196,14 @@ const (
 	ModeRead Mode = iota
 	// ModeWrite takes the single-writer lock (runs, sweeps).
 	ModeWrite
-	// ModeEdit is ModeWrite plus the per-session edit quota.
+	// ModeEdit is ModeWrite plus the per-session and per-tenant edit
+	// quotas; refused on a read-only store.
 	ModeEdit
+	// ModeApply is the replication apply path: the single-writer lock
+	// with no quota charge, permitted even on a read-only store — the
+	// edits it applies were already admitted (and charged) on the
+	// primary.
+	ModeApply
 )
 
 // Handle is an acquired session. It pins the session resident — the
@@ -192,10 +218,43 @@ type Handle struct {
 func New(cfg Config) *Store {
 	initMetrics()
 	return &Store{
-		cfg:      cfg,
-		sessions: make(map[string]*Entry),
-		lru:      list.New(),
+		cfg:         cfg,
+		sessions:    make(map[string]*Entry),
+		lru:         list.New(),
+		tenantEdits: make(map[string]int64),
 	}
+}
+
+// SetReadOnly flips the store's read-only gate: when set, ModeEdit
+// acquisitions fail with ErrReadOnly. Replica servers set this so a
+// mis-routed write can never mutate follower state; the replication
+// loop itself uses ModeApply, which the gate does not cover.
+func (s *Store) SetReadOnly(on bool) {
+	s.mu.Lock()
+	s.readOnly = on
+	s.mu.Unlock()
+}
+
+// ReadOnly reports whether the store refuses edits.
+func (s *Store) ReadOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readOnly
+}
+
+// SetTenantQuota caps edit-mode acquisitions per tenant (<=0 =
+// unlimited). Tenant charges are cumulative over the store's lifetime.
+func (s *Store) SetTenantQuota(maxEdits int64) {
+	s.mu.Lock()
+	s.cfg.MaxTenantEdits = maxEdits
+	s.mu.Unlock()
+}
+
+// TenantEdits returns the cumulative edit count charged to a tenant.
+func (s *Store) TenantEdits(tenant string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantEdits[tenant]
 }
 
 func (s *Store) lib() *sim.Library {
@@ -258,13 +317,20 @@ func metaOf(sess *incremental.Session) Meta {
 // create would pin the request goroutine against a budget that may
 // never clear.
 func (s *Store) Admit(name string, sess *incremental.Session, a, b *table.Table) error {
+	return s.AdmitTenant(name, "", sess, a, b)
+}
+
+// AdmitTenant is Admit with a tenant attribution: every edit-mode
+// acquisition of the session charges the tenant's cumulative quota
+// (see Config.MaxTenantEdits) in addition to the session's own.
+func (s *Store) AdmitTenant(name, tenant string, sess *incremental.Session, a, b *table.Table) error {
 	if s.Durable() {
 		if err := ValidName(name); err != nil {
 			return err
 		}
 	}
 	bytes := sessionBytes(sess)
-	e := &Entry{name: name, created: time.Now(), sess: sess, a: a, b: b}
+	e := &Entry{name: name, tenant: tenant, created: time.Now(), sess: sess, a: a, b: b}
 	// Entry lock first (entry → store order), held through store
 	// attachment so no acquirer can slip in before the WAL exists.
 	e.mu.Lock()
@@ -354,6 +420,11 @@ func (s *Store) Acquire(name string, mode Mode) (*Handle, error) {
 		}
 		if mode == ModeEdit {
 			s.mu.Lock()
+			if s.readOnly {
+				s.mu.Unlock()
+				e.mu.Unlock()
+				return nil, fmt.Errorf("session %q: %w", name, ErrReadOnly)
+			}
 			if s.cfg.MaxEdits > 0 && e.edits >= s.cfg.MaxEdits {
 				max := s.cfg.MaxEdits
 				s.mu.Unlock()
@@ -361,7 +432,15 @@ func (s *Store) Acquire(name string, mode Mode) (*Handle, error) {
 				return nil, fmt.Errorf("session %q: %d edits at the -max-edits quota: %w",
 					name, max, ErrEditQuota)
 			}
+			if s.cfg.MaxTenantEdits > 0 && s.tenantEdits[e.tenant] >= s.cfg.MaxTenantEdits {
+				max := s.cfg.MaxTenantEdits
+				s.mu.Unlock()
+				e.mu.Unlock()
+				return nil, fmt.Errorf("session %q: tenant %q at the %d-edit -max-tenant-edits quota: %w",
+					name, e.tenant, max, ErrTenantQuota)
+			}
 			e.edits++
+			s.tenantEdits[e.tenant]++
 			s.mu.Unlock()
 		}
 		s.touch(e)
@@ -524,6 +603,7 @@ func (s *Store) infoLocked(e *Entry) EntryInfo {
 	}
 	return EntryInfo{
 		Name:          e.name,
+		Tenant:        e.tenant,
 		State:         state,
 		ResidentBytes: e.bytes,
 		Created:       e.created,

@@ -47,8 +47,9 @@ type Store struct {
 	policy    SyncPolicy
 	CompactAt int64 // journal bytes that trigger compaction; <=0 = DefaultCompactBytes
 
-	w   *Writer
-	seq uint64 // last durably journaled (or snapshotted) sequence
+	w       *Writer
+	seq     uint64 // last durably journaled (or snapshotted) sequence
+	snapSeq uint64 // sequence covered by the current snapshot
 }
 
 func (st *Store) path(name string) string { return filepath.Join(st.dir, name) }
@@ -157,6 +158,7 @@ func Open(fsys faultio.FS, dir string, policy SyncPolicy, lib *sim.Library) (*St
 		return nil, nil, fmt.Errorf("wal: replay journal: %w", err)
 	}
 	st.seq = seq
+	st.snapSeq = info.Seq
 	w, err := OpenWriter(fsys, st.path(JournalFile), policy)
 	if err != nil {
 		return nil, nil, err
@@ -210,6 +212,7 @@ func (st *Store) Compact(sess *incremental.Session) error {
 	if err := persist.SaveFileFS(st.fsys, st.path(SnapshotFile), sess, opts...); err != nil {
 		return err
 	}
+	st.snapSeq = st.seq
 	return st.rotateJournal()
 }
 
@@ -237,6 +240,7 @@ func (st *Store) CompactRewrite(sess *incremental.Session, a, b *table.Table) er
 	if err := persist.SaveFileFS(st.fsys, st.path(SnapshotFile), sess, opts...); err != nil {
 		return err
 	}
+	st.snapSeq = st.seq
 	if err := st.writeTableAtomic(TableAFile, a); err != nil {
 		return err
 	}

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ErrRotated reports that a journal no longer holds the records a
+// cursor asks for: compaction folded them into a snapshot and rotated
+// the file. A follower seeing this must re-bootstrap from the latest
+// snapshot instead of retrying the cursor.
+var ErrRotated = errors.New("wal: journal rotated past cursor")
+
+// EncodeFrame frames one record exactly as Writer.Append writes it:
+// uint32 LE payload length, uint32 LE CRC-32C, JSON payload. The
+// replication endpoint re-frames journal records with this, so the
+// bytes a follower parses are the same format the journal stores.
+func EncodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("wal: record %d bytes exceeds the %d-byte limit", len(payload), MaxRecordBytes)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// EncodeFrames frames a batch of records back to back (no magic
+// header).
+func EncodeFrames(recs []Record) ([]byte, error) {
+	var out []byte
+	for _, rec := range recs {
+		frame, err := EncodeFrame(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame...)
+	}
+	return out, nil
+}
+
+// Tail incrementally follows one journal file: each Poll parses only
+// the bytes appended since the previous Poll, returning the records in
+// sequence order. It is the read side of WAL shipping — the primary's
+// replication endpoint opens a Tail at the follower's cursor and
+// drains whatever the journal has grown.
+//
+// A Tail detects two abnormal conditions:
+//
+//   - ErrRotated: the file shrank (compaction rotated the journal), or
+//     the records present skip past the expected next sequence — the
+//     cursor's records are gone. The caller must restart from a
+//     snapshot.
+//   - A torn tail (a frame still being appended) is not an error: Poll
+//     stops at the last complete frame and picks the rest up next time.
+type Tail struct {
+	path string
+	off  int64  // byte offset of the first unparsed byte
+	next uint64 // next sequence number expected
+}
+
+// NewTail opens a tail positioned after sequence afterSeq: the first
+// record Poll returns will be afterSeq+1. Returns ErrRotated if the
+// journal's surviving records already start past afterSeq+1. A missing
+// journal file is an empty tail (Poll finds it once it exists).
+func NewTail(path string, afterSeq uint64) (*Tail, error) {
+	t := &Tail{path: path, next: afterSeq + 1}
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return t, nil
+	} else if err != nil {
+		return nil, fmt.Errorf("wal: stat journal: %w", err)
+	}
+	t.off = 0
+	return t, nil
+}
+
+// Next returns the sequence number of the next record Poll will
+// deliver.
+func (t *Tail) Next() uint64 { return t.next }
+
+// Poll reads the journal's unseen suffix and returns every complete
+// record with the expected sequence numbers. An empty slice means
+// nothing new yet. Stale records (Seq < next — the journal suffix left
+// by a crash between snapshot publish and rotation) are skipped; a gap
+// (Seq > next) or a shrunken file returns ErrRotated.
+func (t *Tail) Poll() ([]Record, error) {
+	f, err := os.Open(t.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: open journal: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("wal: stat journal: %w", err)
+	}
+	if fi.Size() < t.off {
+		return nil, fmt.Errorf("journal %s shrank from %d to %d bytes: %w",
+			t.path, t.off, fi.Size(), ErrRotated)
+	}
+	if fi.Size() == t.off {
+		return nil, nil
+	}
+	if _, err := f.Seek(t.off, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wal: seek journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read journal: %w", err)
+	}
+	if t.off == 0 {
+		// First read must start with the magic header; anything else is
+		// a file we do not understand (or one still being created).
+		if len(data) < len(Magic) {
+			return nil, nil
+		}
+		if string(data[:len(Magic)]) != Magic {
+			return nil, fmt.Errorf("journal %s has no magic header: %w", t.path, ErrRotated)
+		}
+		data = data[len(Magic):]
+		t.off = int64(len(Magic))
+	}
+	var out []Record
+	for {
+		if len(data) < 8 {
+			return out, nil // torn or empty tail: wait for the rest
+		}
+		n := binary.LittleEndian.Uint32(data[0:4])
+		sum := binary.LittleEndian.Uint32(data[4:8])
+		if n == 0 || n > MaxRecordBytes {
+			return out, fmt.Errorf("journal %s: implausible frame length %d at offset %d: %w",
+				t.path, n, t.off, ErrRotated)
+		}
+		if int64(n) > int64(len(data)-8) {
+			return out, nil // frame still being appended
+		}
+		payload := data[8 : 8+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			// Could be a write racing the read; the caller retries and a
+			// persistent mismatch resolves as rotation on a later poll.
+			return out, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return out, fmt.Errorf("journal %s: bad record at offset %d: %w", t.path, t.off, err)
+		}
+		data = data[8+n:]
+		t.off += int64(8 + n)
+		if rec.Seq < t.next {
+			continue // already covered by the follower's snapshot
+		}
+		if rec.Seq > t.next {
+			return out, fmt.Errorf("journal %s jumps from seq %d to %d: %w",
+				t.path, t.next-1, rec.Seq, ErrRotated)
+		}
+		out = append(out, rec)
+		t.next++
+	}
+}
+
+// SnapshotSeq returns the sequence number covered by the store's
+// current snapshot: every record with Seq <= SnapshotSeq is folded in
+// and no longer served from the journal. A follower whose cursor is
+// below this must re-bootstrap.
+func (st *Store) SnapshotSeq() uint64 { return st.snapSeq }
+
+// FramesAfter returns the framed bytes (no magic header) of every
+// journal record with Seq > from, plus the last sequence number
+// included (== from when the follower is caught up). Returns
+// ErrRotated when compaction has already folded some of those records
+// into the snapshot — the follower's cursor predates SnapshotSeq.
+//
+// Callers must hold at least the session's read lock: the journal is
+// only appended or rotated under the write lock, so the file is
+// quiescent for the duration.
+func (st *Store) FramesAfter(from uint64) ([]byte, uint64, error) {
+	if from < st.snapSeq {
+		return nil, 0, fmt.Errorf("cursor %d predates snapshot seq %d: %w", from, st.snapSeq, ErrRotated)
+	}
+	if from >= st.seq {
+		return nil, from, nil
+	}
+	t, err := NewTail(st.path(JournalFile), from)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, err := t.Poll()
+	if err != nil {
+		return nil, 0, err
+	}
+	frames, err := EncodeFrames(recs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return frames, t.next - 1, nil
+}
+
+// TableBytes returns the raw CSV bytes of the session's base tables —
+// the files a snapshot's base lengths refer to. Followers bootstrap
+// from these plus the snapshot. Callers must hold at least the read
+// lock (CompactRewrite replaces the files under the write lock).
+func (st *Store) TableBytes() (a, b []byte, err error) {
+	a, err = os.ReadFile(st.path(TableAFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: read %s: %w", TableAFile, err)
+	}
+	b, err = os.ReadFile(st.path(TableBFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: read %s: %w", TableBFile, err)
+	}
+	return a, b, nil
+}

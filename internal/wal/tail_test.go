@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rulematch/internal/faultio"
+)
+
+// appendRecords writes records seq start..start+n-1 through a Writer.
+func appendRecords(t *testing.T, path string, start uint64, n int) {
+	t.Helper()
+	w, err := OpenWriter(faultio.OS, path, SyncPolicy{Mode: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(Record{Seq: start + uint64(i), Op: "set_threshold", Rule: 1, Threshold: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailFollowsAppends proves Poll returns exactly the appended
+// suffix across several append/poll rounds, never re-reading old
+// frames.
+func TestTailFollowsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	tl, err := NewTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing on disk yet.
+	if recs, err := tl.Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("poll on missing journal: %v, %d records", err, len(recs))
+	}
+	appendRecords(t, path, 1, 3)
+	recs, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Seq != 1 || recs[2].Seq != 3 {
+		t.Fatalf("first poll got %d records, want seqs 1..3", len(recs))
+	}
+	// Idle poll sees nothing.
+	if recs, err := tl.Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("idle poll: %v, %d records", err, len(recs))
+	}
+	appendRecords(t, path, 4, 2)
+	recs, err = tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 4 || recs[1].Seq != 5 {
+		t.Fatalf("second poll got %d records, want seqs 4..5", len(recs))
+	}
+	if tl.Next() != 6 {
+		t.Fatalf("next = %d, want 6", tl.Next())
+	}
+}
+
+// TestTailSkipsCoveredRecords proves a tail opened mid-history skips
+// the records its snapshot already covers.
+func TestTailSkipsCoveredRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	appendRecords(t, path, 1, 5)
+	tl, err := NewTail(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("got %d records starting at %d, want 2 starting at 4", len(recs), recs[0].Seq)
+	}
+}
+
+// TestTailTornFrame proves a half-written frame is not an error: Poll
+// stops before it and resumes once the frame completes.
+func TestTailTornFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	appendRecords(t, path, 1, 2)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeFrame(Record{Seq: 3, Op: "relax", Rule: 0, Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write all but the last 3 bytes of the next frame.
+	if err := os.WriteFile(path, append(append([]byte{}, whole...), frame[:len(frame)-3]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("poll over torn tail got %d records, want 2", len(recs))
+	}
+	// Complete the frame; the tail picks up record 3 alone.
+	if err := os.WriteFile(path, append(whole, frame...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 3 {
+		t.Fatalf("poll after completion got %d records, want seq 3", len(recs))
+	}
+}
+
+// TestTailRotationDetected proves a shrunken journal (rotation) and a
+// sequence gap both surface as ErrRotated.
+func TestTailRotationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	appendRecords(t, path, 1, 4)
+	tl, err := NewTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	// Rotate: the journal is rewritten as header-only.
+	if err := os.WriteFile(path, []byte(Magic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Poll(); !errors.Is(err, ErrRotated) {
+		t.Fatalf("poll after rotation: %v, want ErrRotated", err)
+	}
+
+	// A gap in sequence numbers is rotation too.
+	gapPath := filepath.Join(t.TempDir(), "journal.wal")
+	appendRecords(t, gapPath, 5, 2) // journal starts at seq 5
+	gt, err := NewTail(gapPath, 1)  // cursor expects seq 2 next
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gt.Poll(); !errors.Is(err, ErrRotated) {
+		t.Fatalf("poll over gap: %v, want ErrRotated", err)
+	}
+}
+
+// TestEncodeFrameMatchesWriter proves EncodeFrame produces exactly the
+// bytes Writer.Append puts in the journal, so re-framed replication
+// streams parse with the same reader as the journal itself.
+func TestEncodeFrameMatchesWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	rec := Record{Seq: 1, Op: "add_rule", Src: "rule r9: jaccard(name, name) >= 0.5"}
+	appendRecordsOne(t, path, rec)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeFrame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data[len(Magic):], frame) {
+		t.Fatal("EncodeFrame bytes differ from Writer.Append bytes")
+	}
+	// And the framed stream parses with the standard log reader.
+	log, err := ReadLogFrom(bytes.NewReader(append([]byte(Magic), frame...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 1 || log.Records[0].Op != "add_rule" {
+		t.Fatalf("re-framed stream parsed to %+v", log.Records)
+	}
+}
+
+func appendRecordsOne(t *testing.T, path string, rec Record) {
+	t.Helper()
+	w, err := OpenWriter(faultio.OS, path, SyncPolicy{Mode: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

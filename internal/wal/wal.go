@@ -166,17 +166,10 @@ func OpenWriter(fsys faultio.FS, path string, policy SyncPolicy) (*Writer, error
 // call and syncs per policy. On return with nil error the record is
 // committed (durably so under SyncAlways).
 func (w *Writer) Append(rec Record) error {
-	payload, err := json.Marshal(rec)
+	frame, err := EncodeFrame(rec)
 	if err != nil {
-		return fmt.Errorf("wal: encode record: %w", err)
+		return err
 	}
-	if len(payload) > MaxRecordBytes {
-		return fmt.Errorf("wal: record %d bytes exceeds the %d-byte limit", len(payload), MaxRecordBytes)
-	}
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
-	copy(frame[8:], payload)
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append record: %w", err)
 	}
