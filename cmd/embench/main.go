@@ -9,7 +9,7 @@
 //
 // Experiments: table2, table3, fig3a, fig3b, fig3c, fig4, fig5a,
 // fig5b, fig5c, fig6, replay, memory, ablations, kernels, durability,
-// stream, serve, ingest, all.
+// stream, serve, ingest, replicate, failover, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|serve|ingest|replicate|all)")
+		exp     = flag.String("exp", "all", "experiment to run (table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|replay|memory|ablations|kernels|serve|ingest|replicate|failover|all)")
 		dataset = flag.String("dataset", "products", "dataset domain for the figure experiments")
 		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper-size tables)")
 		rules   = flag.Int("rules", 0, "rule-pool size (0 = Table 2 target for the dataset)")
@@ -77,7 +77,7 @@ var knownExperiments = map[string]bool{
 	"fig5a": true, "fig5b": true, "fig5c": true,
 	"fig6": true, "memory": true, "ablations": true, "replay": true,
 	"kernels": true, "durability": true, "stream": true, "serve": true,
-	"ingest": true, "replicate": true,
+	"ingest": true, "replicate": true, "failover": true,
 }
 
 func run(exp, dataset string, scale float64, rules, draws, trials, maxK, parallel int, jsonOut string) error {
@@ -154,6 +154,19 @@ func run(exp, dataset string, scale float64, rules, draws, trials, maxK, paralle
 		}
 		tbl.Print(out)
 		if exp == "replicate" {
+			return nil
+		}
+	}
+
+	// The failover experiment crash-kills its own primary and promotes
+	// the follower; it also needs no task preparation.
+	if exp == "failover" || exp == "all" {
+		tbl, err := bench.Failover(bench.FailoverConfig{})
+		if err != nil {
+			return err
+		}
+		tbl.Print(out)
+		if exp == "failover" {
 			return nil
 		}
 	}

@@ -25,8 +25,12 @@
 // taking writes: it bootstraps every session from the primary's
 // snapshot, tails the primary's edit journal over HTTP, and serves the
 // read endpoints from the replayed state. Writes answer 421 with the
-// primary's URL; /stats reports replication lag per session. See
-// docs/TUTORIAL.md for a curl walkthrough of the API.
+// primary's URL; /stats reports replication lag per session. When the
+// primary dies, POST /v1/promote (guarded by -promote-token) flips a
+// caught-up replica into the primary under a new fenced epoch; with
+// -datadir the promoted node re-homes every session durably at its
+// applied sequence. See docs/TUTORIAL.md for a curl walkthrough of the
+// API, including the failover drill.
 package main
 
 import (
@@ -58,6 +62,7 @@ func main() {
 		compact  = flag.Int64("compact", wal.DefaultCompactBytes, "journal bytes that trigger snapshot compaction")
 		role     = flag.String("role", "primary", "server role: primary (takes writes) or replica (follows -primary)")
 		primary  = flag.String("primary", "", "primary base URL to replicate from (required with -role replica)")
+		promoTok = flag.String("promote-token", "", "bearer token guarding POST /v1/promote on a replica; empty leaves it open")
 	)
 	eng := cliflags.NewEngine()
 	eng.Register(flag.CommandLine)
@@ -86,15 +91,14 @@ func main() {
 	srv.SetLimits(limits.MaxSessions, budget, limits.MaxEdits)
 	srv.SetTenantQuota(limits.MaxTenantEdits)
 
+	policy, err := wal.ParseSyncPolicy(*fsyncPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		os.Exit(2)
+	}
+
 	var mgr *replica.Manager
 	if *role == "replica" {
-		if *dataDir != "" {
-			// A replica's state is fully determined by the primary's
-			// snapshot + journal; re-journaling it locally would only race
-			// the replication stream. Replicas run ephemeral.
-			log.Printf("emserve: -datadir is ignored with -role replica")
-			*dataDir = ""
-		}
 		srv.SetPrimary(*primary)
 		mgr = replica.New(replica.Config{
 			PrimaryURL: *primary,
@@ -102,15 +106,34 @@ func main() {
 			Core:       eng.Config(),
 		})
 		srv.SetReplicaSource(mgr)
+		srv.SetPromoteToken(*promoTok)
+		// While following, a replica's state is fully determined by the
+		// primary's snapshot + journal; re-journaling it locally would
+		// only race the replication stream. The datadir is held back for
+		// promotion: POST /v1/promote re-homes every caught-up session
+		// there under the new epoch.
+		var durCfg *server.Durability
+		if *dataDir != "" {
+			durCfg = &server.Durability{Dir: *dataDir, Policy: policy, CompactAt: *compact}
+			log.Printf("emserve: datadir %s held for promotion; sessions are ephemeral while following", *dataDir)
+		}
+		srv.SetPromoter(func() (server.PromoteOutcome, error) {
+			res, err := mgr.Promote(durCfg)
+			if err != nil {
+				return server.PromoteOutcome{}, err
+			}
+			out := server.PromoteOutcome{Epoch: res.Epoch}
+			for _, ps := range res.Sessions {
+				out.Sessions = append(out.Sessions, server.PromotedSessionInfo{
+					Name: ps.Name, AppliedSeq: ps.AppliedSeq,
+				})
+			}
+			log.Printf("emserve: promoted to primary at epoch %d (%d sessions)", res.Epoch, len(out.Sessions))
+			return out, nil
+		})
 		mgr.Start()
 		log.Printf("emserve: replica of %s", *primary)
-	}
-	if *dataDir != "" {
-		policy, err := wal.ParseSyncPolicy(*fsyncPol)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "emserve:", err)
-			os.Exit(2)
-		}
+	} else if *dataDir != "" {
 		err = srv.EnableDurability(server.Durability{Dir: *dataDir, Policy: policy, CompactAt: *compact})
 		if err != nil {
 			// Degrade rather than die: an unwritable datadir should not

@@ -1,0 +1,137 @@
+// Package chaos injects network faults at the HTTP transport layer —
+// the replication counterpart of internal/faultio's filesystem
+// injector. A Transport wraps any http.RoundTripper and, driven by a
+// seeded RNG so every run replays identically, drops requests, delays
+// them, duplicates them (the retry-storm double-delivery case) or
+// severs the link entirely.
+//
+// The injector sits on the *client* side (a follower's http.Client),
+// which is where real partitions bite a pull-based replication
+// protocol: the primary never needs to know, and every fault
+// manifests as the transport errors the follower's retry/backoff
+// machinery must already absorb. Drop and sever surface as connection
+// errors before any bytes move, so they never corrupt a stream —
+// torn responses are faultio's department (the WAL framing detects
+// them); chaos exercises the paths around whole-request loss.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every fault this package raises; tests
+// assert on it with errors.Is.
+var ErrInjected = errors.New("chaos: injected network fault")
+
+// Transport is a fault-injecting http.RoundTripper. The zero value is
+// unusable; build with New. All knobs may be flipped while requests
+// are in flight.
+type Transport struct {
+	inner http.RoundTripper
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	drop    float64       // probability a request is dropped outright
+	dup     float64       // probability a request is sent twice
+	delay   time.Duration // fixed extra latency per request
+	severed bool          // all requests fail until restored
+
+	// Counters (behind mu): what the injector actually did.
+	dropped    uint64
+	duplicated uint64
+	delayed    uint64
+	refused    uint64
+}
+
+// New wraps inner (nil means http.DefaultTransport) with a
+// deterministic injector seeded by seed.
+func New(inner http.RoundTripper, seed int64) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDrop sets the probability (0..1) a request is dropped before it
+// reaches the wire.
+func (t *Transport) SetDrop(p float64) { t.mu.Lock(); t.drop = p; t.mu.Unlock() }
+
+// SetDup sets the probability (0..1) a request is delivered twice —
+// the first response is discarded and the request re-sent, modelling a
+// client retry after a lost ACK. Only safe-to-repeat requests should
+// flow through a duplicating transport (replication GETs are).
+func (t *Transport) SetDup(p float64) { t.mu.Lock(); t.dup = p; t.mu.Unlock() }
+
+// SetDelay adds fixed latency to every request.
+func (t *Transport) SetDelay(d time.Duration) { t.mu.Lock(); t.delay = d; t.mu.Unlock() }
+
+// SetSevered cuts (or restores) the link: while severed every request
+// fails immediately with ErrInjected.
+func (t *Transport) SetSevered(on bool) { t.mu.Lock(); t.severed = on; t.mu.Unlock() }
+
+// Stats reports what the injector did so far.
+func (t *Transport) Stats() (dropped, duplicated, delayed, refused uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped, t.duplicated, t.delayed, t.refused
+}
+
+// RoundTrip applies the configured faults around the inner transport.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	if t.severed {
+		t.refused++
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: link severed: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	doDrop := t.drop > 0 && t.rng.Float64() < t.drop
+	doDup := t.dup > 0 && t.rng.Float64() < t.dup
+	delay := t.delay
+	if doDrop {
+		t.dropped++
+	}
+	if delay > 0 {
+		t.delayed++
+	}
+	t.mu.Unlock()
+
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	if doDrop {
+		return nil, fmt.Errorf("%w: dropped: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || !doDup {
+		return resp, err
+	}
+	// Duplicate delivery: the "response lost, client retried" case.
+	// Discard the first response and send the request again; the
+	// observable result is the second delivery, with the first's side
+	// effects already applied on the server.
+	if req.GetBody == nil && req.Body != nil {
+		return resp, nil // cannot safely replay a consumed body
+	}
+	resp.Body.Close()
+	dupReq := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, gerr := req.GetBody()
+		if gerr != nil {
+			return nil, fmt.Errorf("%w: duplicate delivery: %v", ErrInjected, gerr)
+		}
+		dupReq.Body = body
+	}
+	t.mu.Lock()
+	t.duplicated++
+	t.mu.Unlock()
+	return t.inner.RoundTrip(dupReq)
+}

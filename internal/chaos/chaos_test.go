@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Transport.RoundTrip(req)
+}
+
+func TestSeveredRefusesEverything(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+	tr := New(nil, 1)
+	c := &http.Client{Transport: tr}
+
+	tr.SetSevered(true)
+	for i := 0; i < 5; i++ {
+		if _, err := get(t, c, ts.URL); !errors.Is(err, ErrInjected) {
+			t.Fatalf("severed request %d: err %v, want ErrInjected", i, err)
+		}
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("severed link delivered %d requests", n)
+	}
+	tr.SetSevered(false)
+	resp, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("restored link: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatal("restored link did not deliver")
+	}
+	_, _, _, refused := tr.Stats()
+	if refused != 5 {
+		t.Fatalf("refused counter %d, want 5", refused)
+	}
+}
+
+func TestDropIsProbabilisticAndCounted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	tr := New(nil, 2)
+	c := &http.Client{Transport: tr}
+
+	tr.SetDrop(1)
+	if _, err := get(t, c, ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop=1: err %v, want ErrInjected", err)
+	}
+	tr.SetDrop(0)
+	resp, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("drop=0: %v", err)
+	}
+	resp.Body.Close()
+	dropped, _, _, _ := tr.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped counter %d, want 1", dropped)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	defer ts.Close()
+	tr := New(nil, 3)
+	tr.SetDup(1)
+	c := &http.Client{Transport: tr}
+
+	// GET bodies built by http.NewRequest from a strings.Reader carry
+	// GetBody, so the duplicate replays the same payload.
+	req, err := http.NewRequest(http.MethodGet, ts.URL, strings.NewReader("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Transport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ping" {
+		t.Fatalf("duplicate delivery body %q", body)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", n)
+	}
+	_, duplicated, _, _ := tr.Stats()
+	if duplicated != 1 {
+		t.Fatalf("duplicated counter %d, want 1", duplicated)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	tr := New(nil, 4)
+	tr.SetDelay(50 * time.Millisecond)
+	c := &http.Client{Transport: tr}
+
+	start := time.Now()
+	resp, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("delayed request returned in %v", d)
+	}
+
+	// A cancelled context wins over the injected delay.
+	tr.SetDelay(10 * time.Second)
+	c.Timeout = 50 * time.Millisecond
+	if _, err := c.Get(ts.URL); err == nil {
+		t.Fatal("10s delay with 50ms client timeout succeeded")
+	}
+	_, _, delayed, _ := tr.Stats()
+	if delayed != 2 {
+		t.Fatalf("delayed counter %d, want 2", delayed)
+	}
+}
+
+func TestSeededRunsReplayIdentically(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	outcomes := func(seed int64) []bool {
+		tr := New(nil, seed)
+		tr.SetDrop(0.5)
+		c := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 32; i++ {
+			resp, err := get(t, c, ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(99), outcomes(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	diff := false
+	for i, v := range outcomes(100) {
+		if v != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fault schedules (suspicious)")
+	}
+}

@@ -92,6 +92,12 @@ type snapshot struct {
 	// bitmaps and memo. Zero for standalone snapshots (and for all v1
 	// files, where the field did not exist).
 	Seq uint64
+	// Epoch is the replication epoch the snapshot was written under
+	// (see internal/wal): promotion of a replica bumps it, and a node
+	// refuses to accept history from a lower epoch. Zero for standalone
+	// snapshots and for files written before failover existed — gob
+	// tolerates the added field in both directions.
+	Epoch uint64
 
 	// Data-side incrementality (all zero in snapshots written before
 	// record ops existed; gob tolerates added fields both directions).
@@ -110,11 +116,13 @@ type snapshot struct {
 	BlockSpec string
 }
 
-// Info describes a loaded snapshot: which format it was read in and
-// the journal sequence it covers.
+// Info describes a loaded snapshot: which format it was read in, the
+// journal sequence it covers and the replication epoch it was written
+// under.
 type Info struct {
 	Version int
 	Seq     uint64
+	Epoch   uint64
 }
 
 // saveConfig collects the SaveOption knobs.
@@ -122,6 +130,7 @@ type saveConfig struct {
 	v1    bool
 	fsync bool
 	seq   uint64
+	epoch uint64
 }
 
 // SaveOption tweaks Save/SaveFile behaviour.
@@ -141,8 +150,16 @@ func NoFsync() SaveOption { return func(c *saveConfig) { c.fsync = false } }
 // to an edit journal.
 func WithSeq(seq uint64) SaveOption { return func(c *saveConfig) { c.seq = seq } }
 
+// WithEpoch records the replication epoch the snapshot was written
+// under (see internal/wal). Durable per-session snapshots carry it so
+// a recovered node knows which history it belongs to; interchange
+// snapshots (the HTTP snapshot download, CLI saves) omit it so two
+// nodes holding the same state at different epochs still serialize to
+// identical bytes.
+func WithEpoch(epoch uint64) SaveOption { return func(c *saveConfig) { c.epoch = epoch } }
+
 // buildSnapshot assembles the serializable form of the session.
-func buildSnapshot(s *incremental.Session, version int, seq uint64) (*snapshot, error) {
+func buildSnapshot(s *incremental.Session, version int, seq, epoch uint64) (*snapshot, error) {
 	if s.St == nil {
 		return nil, fmt.Errorf("persist: session has no materialized state; call RunFull first")
 	}
@@ -158,6 +175,7 @@ func buildSnapshot(s *incremental.Session, version int, seq uint64) (*snapshot, 
 		PredFalse: s.St.PredFalse,
 		Stats:     s.M.Stats,
 		Seq:       seq,
+		Epoch:     epoch,
 	}
 	baseA, baseB := s.BaseLens()
 	snap.BaseLenA, snap.BaseLenB = baseA, baseB
@@ -228,7 +246,7 @@ func Save(w io.Writer, s *incremental.Session, opts ...SaveOption) error {
 	if cfg.v1 {
 		version = versionV1
 	}
-	snap, err := buildSnapshot(s, version, cfg.seq)
+	snap, err := buildSnapshot(s, version, cfg.seq, cfg.epoch)
 	if err != nil {
 		return err
 	}
@@ -475,7 +493,7 @@ func LoadInfo(r io.Reader, lib *sim.Library, a, b *table.Table) (*incremental.Se
 			return nil, Info{}, fmt.Errorf("persist: %w", err)
 		}
 	}
-	return s, Info{Version: version, Seq: snap.Seq}, nil
+	return s, Info{Version: version, Seq: snap.Seq, Epoch: snap.Epoch}, nil
 }
 
 // extendTable rebuilds a grown table from the caller's base records

@@ -475,7 +475,7 @@ func TestSaveV1EscapeHatchRoundTrips(t *testing.T) {
 // stream exactly as the previous release wrote it — still loads.
 func TestLoadLegacyV1Bytes(t *testing.T) {
 	s, a, b := buildSession(t)
-	snap, err := buildSnapshot(s, versionV1, 0)
+	snap, err := buildSnapshot(s, versionV1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,7 +503,7 @@ func TestLoadLegacyV1Bytes(t *testing.T) {
 func reframe(t *testing.T, mutate func(*snapshot)) []byte {
 	t.Helper()
 	s, _, _ := buildSession(t)
-	snap, err := buildSnapshot(s, versionV2, 0)
+	snap, err := buildSnapshot(s, versionV2, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,132 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rulematch/internal/sessionstore"
+)
+
+// PromotedSession is one session's promotion outcome: the journal
+// sequence its history continues from on the new primary.
+type PromotedSession struct {
+	Name       string
+	AppliedSeq uint64
+}
+
+// PromoteResult reports a completed promotion.
+type PromoteResult struct {
+	// Epoch is the new replication epoch, strictly greater than any
+	// epoch this follower ever observed — the fence that keeps the
+	// deposed primary's later writes out of history.
+	Epoch    uint64
+	Sessions []PromotedSession
+}
+
+// drainTimeout bounds the final catch-up attempt per session during
+// promotion. The primary is usually dead by then (that is why we are
+// promoting), so this is the worst-case delay a dead primary adds.
+const drainTimeout = 2 * time.Second
+
+// Promote flips this follower into a primary:
+//
+//  1. stop following — cancel the sync loop and every follower
+//     goroutine and wait them out, so no replay races the flip;
+//  2. drain — one bounded final poll per session to pull any journal
+//     suffix the dying primary still served;
+//  3. fence — pick newEpoch = 1 + the highest epoch ever observed, so
+//     every record this node writes from now on is distinguishable
+//     from (and ranked above) the deposed primary's;
+//  4. re-home — when dur is non-nil, enable durability and give every
+//     caught-up session a fresh snapshot+journal pair created at its
+//     applied sequence under newEpoch, seeded with the exact base
+//     CSV bytes it bootstrapped from;
+//  5. open writes — raise the store's epoch and clear read-only.
+//
+// The caller (the server's promote handler) is responsible for
+// clearing its replica posture so writes stop bouncing with 421.
+// Promote is one-shot: a Manager that promoted (or was stopped) never
+// follows again.
+func (m *Manager) Promote(dur *sessionstore.Durability) (*PromoteResult, error) {
+	m.mu.Lock()
+	if m.promoted {
+		m.mu.Unlock()
+		return nil, errors.New("replica: already promoted")
+	}
+	m.promoted = true
+	m.mu.Unlock()
+
+	m.cancel()
+	m.wg.Wait()
+
+	m.mu.Lock()
+	fs := make([]*follower, 0, len(m.followers))
+	for _, f := range m.followers {
+		fs = append(fs, f)
+	}
+	m.mu.Unlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].name < fs[j].name })
+
+	store := m.cfg.Store
+	maxEpoch := store.Epoch()
+	for _, f := range fs {
+		f.drain()
+		f.mu.Lock()
+		if f.epoch > maxEpoch {
+			maxEpoch = f.epoch
+		}
+		f.mu.Unlock()
+	}
+	newEpoch := maxEpoch + 1
+
+	if dur != nil && !store.Durable() {
+		if err := store.EnableDurability(*dur); err != nil {
+			return nil, fmt.Errorf("promote: enable durability: %w", err)
+		}
+	}
+	res := &PromoteResult{Epoch: newEpoch}
+	for _, f := range fs {
+		f.mu.Lock()
+		ready, name, applied := f.ready, f.name, f.applied
+		baseA, baseB := f.baseA, f.baseB
+		f.mu.Unlock()
+		if !ready {
+			// Never completed a bootstrap: there is no trustworthy local
+			// copy to promote. The session stays behind until an operator
+			// restores it from the old primary's disk.
+			continue
+		}
+		if store.Durable() {
+			if err := store.AttachDurable(name, baseA, baseB, applied, newEpoch); err != nil {
+				return nil, fmt.Errorf("promote: session %q: %w", name, err)
+			}
+		}
+		res.Sessions = append(res.Sessions, PromotedSession{Name: name, AppliedSeq: applied})
+	}
+	store.SetEpoch(newEpoch)
+	store.SetReadOnly(false)
+	return res, nil
+}
+
+// drain runs bounded final polls until the session is caught up to the
+// last sequence the primary ever reported, the primary stops answering,
+// or the timeout lapses. Errors are not fatal: promotion proceeds with
+// whatever was applied — that is the whole point of failover.
+func (f *follower) drain() {
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	for {
+		f.mu.Lock()
+		caught := !f.ready || f.applied >= f.primarySeq
+		f.mu.Unlock()
+		if caught || ctx.Err() != nil {
+			return
+		}
+		if err := f.pollOnce(ctx); err != nil {
+			return
+		}
+	}
+}

@@ -29,8 +29,10 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -50,6 +52,12 @@ var (
 	errRotated = errors.New("replica: journal rotated past cursor")
 	// errGone: the session no longer exists on the primary.
 	errGone = errors.New("replica: session deleted on primary")
+	// errStale: the peer is serving an older epoch than we have seen —
+	// a deposed primary that came back. Its history must never be
+	// applied (fencing); back off and wait for it to be re-pointed or
+	// retired, but do NOT re-bootstrap from it: that would regress the
+	// follower onto the stale fork.
+	errStale = errors.New("replica: primary serves a stale epoch")
 )
 
 // Config wires a Manager to its primary and its local store.
@@ -77,6 +85,11 @@ type Config struct {
 	WalWait int
 	// BackoffMax caps the retry backoff after errors; <=0 means 2s.
 	BackoffMax time.Duration
+	// Seed perturbs the per-follower jitter RNG. Each follower derives
+	// its stream from Seed and its session name, so a fleet that loses
+	// the primary retries staggered instead of in lockstep, while any
+	// single configuration stays reproducible. 0 is a valid seed.
+	Seed int64
 }
 
 // SessionStatus is one session's replication posture.
@@ -85,8 +98,10 @@ type SessionStatus struct {
 	AppliedSeq   uint64
 	PrimarySeq   uint64
 	Lag          uint64
+	Epoch        uint64
 	Bootstraps   uint64
 	Rebootstraps uint64
+	StaleRefused uint64
 	LastErr      string
 }
 
@@ -101,6 +116,7 @@ type Manager struct {
 
 	mu        sync.Mutex
 	followers map[string]*follower
+	promoted  bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -116,6 +132,7 @@ var (
 	mAppliedRecords  *expvar.Int
 	mPollErrors      *expvar.Int
 	mSessionsDropped *expvar.Int
+	mStaleRefusals   *expvar.Int
 )
 
 func initMetrics() {
@@ -125,6 +142,7 @@ func initMetrics() {
 		mAppliedRecords = expvar.NewInt("emreplica_applied_records")
 		mPollErrors = expvar.NewInt("emreplica_poll_errors")
 		mSessionsDropped = expvar.NewInt("emreplica_sessions_dropped")
+		mStaleRefusals = expvar.NewInt("emreplica_stale_refusals")
 	})
 }
 
@@ -198,7 +216,7 @@ func (m *Manager) Sync() error {
 	defer m.mu.Unlock()
 	for _, n := range names {
 		if _, ok := m.followers[n]; !ok {
-			f := &follower{name: n, m: m}
+			f := &follower{name: n, m: m, rng: rand.New(rand.NewSource(jitterSeed(m.cfg.Seed, n)))}
 			fctx, fcancel := context.WithCancel(m.ctx)
 			f.cancel = fcancel
 			m.followers[n] = f
@@ -277,8 +295,9 @@ func (m *Manager) Status() []SessionStatus {
 	for _, f := range fs {
 		f.mu.Lock()
 		st := SessionStatus{
-			Name: f.name, AppliedSeq: f.applied, PrimarySeq: f.primarySeq,
-			Bootstraps: f.bootstraps, Rebootstraps: f.rebootstraps, LastErr: f.lastErr,
+			Name: f.name, AppliedSeq: f.applied, PrimarySeq: f.primarySeq, Epoch: f.epoch,
+			Bootstraps: f.bootstraps, Rebootstraps: f.rebootstraps,
+			StaleRefused: f.staleRefused, LastErr: f.lastErr,
 		}
 		if f.primarySeq > f.applied {
 			st.Lag = f.primarySeq - f.applied
@@ -339,14 +358,34 @@ type follower struct {
 	name   string
 	m      *Manager
 	cancel context.CancelFunc
+	// rng drives the backoff jitter; seeded per follower (see
+	// jitterSeed) and touched only by the follower's own goroutine.
+	rng *rand.Rand
 
 	mu           sync.Mutex
 	ready        bool
 	applied      uint64
 	primarySeq   uint64
+	epoch        uint64
 	bootstraps   uint64
 	rebootstraps uint64
+	staleRefused uint64
 	lastErr      string
+	// tenant plus the raw base-table CSV bytes from the last bootstrap:
+	// retained so promotion can seed a durable store whose snapshot base
+	// lengths refer to exactly these bytes.
+	tenant string
+	baseA  []byte
+	baseB  []byte
+}
+
+// jitterSeed derives a follower's RNG seed from the configured seed and
+// its session name, so distinct followers jitter differently while a
+// fixed configuration replays identically.
+func jitterSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
 }
 
 // run is the follower's life: bootstrap, then tail the WAL until the
@@ -367,6 +406,12 @@ func (f *follower) run(ctx context.Context) {
 				if errors.Is(err, errGone) {
 					return // the sync loop reaps the follower
 				}
+				if errors.Is(err, errStale) {
+					f.mu.Lock()
+					f.staleRefused++
+					f.mu.Unlock()
+					mStaleRefusals.Add(1)
+				}
 				f.noteErr(err)
 				backoff = f.sleep(ctx, backoff)
 				continue
@@ -384,6 +429,16 @@ func (f *follower) run(ctx context.Context) {
 			f.rebootstraps++
 			f.mu.Unlock()
 			mRebootstraps.Add(1)
+		case errors.Is(err, errStale):
+			// Fencing: the peer is a deposed primary serving an older
+			// epoch. Refuse its history and back off — but keep our state
+			// (no re-bootstrap: that would regress onto the stale fork).
+			f.mu.Lock()
+			f.staleRefused++
+			f.mu.Unlock()
+			mStaleRefusals.Add(1)
+			f.noteErr(err)
+			backoff = f.sleep(ctx, backoff)
 		case errors.Is(err, errGone):
 			return
 		case ctx.Err() != nil:
@@ -402,12 +457,16 @@ func (f *follower) noteErr(err error) {
 	f.mu.Unlock()
 }
 
-// sleep waits out the current backoff (or the context) and returns the
-// next, doubled up to the cap.
+// sleep waits out the current backoff plus up to 50% seeded jitter (or
+// the context) and returns the next backoff, doubled up to the cap. The
+// jitter staggers a fleet of followers that all lost the primary at the
+// same instant — without it they would hammer the recovering node in
+// lockstep; the seeded per-follower RNG keeps each run reproducible.
 func (f *follower) sleep(ctx context.Context, d time.Duration) time.Duration {
+	wait := d + time.Duration(f.rng.Int63n(int64(d)/2+1))
 	select {
 	case <-ctx.Done():
-	case <-time.After(d):
+	case <-time.After(wait):
 	}
 	if d *= 2; d > f.m.cfg.BackoffMax {
 		d = f.m.cfg.BackoffMax
@@ -423,12 +482,19 @@ func (f *follower) bootstrap(ctx context.Context) error {
 		Name     string `json:"name"`
 		Tenant   string `json:"tenant"`
 		Seq      uint64 `json:"seq"`
+		Epoch    uint64 `json:"epoch"`
 		TableA   []byte `json:"tableA"`
 		TableB   []byte `json:"tableB"`
 		Snapshot []byte `json:"snapshot"`
 	}
 	if err := f.m.getJSON(ctx, "/v1/sessions/"+f.name+"/bootstrap", &bs); err != nil {
 		return err
+	}
+	f.mu.Lock()
+	stale := bs.Epoch < f.epoch
+	f.mu.Unlock()
+	if stale {
+		return fmt.Errorf("bootstrap %s: snapshot epoch %d behind ours: %w", f.name, bs.Epoch, errStale)
 	}
 	a, err := table.ReadCSV(bytes.NewReader(bs.TableA), "A")
 	if err != nil {
@@ -453,6 +519,11 @@ func (f *follower) bootstrap(ctx context.Context) error {
 	if bs.Seq > f.primarySeq {
 		f.primarySeq = bs.Seq
 	}
+	if bs.Epoch > f.epoch {
+		f.epoch = bs.Epoch
+	}
+	f.tenant = bs.Tenant
+	f.baseA, f.baseB = bs.TableA, bs.TableB
 	f.ready = true
 	f.bootstraps++
 	f.lastErr = ""
@@ -491,6 +562,20 @@ func (f *follower) pollOnce(ctx context.Context) error {
 	default:
 		return fmt.Errorf("wal poll %s: status %d: %s", f.name, resp.StatusCode, envelopeMessage(body))
 	}
+	if h := resp.Header.Get("Em-Epoch"); h != "" {
+		ep := headerSeq(h)
+		f.mu.Lock()
+		cur := f.epoch
+		f.mu.Unlock()
+		if ep < cur {
+			return fmt.Errorf("wal poll %s: primary at epoch %d, we have seen %d: %w", f.name, ep, cur, errStale)
+		}
+		if ep > cur {
+			// A promotion happened upstream: rebuild from the new
+			// primary's snapshot rather than splicing histories.
+			return fmt.Errorf("%w: primary advanced to epoch %d", errRotated, ep)
+		}
+	}
 	recs, err := decodeFrames(body)
 	if err != nil {
 		// A garbled stream cannot be resumed from this cursor with
@@ -524,12 +609,19 @@ func (f *follower) apply(recs []wal.Record) error {
 	for _, rec := range recs {
 		f.mu.Lock()
 		expect := f.applied + 1
+		epoch := f.epoch
 		f.mu.Unlock()
 		if rec.Seq < expect {
 			continue // duplicate delivery after a retry
 		}
 		if rec.Seq > expect {
 			return fmt.Errorf("%w: stream jumps from %d to %d", errRotated, expect-1, rec.Seq)
+		}
+		if rec.Epoch < epoch {
+			// Fencing at the record level: a deposed primary's journal
+			// suffix (written under the old epoch after the split) must
+			// never reach our state.
+			return fmt.Errorf("record %d carries epoch %d, we have seen %d: %w", rec.Seq, rec.Epoch, epoch, errStale)
 		}
 		if err := wal.Apply(h.Session(), rec); err != nil {
 			// The state and the stream disagree; a fresh snapshot is the
@@ -538,6 +630,9 @@ func (f *follower) apply(recs []wal.Record) error {
 		}
 		f.mu.Lock()
 		f.applied = rec.Seq
+		if rec.Epoch > f.epoch {
+			f.epoch = rec.Epoch
+		}
 		f.mu.Unlock()
 		mAppliedRecords.Add(1)
 	}

@@ -305,6 +305,16 @@ type ReplicationStats struct {
 	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
 	PrimarySeq uint64 `json:"primarySeq,omitempty"`
 	Lag        uint64 `json:"lag"`
+	// Epoch is the replication epoch the node's journal stamps (on a
+	// primary). Promotion bumps it; see POST /v1/promote.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// PromoteResponse is the POST /v1/promote response: the new epoch plus
+// every session whose history now continues on this node.
+type PromoteResponse struct {
+	Epoch    uint64                `json:"epoch"`
+	Sessions []PromotedSessionInfo `json:"sessions"`
 }
 
 // BootstrapResponse is the GET .../bootstrap payload: the base table
@@ -319,7 +329,12 @@ type BootstrapResponse struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Seq is the journal sequence the snapshot covers: the first WAL
 	// record to apply on top is Seq+1.
-	Seq      uint64 `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Epoch is the replication epoch the session's journal is writing
+	// under. A follower refuses a bootstrap whose epoch is below one it
+	// has already seen — that would regress it onto a deposed
+	// primary's fork.
+	Epoch    uint64 `json:"epoch"`
 	TableA   []byte `json:"tableA"`
 	TableB   []byte `json:"tableB"`
 	Snapshot []byte `json:"snapshot"`

@@ -40,8 +40,18 @@ const (
 	CodeCancelled = "cancelled"
 	// CodeInternal: the server's problem, not the client's.
 	CodeInternal = "internal"
-	// CodeUnavailable: the server is draining for shutdown.
+	// CodeUnavailable: the server is draining for shutdown, or a
+	// consistent read's barrier timed out before the replica caught up.
+	// Honor the Retry-After header.
 	CodeUnavailable = "unavailable"
+	// CodeStaleEpoch: the write was refused by fencing — a newer
+	// replication epoch exists (this node was deposed as primary, or
+	// the request itself proved a newer epoch via Em-Epoch). The write
+	// must go to the current primary; this node will never accept it.
+	CodeStaleEpoch = "stale_epoch"
+	// CodeUnauthorized: the admin endpoint requires the bearer token
+	// the server was started with.
+	CodeUnauthorized = "unauthorized"
 )
 
 // ErrorBody is the envelope payload of every non-2xx JSON response.
@@ -61,7 +71,16 @@ type ErrorResponse struct {
 	Error ErrorBody `json:"error"`
 }
 
+// retryAfterSeconds is the hint sent with every 429/503 envelope. The
+// conditions behind those statuses (quota pressure, a drain in
+// progress, a replica catching up) clear on the order of seconds, not
+// milliseconds, so a single coarse value serves every case.
+const retryAfterSeconds = "1"
+
 func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }
 
@@ -93,7 +112,7 @@ func (s *Server) writeNotPrimary(w http.ResponseWriter) {
 	writeJSON(w, http.StatusMisdirectedRequest, ErrorResponse{Error: ErrorBody{
 		Code:    CodeNotPrimary,
 		Message: "this node is a read replica; send writes to the primary",
-		Primary: s.primaryURL,
+		Primary: s.PrimaryURL(),
 	}})
 }
 

@@ -174,6 +174,9 @@ func (s *Server) hList(w http.ResponseWriter, r *http.Request) {
 // hGet is a touch: acquiring the handle transparently reloads an
 // evicted session, so the returned state is always resident.
 func (s *Server) hGet(w http.ResponseWriter, r *http.Request) {
+	if !s.waitConsistent(w, r) {
+		return
+	}
 	h, ok := s.acquire(w, r, sessionstore.ModeRead)
 	if !ok {
 		return
@@ -193,6 +196,9 @@ func (s *Server) hDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) hRules(w http.ResponseWriter, r *http.Request) {
+	if !s.waitConsistent(w, r) {
+		return
+	}
 	h, ok := s.acquire(w, r, sessionstore.ModeRead)
 	if !ok {
 		return
@@ -237,6 +243,53 @@ func resolveRule(sess *incremental.Session, idx int, name string) (int, error) {
 	return 0, fmt.Errorf("no rule named %q", name)
 }
 
+// fenceCheck enforces epoch fencing on a journaled write, before the
+// edit touches session state. Two refusals, both 409 stale_epoch:
+//
+//   - the request's Em-Epoch (the highest epoch the client has seen)
+//     exceeds ours — the client proved a newer primary exists, so this
+//     node was deposed and fences itself permanently;
+//   - the session is already fenced from an earlier proof.
+//
+// A request Em-Epoch at or below ours is fine: the client is merely
+// no newer than us. Returns false after writing the error response.
+func (s *Server) fenceCheck(w http.ResponseWriter, r *http.Request, h *sessionstore.Handle) bool {
+	if !h.Durable() {
+		return true
+	}
+	if v := r.Header.Get(HeaderEpoch); v != "" {
+		ep, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("bad Em-Epoch: want a decimal epoch"))
+			return false
+		}
+		if ep > h.Epoch() {
+			h.Fence()
+			writeErr(w, http.StatusConflict, CodeStaleEpoch,
+				fmt.Errorf("client has seen epoch %d; this node is at %d and is now fenced", ep, h.Epoch()))
+			return false
+		}
+	}
+	if h.Fenced() {
+		writeErr(w, http.StatusConflict, CodeStaleEpoch,
+			errors.New("node is fenced: a newer replication epoch exists; send writes to the current primary"))
+		return false
+	}
+	return true
+}
+
+// setWriteHeaders stamps a successful journaled write's response with
+// the sequence the journal assigned (Em-Seq — the client threads it
+// into ?consistent= reads and into post-failover replay) and the epoch
+// it was written under (Em-Epoch).
+func setWriteHeaders(w http.ResponseWriter, h *sessionstore.Handle) {
+	if !h.Durable() {
+		return
+	}
+	w.Header().Set(HeaderSeq, strconv.FormatUint(h.Seq(), 10))
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(h.Epoch(), 10))
+}
+
 // hEdit applies one incremental operation (Algorithms 7–10) under the
 // session's write lock. Edit-mode acquisition charges the per-session
 // edit quota.
@@ -251,6 +304,9 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.Release()
+	if !s.fenceCheck(w, r, h) {
+		return
+	}
 	sess := h.Session()
 	ri, err := resolveRule(sess, req.Rule, req.RuleName)
 	if err != nil {
@@ -296,6 +352,7 @@ func (s *Server) hEdit(w http.ResponseWriter, r *http.Request) {
 		Op: req.Op, Rule: ri, Pred: req.Pred,
 		Threshold: req.Threshold, Src: src,
 	})
+	setWriteHeaders(w, h)
 	writeJSON(w, http.StatusOK, EditResponse{
 		Report:  reportOf(sess.LastOp),
 		Matches: sess.MatchCount(),
@@ -328,6 +385,9 @@ func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.Release()
+	if !s.fenceCheck(w, r, h) {
+		return
+	}
 	sess := h.Session()
 	if err := sess.ValidateAppend(aRecs, bRecs); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, err)
@@ -362,6 +422,7 @@ func (s *Server) hRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Matches = sess.MatchCount()
 	resp.Pairs = sess.LivePairCount()
+	setWriteHeaders(w, h)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -531,6 +592,9 @@ func (s *Server) hMatches(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if !s.waitConsistent(w, r) {
+		return
+	}
 	h, ok := s.acquire(w, r, sessionstore.ModeRead)
 	if !ok {
 		return
@@ -569,6 +633,9 @@ func owningRule(sess *incremental.Session, pi int) string {
 }
 
 func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
+	if !s.waitConsistent(w, r) {
+		return
+	}
 	h, ok := s.acquire(w, r, sessionstore.ModeRead)
 	if !ok {
 		return
@@ -616,7 +683,7 @@ func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
 		resp.JournalBytes = h.JournalBytes()
 	}
 	if s.Replica() {
-		rs := &ReplicationStats{Role: "replica", PrimaryURL: s.primaryURL}
+		rs := &ReplicationStats{Role: "replica", PrimaryURL: s.PrimaryURL()}
 		if s.replicaSrc != nil {
 			if applied, ok := s.replicaSrc.AppliedSeq(h.Name()); ok {
 				rs.AppliedSeq = applied
@@ -630,7 +697,7 @@ func (s *Server) hStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Replication = rs
 	} else if h.Durable() {
-		resp.Replication = &ReplicationStats{Role: "primary", PrimarySeq: h.Seq()}
+		resp.Replication = &ReplicationStats{Role: "primary", PrimarySeq: h.Seq(), Epoch: h.Epoch()}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -655,6 +722,9 @@ func (s *Server) hVerify(w http.ResponseWriter, r *http.Request) {
 // replica — so a caught-up replica's snapshot is byte-identical to the
 // primary's at the same sequence.
 func (s *Server) hSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.waitConsistent(w, r) {
+		return
+	}
 	h, ok := s.acquire(w, r, sessionstore.ModeRead)
 	if !ok {
 		return

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"crypto/subtle"
+	"errors"
+	"net/http"
+)
+
+// Failover: POST /v1/promote flips a caught-up replica into the
+// primary. The actual promotion — stop following, drain the WAL
+// cursors, pick the new epoch, re-home every session durably — lives
+// in internal/replica; the server only authenticates the request,
+// invokes the wired PromoteFunc and flips its own routing posture so
+// write routes stop answering 421.
+
+// PromotedSessionInfo is one session's promotion outcome.
+type PromotedSessionInfo struct {
+	Name string `json:"name"`
+	// AppliedSeq is the journal sequence the session's history
+	// continues from on this node; an acked write the old primary
+	// journaled beyond it must be replayed by its client.
+	AppliedSeq uint64 `json:"appliedSeq"`
+}
+
+// PromoteOutcome is what a PromoteFunc reports back.
+type PromoteOutcome struct {
+	// Epoch is the new replication epoch, strictly above anything the
+	// deposed primary ever stamped.
+	Epoch    uint64
+	Sessions []PromotedSessionInfo
+}
+
+// PromoteFunc runs the node's promotion path (the replica manager's
+// Promote). Wired by cmd/emserve with SetPromoter.
+type PromoteFunc func() (PromoteOutcome, error)
+
+// SetPromoter wires the promotion path. Call before Handler.
+func (s *Server) SetPromoter(fn PromoteFunc) { s.promoter = fn }
+
+// SetPromoteToken guards POST /v1/promote with a bearer token; ""
+// leaves the route open (tests, trusted networks). Call before
+// Handler.
+func (s *Server) SetPromoteToken(tok string) { s.promoteToken = tok }
+
+// BecomePrimary flips the node's routing posture to primary under the
+// given epoch: write routes stop answering 421, the store accepts
+// edits and stamps new journal records with the epoch. The promotion
+// path itself (drain, re-home) must already have run.
+func (s *Server) BecomePrimary(epoch uint64) {
+	s.primaryURL.Store("")
+	s.store.SetEpoch(epoch)
+	s.store.SetReadOnly(false)
+}
+
+// hPromote is POST /v1/promote. Deliberately NOT a Write route: write
+// routes answer 421 on replicas, and promotion only makes sense on a
+// replica.
+func (s *Server) hPromote(w http.ResponseWriter, r *http.Request) {
+	if s.promoteToken != "" {
+		auth := []byte(r.Header.Get("Authorization"))
+		want := []byte("Bearer " + s.promoteToken)
+		if subtle.ConstantTimeCompare(auth, want) != 1 {
+			writeErr(w, http.StatusUnauthorized, CodeUnauthorized,
+				errors.New("promotion requires the -promote-token bearer token"))
+			return
+		}
+	}
+	if !s.Replica() {
+		writeErr(w, http.StatusConflict, CodeConflict,
+			errors.New("this node is already a primary"))
+		return
+	}
+	if s.promoter == nil {
+		writeErr(w, http.StatusConflict, CodeConflict,
+			errors.New("no promotion path wired on this node"))
+		return
+	}
+	out, err := s.promoter()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	s.BecomePrimary(out.Epoch)
+	sessions := out.Sessions
+	if sessions == nil {
+		sessions = []PromotedSessionInfo{}
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Epoch: out.Epoch, Sessions: sessions})
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -34,6 +35,12 @@ const (
 	// HeaderSnapshotSeq is the primary's current snapshot coverage; a
 	// follower whose cursor falls below it must re-bootstrap.
 	HeaderSnapshotSeq = "Em-Snapshot-Seq"
+	// HeaderEpoch carries the replication epoch. On WAL and write
+	// responses it reports the epoch the session's journal is writing
+	// under; on write requests it asserts the highest epoch the client
+	// has seen — a node behind that epoch fences itself instead of
+	// accepting the write (see CodeStaleEpoch).
+	HeaderEpoch = "Em-Epoch"
 )
 
 // hWal streams framed journal records with Seq > from. When the
@@ -64,13 +71,14 @@ func (s *Server) hWal(w http.ResponseWriter, r *http.Request) {
 	}
 	deadline := time.Now().Add(wait)
 	for {
-		frames, last, snapSeq, ok := s.walPoll(w, r, from)
+		frames, last, snapSeq, epoch, ok := s.walPoll(w, r, from)
 		if !ok {
 			return // error response already written
 		}
 		if len(frames) > 0 || !time.Now().Before(deadline) {
 			w.Header().Set(HeaderSeq, strconv.FormatUint(last, 10))
 			w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(snapSeq, 10))
+			w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
 			w.Header().Set("Content-Type", "application/octet-stream")
 			_, _ = w.Write(frames)
 			return
@@ -87,24 +95,25 @@ func (s *Server) hWal(w http.ResponseWriter, r *http.Request) {
 // the error response itself and reports ok=false when the request
 // cannot proceed. Lock scope is one call — the long poll's waits
 // happen outside, with no handle held.
-func (s *Server) walPoll(w http.ResponseWriter, r *http.Request, from uint64) (frames []byte, last, snapSeq uint64, ok bool) {
+func (s *Server) walPoll(w http.ResponseWriter, r *http.Request, from uint64) (frames []byte, last, snapSeq, epoch uint64, ok bool) {
 	h, acquired := s.acquire(w, r, sessionstore.ModeRead)
 	if !acquired {
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
 	defer h.Release()
 	if !h.Durable() {
 		writeErr(w, http.StatusConflict, CodeNotDurable, errors.New("session is not durable: no journal to ship"))
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
 	snapSeq = h.SnapshotSeq()
+	epoch = h.Epoch()
 	frames, last, err := h.WalFrames(from)
 	if err != nil {
 		w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(snapSeq, 10))
 		writeWalErr(w, err)
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
-	return frames, last, snapSeq, true
+	return frames, last, snapSeq, epoch, true
 }
 
 // hBootstrap ships everything a follower needs to start replicating a
@@ -136,8 +145,90 @@ func (s *Server) hBootstrap(w http.ResponseWriter, r *http.Request) {
 		Name:     h.Name(),
 		Tenant:   h.Tenant(),
 		Seq:      h.Seq(),
+		Epoch:    h.Epoch(),
 		TableA:   a,
 		TableB:   b,
 		Snapshot: buf.Bytes(),
 	})
+}
+
+// Read-your-writes barrier. A client that wrote through the primary
+// received the journal sequence of its write in the Em-Seq response
+// header; passing it back as ?consistent=<seq> on a GET makes a
+// replica hold the request — bounded, re-checking on the same cadence
+// as the WAL long poll — until its applied sequence reaches it, and
+// answer 503 unavailable (with Retry-After) if it cannot within the
+// deadline. On a primary the barrier is satisfied by the journal
+// itself.
+
+// defaultBarrierWait is the barrier's deadline when the request does
+// not set ?wait=.
+const defaultBarrierWait = 5 * time.Second
+
+// waitConsistent enforces the ?consistent=<seq> read barrier. It
+// returns false after writing the error response itself; true means
+// the handler may proceed (including the no-barrier case). It never
+// holds a session handle across a wait.
+func (s *Server) waitConsistent(w http.ResponseWriter, r *http.Request) bool {
+	q := r.URL.Query()
+	v := q.Get("consistent")
+	if v == "" {
+		return true
+	}
+	seq, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("bad consistent: want a decimal sequence number"))
+		return false
+	}
+	wait := defaultBarrierWait
+	if wv := q.Get("wait"); wv != "" {
+		ms, err := strconv.Atoi(wv)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("bad wait: want milliseconds"))
+			return false
+		}
+		wait = time.Duration(ms) * time.Millisecond
+	}
+	if wait > maxWalWait {
+		wait = maxWalWait
+	}
+	name := r.PathValue("name")
+	deadline := time.Now().Add(wait)
+	for {
+		applied, known := s.appliedSeq(name)
+		if known && applied >= seq {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			writeErr(w, http.StatusServiceUnavailable, CodeUnavailable,
+				fmt.Errorf("read barrier: applied sequence %d has not reached %d", applied, seq))
+			return false
+		}
+		select {
+		case <-r.Context().Done():
+			writeErr(w, http.StatusServiceUnavailable, CodeCancelled, r.Context().Err())
+			return false
+		case <-time.After(walPollInterval):
+		}
+	}
+}
+
+// appliedSeq reports how much of the named session's history this node
+// has: the replication cursor on a replica, the journal sequence on a
+// primary. The primary check takes and releases a read handle per
+// call — the barrier's waits happen with no handle held, so it can
+// never block the very writes it is waiting for.
+func (s *Server) appliedSeq(name string) (uint64, bool) {
+	if s.Replica() {
+		if s.replicaSrc == nil {
+			return 0, false
+		}
+		return s.replicaSrc.AppliedSeq(name)
+	}
+	h, err := s.store.Acquire(name, sessionstore.ModeRead)
+	if err != nil {
+		return 0, false
+	}
+	defer h.Release()
+	return h.Seq(), true
 }

@@ -39,6 +39,15 @@ type routeSpec struct {
 	handler  func(*Server) http.HandlerFunc
 }
 
+// consistentQuery documents the read-your-writes barrier parameters
+// shared by the barrier-capable GET routes (see waitConsistent).
+func consistentQuery() []querySpec {
+	return []querySpec{
+		{Name: "consistent", Type: "integer", Doc: "read barrier: hold the request until this node has applied the given journal sequence (thread a write's Em-Seq here); 503 unavailable with Retry-After on timeout"},
+		{Name: "wait", Type: "integer", Doc: "barrier deadline in milliseconds (default 5000, max 30000); only meaningful with consistent"},
+	}
+}
+
 // routes returns the v1 route table. The order is the order endpoints
 // appear in the OpenAPI document.
 func routes() []routeSpec {
@@ -61,7 +70,8 @@ func routes() []routeSpec {
 			Method: "GET", Path: "/v1/sessions/{name}",
 			Summary:  "Describe one session (touches it: an evicted session reloads)",
 			Response: SessionInfo{},
-			ErrCodes: []string{CodeNotFound, CodeInternal},
+			Query:    consistentQuery(),
+			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeUnavailable, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hGet },
 		},
 		{
@@ -75,7 +85,8 @@ func routes() []routeSpec {
 			Method: "GET", Path: "/v1/sessions/{name}/rules",
 			Summary:  "List rules with per-predicate thresholds, false counts and ownership counts",
 			Response: RuleList{},
-			ErrCodes: []string{CodeNotFound, CodeInternal},
+			Query:    consistentQuery(),
+			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeUnavailable, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hRules },
 		},
 		{
@@ -83,7 +94,7 @@ func routes() []routeSpec {
 			Summary: "Apply one incremental rule-set operation (Algorithms 7-10)",
 			Write:   true,
 			Request: EditRequest{}, Response: EditResponse{},
-			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeQuotaExceeded, CodeNotPrimary, CodeInternal},
+			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeQuotaExceeded, CodeNotPrimary, CodeStaleEpoch, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hEdit },
 		},
 		{
@@ -91,7 +102,7 @@ func routes() []routeSpec {
 			Summary: "Append and/or delete records in one validated batch (deletes first)",
 			Write:   true,
 			Request: RecordsRequest{}, Response: RecordsResponse{},
-			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeQuotaExceeded, CodeCancelled, CodeNotPrimary, CodeInternal},
+			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeQuotaExceeded, CodeCancelled, CodeNotPrimary, CodeStaleEpoch, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hRecords },
 		},
 		{
@@ -112,19 +123,20 @@ func routes() []routeSpec {
 			Method: "GET", Path: "/v1/sessions/{name}/matches",
 			Summary:  "Page through matched pairs with an opaque cursor",
 			Response: MatchPage{},
-			Query: []querySpec{
+			Query: append([]querySpec{
 				{Name: "cursor", Type: "string", Doc: "opaque page token from a previous response's nextCursor"},
 				{Name: "limit", Type: "integer", Doc: "page size (default 100)"},
 				{Name: "offset", Type: "integer", Doc: "deprecated: numeric pair-index offset; answered with a Deprecation header"},
-			},
-			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeInternal},
+			}, consistentQuery()...),
+			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeUnavailable, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hMatches },
 		},
 		{
 			Method: "GET", Path: "/v1/sessions/{name}/stats",
 			Summary:  "Memory footprint, work counters, lifecycle, durability and replication state",
 			Response: StatsResponse{},
-			ErrCodes: []string{CodeNotFound, CodeInternal},
+			Query:    consistentQuery(),
+			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeUnavailable, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hStats },
 		},
 		{
@@ -138,7 +150,8 @@ func routes() []routeSpec {
 			Method: "GET", Path: "/v1/sessions/{name}/snapshot",
 			Summary:  "Stream the session in persist format (interchangeable with the CLIs)",
 			Binary:   true,
-			ErrCodes: []string{CodeNotFound, CodeInternal},
+			Query:    consistentQuery(),
+			ErrCodes: []string{CodeInvalidRequest, CodeNotFound, CodeUnavailable, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hSnapshot },
 		},
 		{
@@ -158,6 +171,15 @@ func routes() []routeSpec {
 			Response: BootstrapResponse{},
 			ErrCodes: []string{CodeNotFound, CodeNotDurable, CodeInternal},
 			handler:  func(s *Server) http.HandlerFunc { return s.hBootstrap },
+		},
+		{
+			Method: "POST", Path: "/v1/promote",
+			Summary: "Promote this replica to primary under a new fenced epoch (admin; bearer token when configured)",
+			// Deliberately not Write: write routes answer 421 on
+			// replicas, and promotion only makes sense on a replica.
+			Response: PromoteResponse{},
+			ErrCodes: []string{CodeUnauthorized, CodeConflict, CodeInternal},
+			handler:  func(s *Server) http.HandlerFunc { return s.hPromote },
 		},
 		{
 			Method: "GET", Path: "/v1/openapi.json",

@@ -55,11 +55,19 @@ type Server struct {
 	store    *sessionstore.Store
 	draining atomic.Bool
 
-	// replica mode: when primaryURL is set the store is read-only,
-	// write routes answer 421 not_primary pointing at primaryURL, and
-	// replicaSrc (when wired) reports replication progress for /stats.
-	primaryURL string
+	// replica mode: when primaryURL holds a non-empty string the store
+	// is read-only, write routes answer 421 not_primary pointing at it,
+	// and replicaSrc (when wired) reports replication progress for
+	// /stats. Atomic because promotion (BecomePrimary) clears it while
+	// requests are in flight.
+	primaryURL atomic.Value // string
 	replicaSrc ReplicaSource
+
+	// promotion plumbing: promoter runs the replica manager's
+	// promotion (wired by cmd/emserve), promoteToken guards the admin
+	// route. Both are set before Handler.
+	promoter     PromoteFunc
+	promoteToken string
 }
 
 // ReplicaSource reports a follower's replication progress. Implemented
@@ -127,15 +135,20 @@ func (s *Server) SetTenantQuota(n int64) { s.store.SetTenantQuota(n) }
 // routes answer 421 not_primary naming the primary's base URL. Call
 // before Handler.
 func (s *Server) SetPrimary(url string) {
-	s.primaryURL = url
+	s.primaryURL.Store(url)
 	s.store.SetReadOnly(true)
 }
 
 // Replica reports whether the server is in replica mode.
-func (s *Server) Replica() bool { return s.primaryURL != "" }
+func (s *Server) Replica() bool { return s.PrimaryURL() != "" }
 
 // PrimaryURL returns the primary's base URL ("" on a primary).
-func (s *Server) PrimaryURL() string { return s.primaryURL }
+func (s *Server) PrimaryURL() string {
+	if v := s.primaryURL.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
 
 // SetReplicaSource wires the replication manager's progress view into
 // /stats. Call before Handler.

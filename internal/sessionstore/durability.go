@@ -103,7 +103,53 @@ func (s *Store) attachStore(e *Entry) {
 		return
 	}
 	st.CompactAt = s.dur.CompactAt
+	st.SetEpoch(s.Epoch())
 	e.wst = st
+}
+
+// AttachDurable gives an already-admitted session a durable home mid
+// flight — the promotion path. A follower mirrors sessions without
+// durability; when it is promoted, each caught-up session gets a fresh
+// snapshot+journal pair created at its applied sequence under the new
+// epoch, seeded with the exact base-table CSV bytes the follower
+// bootstrapped from (the snapshot's base lengths refer to those bytes,
+// so rewriting the grown in-memory tables instead would corrupt
+// recovery). Any stale directory contents from a past life are
+// replaced.
+func (s *Store) AttachDurable(name string, aCSV, bCSV []byte, seq, epoch uint64) error {
+	if !s.Durable() {
+		return errors.New("sessionstore: store is not durable")
+	}
+	if err := ValidName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	e, ok := s.sessions[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no session %q: %w", name, ErrNotFound)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.removed || e.sess == nil {
+		return fmt.Errorf("no session %q: %w", name, ErrNotFound)
+	}
+	if e.wst != nil {
+		_ = e.wst.Close()
+		e.wst = nil
+	}
+	st, err := wal.CreateAt(s.dur.FS, s.sessionDir(name), s.dur.Policy, e.sess, aCSV, bCSV, seq, epoch)
+	if err != nil {
+		return fmt.Errorf("attach durable store to session %q: %w", name, err)
+	}
+	st.CompactAt = s.dur.CompactAt
+	e.wst = st
+	e.persistErr = ""
+	e.dirty = false
+	s.mu.Lock()
+	e.unevictable = false
+	s.mu.Unlock()
+	return nil
 }
 
 // degradeLocked flips a session to ephemeral mode after a persistence
@@ -154,6 +200,11 @@ func (s *Store) RecoverAll() (int, error) {
 			continue
 		}
 		st.CompactAt = s.dur.CompactAt
+		// A recovered session raises the node's epoch to its own (this
+		// node already stamped history with it in a past life) and then
+		// inherits the node's — whichever is higher.
+		s.SetEpoch(st.Epoch())
+		st.SetEpoch(s.Epoch())
 		rec.Session.Reconfigure(s.cfg.Core)
 		e := &Entry{name: name, created: time.Now(), sess: rec.Session, a: rec.A, b: rec.B, wst: st}
 		bytes := sessionBytes(e.sess)

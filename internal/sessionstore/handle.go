@@ -40,6 +40,30 @@ func (h *Handle) Seq() uint64 {
 	return h.e.wst.Seq()
 }
 
+// Epoch returns the replication epoch the session's journal stamps
+// onto new records (0 when not durable).
+func (h *Handle) Epoch() uint64 {
+	if h.e.wst == nil {
+		return 0
+	}
+	return h.e.wst.Epoch()
+}
+
+// Fenced reports whether the session's journal has been fenced: a
+// newer epoch exists somewhere, so this node must never append again.
+func (h *Handle) Fenced() bool {
+	return h.e.wst != nil && h.e.wst.Fenced()
+}
+
+// Fence permanently fences the session's journal. Called when a
+// request proves a newer epoch exists (its Em-Epoch exceeds ours):
+// this node was deposed, and accepting the write would fork history.
+func (h *Handle) Fence() {
+	if h.e.wst != nil {
+		h.e.wst.Fence()
+	}
+}
+
 // JournalBytes returns the current journal size (0 when not durable).
 func (h *Handle) JournalBytes() int64 {
 	if h.e.wst == nil {

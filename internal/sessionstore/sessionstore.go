@@ -121,6 +121,11 @@ type Store struct {
 	// apply path (ModeApply).
 	readOnly bool
 
+	// epoch is the node's replication epoch: freshly created session
+	// journals are stamped with it, and promotion raises it so the new
+	// primary's history is distinguishable from the deposed one's.
+	epoch uint64
+
 	dur     Durability
 	durable bool
 }
@@ -240,6 +245,25 @@ func (s *Store) ReadOnly() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.readOnly
+}
+
+// SetEpoch raises the node's replication epoch (it never lowers — a
+// node that has seen epoch N must not stamp history with less). New
+// and reopened session journals inherit it; promotion calls this with
+// the bumped epoch before re-opening writes.
+func (s *Store) SetEpoch(e uint64) {
+	s.mu.Lock()
+	if e > s.epoch {
+		s.epoch = e
+	}
+	s.mu.Unlock()
+}
+
+// Epoch returns the node's replication epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // SetTenantQuota caps edit-mode acquisitions per tenant (<=0 =
@@ -480,6 +504,8 @@ func (s *Store) reloadLocked(e *Entry) error {
 		return fmt.Errorf("reload session %q: %w", e.name, err)
 	}
 	st.CompactAt = s.dur.CompactAt
+	s.SetEpoch(st.Epoch())
+	st.SetEpoch(s.Epoch())
 	rec.Session.Reconfigure(s.cfg.Core)
 	e.sess, e.a, e.b, e.wst = rec.Session, rec.A, rec.B, st
 	// The heap state now equals the disk state exactly (recovery is

@@ -50,12 +50,41 @@ type Store struct {
 	w       *Writer
 	seq     uint64 // last durably journaled (or snapshotted) sequence
 	snapSeq uint64 // sequence covered by the current snapshot
+	epoch   uint64 // replication epoch stamped on new records/snapshots
+	fenced  bool   // a newer epoch exists elsewhere; refuse writes
 }
+
+// ErrFenced reports that the store refuses writes because a newer
+// replication epoch exists: this node was deposed as primary and a
+// promoted replica owns the session's history now. Fencing is
+// permanent for the store's lifetime — a fenced node must re-join as
+// a replica, never append.
+var ErrFenced = errors.New("wal: store is fenced (a newer epoch exists)")
 
 func (st *Store) path(name string) string { return filepath.Join(st.dir, name) }
 
 // Seq returns the sequence number of the last committed edit.
 func (st *Store) Seq() uint64 { return st.seq }
+
+// Epoch returns the replication epoch new records are stamped with.
+func (st *Store) Epoch() uint64 { return st.epoch }
+
+// SetEpoch raises the epoch stamped on subsequent records and
+// snapshots. Lowering the epoch is refused — history never moves
+// backward.
+func (st *Store) SetEpoch(e uint64) {
+	if e > st.epoch {
+		st.epoch = e
+	}
+}
+
+// Fence permanently refuses further writes: RecordEdit returns
+// ErrFenced. Called when the node learns (via a request stamped with
+// a higher epoch) that it was deposed.
+func (st *Store) Fence() { st.fenced = true }
+
+// Fenced reports whether the store refuses writes.
+func (st *Store) Fenced() bool { return st.fenced }
 
 // Dir returns the session directory.
 func (st *Store) Dir() string { return st.dir }
@@ -94,6 +123,64 @@ func Create(fsys faultio.FS, dir string, policy SyncPolicy, sess *incremental.Se
 	}
 	st.w = w
 	return st, nil
+}
+
+// CreateAt initializes a session directory at a given recovery point:
+// the promotion path, where a replica that has applied WAL sequence
+// seq becomes the primary of a new epoch. Unlike Create, the base
+// tables arrive as raw CSV bytes (the exact bytes the follower
+// bootstrapped from — the snapshot's base lengths refer to them, so
+// rewriting the session's grown tables instead would corrupt
+// recovery), the snapshot is stamped with seq and epoch, and the
+// fresh journal starts appending at seq+1 under the new epoch. Any
+// previous contents of dir are removed: a promoted history replaces
+// whatever a past life left there.
+func CreateAt(fsys faultio.FS, dir string, policy SyncPolicy, sess *incremental.Session, aCSV, bCSV []byte, seq, epoch uint64) (*Store, error) {
+	st := &Store{fsys: fsys, dir: dir, policy: policy, seq: seq, snapSeq: seq, epoch: epoch}
+	if err := fsys.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: clear session directory: %w", err)
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create session directory: %w", err)
+	}
+	if err := st.writeTableBytes(TableAFile, aCSV); err != nil {
+		return nil, err
+	}
+	if err := st.writeTableBytes(TableBFile, bCSV); err != nil {
+		return nil, err
+	}
+	opts := []persist.SaveOption{persist.WithSeq(seq), persist.WithEpoch(epoch)}
+	if policy.Mode == SyncNever {
+		opts = append(opts, persist.NoFsync())
+	}
+	if err := persist.SaveFileFS(fsys, st.path(SnapshotFile), sess, opts...); err != nil {
+		return nil, err
+	}
+	w, err := OpenWriter(fsys, st.path(JournalFile), policy)
+	if err != nil {
+		return nil, err
+	}
+	st.w = w
+	return st, nil
+}
+
+// writeTableBytes persists one input table from raw CSV bytes.
+func (st *Store) writeTableBytes(name string, csv []byte) error {
+	f, err := st.fsys.OpenFile(st.path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", name, err)
+	}
+	if _, err := f.Write(csv); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write %s: %w", name, err)
+	}
+	if st.policy.Mode != SyncNever {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: sync %s: %w", name, err)
+		}
+	}
+	return f.Close()
 }
 
 // writeTable persists one input table as CSV through the store's FS.
@@ -159,6 +246,15 @@ func Open(fsys faultio.FS, dir string, policy SyncPolicy, lib *sim.Library) (*St
 	}
 	st.seq = seq
 	st.snapSeq = info.Seq
+	// The epoch is the highest seen anywhere in the recovery point: the
+	// snapshot's stamp, or a journal record appended after a promotion
+	// raised it (SetEpoch does not rewrite the snapshot).
+	st.epoch = info.Epoch
+	for _, rec := range log.Records {
+		if rec.Epoch > st.epoch {
+			st.epoch = rec.Epoch
+		}
+	}
 	w, err := OpenWriter(fsys, st.path(JournalFile), policy)
 	if err != nil {
 		return nil, nil, err
@@ -184,7 +280,11 @@ func (st *Store) RecordEdit(sess *incremental.Session, rec Record) error {
 	if st.w == nil {
 		return errors.New("wal: store is closed")
 	}
+	if st.fenced {
+		return ErrFenced
+	}
 	rec.Seq = st.seq + 1
+	rec.Epoch = st.epoch
 	if err := st.w.Append(rec); err != nil {
 		return err
 	}
@@ -205,7 +305,7 @@ func (st *Store) RecordEdit(sess *incremental.Session, rec Record) error {
 // journal. Both steps are individually atomic; see the Store comment
 // for why a crash between them is safe.
 func (st *Store) Compact(sess *incremental.Session) error {
-	opts := []persist.SaveOption{persist.WithSeq(st.seq)}
+	opts := []persist.SaveOption{persist.WithSeq(st.seq), persist.WithEpoch(st.epoch)}
 	if st.policy.Mode == SyncNever {
 		opts = append(opts, persist.NoFsync())
 	}
@@ -233,7 +333,7 @@ func (st *Store) Compact(sess *incremental.Session) error {
 // sess must be the compacted twin of the session this store journals
 // (same seq coverage); a and b are its compacted tables.
 func (st *Store) CompactRewrite(sess *incremental.Session, a, b *table.Table) error {
-	opts := []persist.SaveOption{persist.WithSeq(st.seq)}
+	opts := []persist.SaveOption{persist.WithSeq(st.seq), persist.WithEpoch(st.epoch)}
 	if st.policy.Mode == SyncNever {
 		opts = append(opts, persist.NoFsync())
 	}

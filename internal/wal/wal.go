@@ -56,7 +56,13 @@ type Record struct {
 	// Seq numbers records 1,2,3,… within a session's history. A
 	// snapshot covering seq S makes every record with Seq <= S
 	// redundant; recovery replays only the suffix.
-	Seq       uint64  `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Epoch is the replication epoch the record was written under.
+	// Promotion of a replica bumps the epoch, so two nodes that both
+	// believe they are primary stamp distinguishable histories: a
+	// fenced (deposed) node's records carry a lower epoch and are
+	// refused by followers that have seen the newer one.
+	Epoch     uint64  `json:"epoch,omitempty"`
 	Op        string  `json:"op"`
 	Rule      int     `json:"rule"`
 	Pred      int     `json:"pred,omitempty"`
